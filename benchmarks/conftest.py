@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+exhaustive ground truths for the mini models are loaded from the artifact
+cache (generated on first use; minutes per model on one core); statistical
+campaigns replay against them, so the benchmarks themselves are fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import pretrained_path
+from repro.sfi.artifacts import exhaustive_table_path, load_or_run_exhaustive
+from repro.train import train_reference_model
+
+
+def _ensure_artifacts(model: str):
+    """Train + run exhaustive FI for *model* if not already cached."""
+    if not pretrained_path(model).is_file():
+        train_reference_model(model)
+    return load_or_run_exhaustive(model, progress=True)
+
+
+@pytest.fixture(scope="session")
+def resnet_truth():
+    """(table, space, engine) for the headline ResNet-14 mini."""
+    return _ensure_artifacts("resnet14_mini")
+
+
+@pytest.fixture(scope="session")
+def resnet8_truth():
+    """(table, space, engine) for the fast ResNet-8 mini."""
+    return _ensure_artifacts("resnet8_mini")
+
+
+@pytest.fixture(scope="session")
+def mobilenet_truth():
+    """(table, space, engine) for the MobileNetV2 mini."""
+    return _ensure_artifacts("mobilenetv2_mini")
+
+
+def emit(title: str, body: str) -> None:
+    """Print a regenerated table/figure block (visible with -s)."""
+    bar = "=" * max(20, len(title))
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")

@@ -1,0 +1,69 @@
+"""Ablation (paper future work) — data-aware SFI across data representations.
+
+The paper closes by proposing to apply the data-aware methodology to
+different data representations.  This bench regenerates the p(i) profile
+and the campaign size for float32, float16 and bfloat16 weight encodings
+of the same ResNet-20 weights.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.faults import FaultSpace
+from repro.ieee754 import BFLOAT16, FLOAT16, FLOAT32
+from repro.models import resnet20
+from repro.sfi import DataAwareSFI, DataUnawareSFI, bit_criticality, model_weight_vector
+
+
+def test_datatype_ablation(benchmark):
+    weights = model_weight_vector(resnet20(seed=0))
+    model = resnet20(seed=0)
+
+    def build():
+        out = {}
+        for fmt in (FLOAT32, FLOAT16, BFLOAT16):
+            profile = bit_criticality(weights, fmt=fmt)
+            space = FaultSpace(model, fmt=fmt)
+            aware = DataAwareSFI(profile=profile).plan(space)
+            unaware = DataUnawareSFI().plan(space)
+            out[fmt.name] = (profile, space, aware, unaware)
+        return out
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = []
+    for name, (profile, space, aware, unaware) in results.items():
+        rows.append(
+            [
+                name,
+                space.total_population,
+                unaware.total_injections,
+                aware.total_injections,
+                round(aware.total_injections / unaware.total_injections * 100, 1),
+                round(float(profile.p.mean()), 3),
+            ]
+        )
+    emit(
+        "Ablation — data representations (ResNet-20 weights)",
+        render_table(
+            ["format", "N", "data-unaware n", "data-aware n", "aware/unaware %", "mean p"],
+            rows,
+        ),
+    )
+
+    for name, (profile, space, aware, unaware) in results.items():
+        fmt = profile.fmt
+        # The exponent MSB is the most critical bit in every format.
+        msb = fmt.mantissa_bits + fmt.exponent_bits - 1
+        assert profile.p[msb] == 0.5, name
+        # Data-aware always shrinks the campaign substantially.
+        assert aware.total_injections < unaware.total_injections * 0.5, name
+
+    # bfloat16 keeps float32's exponent range: its profile concentrates
+    # criticality in the same (fewer) high bits, so the mean prior is
+    # higher than float32's (fewer irrelevant mantissa bits to dilute it).
+    assert results["bfloat16"][0].p.mean() > results["float32"][0].p.mean()
+    # 16-bit formats halve the population per weight.
+    assert (
+        results["float16"][1].total_population
+        == results["float32"][1].total_population // 2
+    )

@@ -1,0 +1,81 @@
+"""Engine throughput — what makes laptop-scale exhaustive FI possible.
+
+Times the two optimisations that turn the paper's 37-day campaign into a
+minutes-scale one at mini size:
+
+- masked-fault short-circuiting (no inference for bit-identical faults),
+- prefix-cached inference (recompute only from the faulted stage onward).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import SynthCIFAR
+from repro.faults import Fault, FaultModel, InferenceEngine
+from repro.models import resnet14_mini
+
+
+@pytest.fixture(scope="module")
+def engine():
+    model = resnet14_mini(seed=0).eval()
+    data = SynthCIFAR("test", size=64, seed=1234)
+    return InferenceEngine(model, data.images, data.labels)
+
+
+@pytest.mark.benchmark(group="engine")
+def test_full_forward_baseline(benchmark, engine):
+    """Cost of a from-scratch forward pass (what naive FI pays per fault)."""
+    images = engine.images
+
+    def forward():
+        return engine.model.forward_fast(images)
+
+    benchmark(forward)
+
+
+@pytest.mark.benchmark(group="engine")
+def test_prefix_cached_late_fault(benchmark, engine):
+    """A fault in the last stage only recomputes the classifier head."""
+    last_layer = len(engine.layers) - 1
+    fault = Fault(layer=last_layer, index=0, bit=30, model=FaultModel.STUCK_AT_1)
+    benchmark(engine.predictions_with_fault, fault)
+
+
+@pytest.mark.benchmark(group="engine")
+def test_prefix_cached_early_fault(benchmark, engine):
+    """A stem fault recomputes everything — the engine's worst case."""
+    fault = Fault(layer=0, index=0, bit=30, model=FaultModel.STUCK_AT_1)
+    benchmark(engine.predictions_with_fault, fault)
+
+
+@pytest.mark.benchmark(group="engine")
+def test_masked_short_circuit(benchmark, engine):
+    """Masked faults cost no inference at all (half the population)."""
+    flat = engine.layers[0].flat_weights()
+    flat[0] = np.float32(1.0)  # bit 30 of 1.0 is 0 -> SA0 masked
+    fault = Fault(layer=0, index=0, bit=30, model=FaultModel.STUCK_AT_0)
+    assert engine.injector.is_masked(fault)
+    benchmark(engine.classify, fault)
+
+
+def test_speedup_claims(engine):
+    """The late-fault path must be much cheaper than a full forward."""
+    import time
+
+    images = engine.images
+    last_layer = len(engine.layers) - 1
+    late = Fault(layer=last_layer, index=0, bit=30, model=FaultModel.STUCK_AT_1)
+    early = Fault(layer=0, index=0, bit=30, model=FaultModel.STUCK_AT_1)
+
+    def timeit(fn, repeats=20):
+        fn()
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        return (time.perf_counter() - start) / repeats
+
+    full = timeit(lambda: engine.model.forward_fast(images))
+    late_cost = timeit(lambda: engine.predictions_with_fault(late))
+    early_cost = timeit(lambda: engine.predictions_with_fault(early))
+    assert late_cost < full * 0.6  # classifier-only recompute
+    assert early_cost < full * 1.8  # full recompute + bookkeeping

@@ -1,0 +1,69 @@
+"""Ablation — Eq. 5 outlier handling for the data-aware prior.
+
+The paper normalises D_avg into [0, 0.5] "without considering the
+outliers", pinning outliers at p = 0.5, but does not specify the outlier
+detector.  This bench compares three policies against the exhaustive
+ResNet-14 ground truth and demonstrates that the choice is *load-bearing*:
+
+- ``iqr`` (default, Tukey fences on log10 D_avg): all exponent bits with
+  huge flip distances are pinned at 0.5, and the remaining normalisation
+  keeps meaningful priors for the sign and high-mantissa bits — the
+  campaign stays valid.
+- ``percentile`` / ``none``: the linear-scale normalisation is dominated
+  by the astronomically large exponent distances, collapsing every other
+  bit's prior to ~0.  Those cells get no samples and their (real)
+  critical faults — e.g. sign-bit flips — are silently assumed away: the
+  margins look tiny but the estimates systematically undershoot the
+  exhaustive rates.  A cautionary result for Eq. 5 implementations.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.faults import TableOracle
+from repro.sfi import CampaignRunner, DataAwareSFI, validate_campaign
+
+POLICIES = ("iqr", "percentile", "none")
+
+
+def test_outlier_policy_ablation(benchmark, resnet_truth):
+    table, space, _ = resnet_truth
+    runner = CampaignRunner(TableOracle(table, space), space)
+
+    def build():
+        out = {}
+        for policy in POLICIES:
+            plan = DataAwareSFI(outlier_policy=policy).plan(space)
+            report = validate_campaign(runner.run(plan, seed=0), table)
+            out[policy] = (plan, report)
+        return out
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = [
+        [
+            policy,
+            plan.total_injections,
+            round(report.average_margin * 100, 3),
+            round(report.contained_fraction * 100),
+        ]
+        for policy, (plan, report) in results.items()
+    ]
+    emit(
+        "Ablation — Eq. 5 outlier policy (ResNet-14-mini)",
+        render_table(["policy", "n", "avg margin %", "contained %"], rows),
+    )
+
+    # The scale-aware default stays valid...
+    iqr_plan, iqr_report = results["iqr"]
+    assert iqr_report.average_margin < 0.01
+    assert iqr_report.contained_fraction > 0.85
+
+    # ...while linear-scale policies undercover badly: tiny margins but
+    # systematic underestimation (unsampled cells assumed non-critical).
+    for policy in ("percentile", "none"):
+        plan, report = results[policy]
+        assert plan.total_injections < iqr_plan.total_injections
+        assert report.contained_fraction < 0.5, policy
+        assert (
+            report.average_absolute_error > iqr_report.average_absolute_error
+        ), policy

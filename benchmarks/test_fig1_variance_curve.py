@@ -1,0 +1,29 @@
+"""Fig. 1 (left) — the p(1-p) variance curve that motivates p = 0.5.
+
+The sample size of Eq. 1 grows with p(1-p); the curve peaks at p = 0.5,
+which is why the data-unaware method's prior is the safest (largest) and
+why every data-aware prior p(i) <= 0.5 can only shrink the sample.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.analysis import render_variance_curve
+from repro.stats import confidence_to_t, sample_size
+
+
+def test_fig1_variance_curve(benchmark):
+    text = benchmark(render_variance_curve, 21)
+    emit("Fig. 1 — p * (1 - p) against p", text)
+
+    ps = np.linspace(0.0, 1.0, 21)
+    variance = ps * (1 - ps)
+    # Peak at p = 0.5 and symmetry around it.
+    assert variance.argmax() == 10
+    np.testing.assert_allclose(variance, variance[::-1])
+
+    # The sample-size consequence: n is maximised at p = 0.5.
+    t = confidence_to_t(0.99)
+    sizes = [sample_size(1_000_000, 0.01, t, p=float(p)) for p in ps]
+    assert max(sizes) == sizes[10]
+    assert sizes[0] == 0 and sizes[-1] == 0

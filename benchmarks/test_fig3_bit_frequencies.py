@@ -1,0 +1,45 @@
+"""Fig. 3 — f0(i)/f1(i) over the ResNet-20 weight population.
+
+Counts, for every bit position of the 32-bit words, how many of the
+268,336 ResNet-20 weights have that bit at 0 or 1.  The characteristic
+IEEE-754 signature asserted below is what drives the data-aware priors:
+
+- the exponent MSB (bit 30) is essentially never 1 (weights are < 2),
+- the next exponent bits are almost always 1 (weights cluster in
+  [2^-16, 1)),
+- the sign bit splits roughly half/half,
+- mantissa bits are near-uniform.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_bit_frequency_figure
+from repro.ieee754 import FLOAT32, bit_frequencies
+from repro.models import resnet20
+from repro.sfi import model_weight_vector
+
+
+def test_fig3_bit_frequencies(benchmark):
+    weights = model_weight_vector(resnet20(seed=0))
+
+    freqs = benchmark.pedantic(
+        bit_frequencies, args=(FLOAT32, weights), rounds=1, iterations=1
+    )
+
+    emit(
+        "Fig. 3 — f0(i) / f1(i) over ResNet-20 weights (MSB first)",
+        render_bit_frequency_figure(freqs),
+    )
+
+    total = freqs.total
+    assert total == 268_336
+    fraction_ones = freqs.fraction_ones()
+    # Exponent MSB: |w| < 2 for every sane CNN weight.
+    assert fraction_ones[30] < 0.001
+    # High exponent bits are nearly always set for |w| in [2^-64, 2).
+    assert fraction_ones[29] > 0.99
+    assert fraction_ones[28] > 0.99
+    # The sign bit splits close to half (symmetric weight distribution).
+    assert 0.40 < fraction_ones[31] < 0.60
+    # Mantissa bits are roughly uniform.
+    for bit in range(0, 16):
+        assert 0.40 < fraction_ones[bit] < 0.60

@@ -1,0 +1,62 @@
+"""Fig. 5 — per-layer critical rates with margins: layer-wise vs data-aware.
+
+For every layer of the ResNet-14 mini, compares the exhaustive critical
+rate (dark-blue bar in the paper) with the layer-wise and data-aware
+statistical estimates and their error margins (black bars), asserting the
+paper's reading: both methods bracket the exhaustive result layer by
+layer, and the data-aware margins are competitive while injecting fewer
+faults.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_per_layer_figure
+from repro.faults import TableOracle
+from repro.sfi import CampaignRunner, DataAwareSFI, LayerWiseSFI
+
+SEEDS = list(range(10))
+
+
+def test_fig5_per_layer_margins(benchmark, resnet_truth):
+    table, space, _ = resnet_truth
+    runner = CampaignRunner(TableOracle(table, space), space)
+
+    def build():
+        layer_plan = LayerWiseSFI().plan(space)
+        aware_plan = DataAwareSFI().plan(space)
+        return (
+            [runner.run(layer_plan, seed=s) for s in SEEDS],
+            [runner.run(aware_plan, seed=s) for s in SEEDS],
+        )
+
+    layer_runs, aware_runs = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rates = [table.layer_rate(l) for l in range(table.num_layers)]
+    emit(
+        "Fig. 5 — per-layer exhaustive vs statistical (seed 0 shown)",
+        render_per_layer_figure(
+            rates,
+            {
+                "layer-wise": layer_runs[0].layer_estimates(),
+                "data-aware": aware_runs[0].layer_estimates(),
+            },
+        ),
+    )
+
+    num_layers = table.num_layers
+    for method_runs in (layer_runs, aware_runs):
+        contained = 0
+        margins = []
+        for run in method_runs:
+            for layer in range(num_layers):
+                est = run.layer_estimate(layer)
+                contained += est.contains(rates[layer])
+                margins.append(est.margin)
+        # Across 10 samples x all layers: containment near the 99% level.
+        assert contained / (len(method_runs) * num_layers) > 0.9
+        # Every margin respects the paper's 1% requirement.
+        assert max(margins) < 0.01 or sum(
+            m < 0.01 for m in margins
+        ) / len(margins) > 0.95
+
+    # Data-aware injects fewer faults for comparable margins.
+    assert aware_runs[0].total_injections < layer_runs[0].total_injections

@@ -1,0 +1,79 @@
+"""Fig. 7 — MobileNetV2: network-wise vs data-aware per-layer readouts.
+
+The paper's closing figure: a data-aware SFI correctly estimates every
+layer's critical rate (exhaustive inside the margin), while the
+network-wise readout — statistically invalid at layer granularity — shows
+much larger margins and deviations on the thinly-sampled layers.
+"""
+
+import statistics
+
+from benchmarks.conftest import emit
+from repro.analysis import render_per_layer_figure
+from repro.faults import TableOracle
+from repro.sfi import CampaignRunner, DataAwareSFI, NetworkWiseSFI
+
+SEEDS = list(range(10))
+
+
+def test_fig7_mobilenet_per_layer(benchmark, mobilenet_truth):
+    table, space, _ = mobilenet_truth
+    runner = CampaignRunner(TableOracle(table, space), space)
+
+    def build():
+        network_plan = NetworkWiseSFI().plan(space)
+        aware_plan = DataAwareSFI().plan(space)
+        return (
+            [runner.run(network_plan, seed=s) for s in SEEDS],
+            [runner.run(aware_plan, seed=s) for s in SEEDS],
+        )
+
+    network_runs, aware_runs = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rates = [table.layer_rate(l) for l in range(table.num_layers)]
+    emit(
+        "Fig. 7 — MobileNetV2-mini per-layer (seed 0 shown)",
+        render_per_layer_figure(
+            rates,
+            {
+                "network-wise": network_runs[0].layer_estimates(),
+                "data-aware": aware_runs[0].layer_estimates(),
+            },
+        ),
+    )
+
+    num_layers = table.num_layers
+
+    def margin_and_error(runs):
+        margins, errors, contained = [], [], 0
+        for run in runs:
+            for layer in range(num_layers):
+                est = run.layer_estimate(layer)
+                margins.append(est.margin if est.margin is not None else 1.0)
+                errors.append(abs(est.p_hat - rates[layer]))
+                contained += est.contains(rates[layer])
+        return (
+            statistics.mean(margins),
+            statistics.mean(errors),
+            contained / (len(runs) * num_layers),
+        )
+
+    net_margin, net_error, _ = margin_and_error(network_runs)
+    aware_margin, aware_error, aware_contained = margin_and_error(aware_runs)
+
+    # Data-aware: small margins, small errors, high containment.
+    assert aware_margin < 0.01
+    assert aware_contained > 0.9
+    # Network-wise per-layer readouts are far worse on both axes.
+    assert net_margin > 3 * aware_margin
+    assert net_error > aware_error
+    # And data-aware achieves this with a fraction of the population.  At
+    # mini scale the finite-population correction keeps every method's
+    # fraction high (the paper's 0.55% needs a 141M population); what is
+    # scale-free is the *relative* saving over the safe p=0.5 prior.
+    from repro.sfi import DataUnawareSFI
+
+    unaware_n = DataUnawareSFI().plan(space).total_injections
+    injected = aware_runs[0].total_injections / space.total_population
+    assert injected < 0.6
+    assert aware_runs[0].total_injections < unaware_n * 0.45

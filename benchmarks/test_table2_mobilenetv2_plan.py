@@ -1,0 +1,74 @@
+"""Table II — MobileNetV2: total sample sizes for the four SFI methods.
+
+The topology (54 weight layers, 2,203,584 weights) matches the paper
+exactly, so the exhaustive population and the network-wise n are asserted
+digit-for-digit.  Layer-wise/data-unaware totals depend only on the layer
+sizes and are asserted exactly too; data-aware depends on the weights.
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.faults import FaultSpace
+from repro.models import mobilenetv2
+from repro.paperdata import MOBILENETV2_TOTALS
+from repro.sfi import DataAwareSFI, DataUnawareSFI, LayerWiseSFI, NetworkWiseSFI
+from repro.stats import confidence_to_t, sample_size
+
+
+def test_table2_regeneration(benchmark):
+    space = FaultSpace(mobilenetv2(seed=0))
+
+    def build():
+        return {
+            "network-wise": NetworkWiseSFI().plan(space),
+            "layer-wise": LayerWiseSFI().plan(space),
+            "data-unaware": DataUnawareSFI().plan(space),
+            "data-aware": DataAwareSFI().plan(space),
+        }
+
+    plans = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = [
+        ["layers", len(space.layers), MOBILENETV2_TOTALS["layers"]],
+        [
+            "parameters",
+            sum(l.size for l in space.layers),
+            MOBILENETV2_TOTALS["parameters"],
+        ],
+        ["exhaustive", space.total_population, MOBILENETV2_TOTALS["exhaustive"]],
+    ]
+    for method, plan in plans.items():
+        rows.append([method, plan.total_injections, MOBILENETV2_TOTALS[method]])
+    emit(
+        "Table II — MobileNetV2 totals (ours vs paper)",
+        render_table(["quantity", "ours", "paper"], rows),
+    )
+
+    # Exact topology + population + network-wise n.
+    assert len(space.layers) == 54
+    assert space.total_population == MOBILENETV2_TOTALS["exhaustive"]
+    assert (
+        plans["network-wise"].total_injections
+        == MOBILENETV2_TOTALS["network-wise"]
+    )
+    # Layer-wise and data-unaware are deterministic given the layer sizes;
+    # they must equal the published totals exactly.
+    assert plans["layer-wise"].total_injections == MOBILENETV2_TOTALS["layer-wise"]
+    assert (
+        plans["data-unaware"].total_injections
+        == MOBILENETV2_TOTALS["data-unaware"]
+    )
+    # Data-aware: same order of magnitude and far below data-unaware.
+    aware = plans["data-aware"].total_injections
+    assert aware < MOBILENETV2_TOTALS["data-unaware"] * 0.15
+    assert aware / space.total_population < 0.015  # paper: 0.55%
+
+
+def test_table2_network_wise_closed_form(benchmark):
+    """The network-wise n comes straight from Eq. 1."""
+    t = confidence_to_t(0.99)
+
+    result = benchmark(
+        sample_size, MOBILENETV2_TOTALS["exhaustive"], 0.01, t
+    )
+    assert result == MOBILENETV2_TOTALS["network-wise"] == 16_639

@@ -1,0 +1,113 @@
+"""Table III — FI methodology comparison against exhaustive ground truth.
+
+Runs the four statistical campaigns (ten random samples each, the paper's
+S0-S9) against the cached exhaustive tables of the ResNet-14 and
+MobileNetV2 minis and regenerates Table III: injections, injected %, and
+the error margin averaged over layers.
+
+The paper's qualitative findings asserted here:
+
+- network-wise breaks the 1% margin target, every finer method meets it;
+- data-unaware achieves the lowest margin but injects the most faults;
+- data-aware beats layer-wise on *both* cost and margin (the paper's
+  "best compromise").
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_method_comparison
+from repro.faults import TableOracle
+from repro.sfi import (
+    CampaignRunner,
+    DataAwareSFI,
+    DataUnawareSFI,
+    LayerWiseSFI,
+    NetworkWiseSFI,
+    validate_campaign,
+)
+from repro.sfi.validation import average_reports
+
+SEEDS = list(range(10))  # S0-S9
+
+
+def run_comparison(truth):
+    table, space, _ = truth
+    runner = CampaignRunner(TableOracle(table, space), space)
+    comparisons = {}
+    for planner in (
+        NetworkWiseSFI(),
+        LayerWiseSFI(),
+        DataUnawareSFI(),
+        DataAwareSFI(),
+    ):
+        plan = planner.plan(space)
+        reports = [
+            validate_campaign(runner.run(plan, seed=seed), table)
+            for seed in SEEDS
+        ]
+        comparisons[plan.method] = average_reports(reports)
+    return comparisons
+
+
+def check_paper_shape(comparisons):
+    margins = {m: c.average_margin_percent for m, c in comparisons.items()}
+    # Network-wise is the only method breaking the 1% target.
+    assert margins["network-wise"] > 1.0
+    assert margins["layer-wise"] < 1.0
+    assert margins["data-unaware"] < 1.0
+    assert margins["data-aware"] < 1.0
+    # Ordering: data-unaware best margin; network-wise worst.
+    assert margins["data-unaware"] < margins["data-aware"]
+    assert margins["data-aware"] < margins["layer-wise"]
+    assert margins["layer-wise"] < margins["network-wise"]
+    # Data-aware costs less than layer-wise (the paper's best compromise).
+    assert (
+        comparisons["data-aware"].injections
+        < comparisons["layer-wise"].injections
+    )
+    # Fine-granularity methods contain the exhaustive rate almost always.
+    assert comparisons["data-unaware"].contained_fraction > 0.95
+    assert comparisons["data-aware"].contained_fraction > 0.85
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_resnet(benchmark, resnet_truth):
+    comparisons = benchmark.pedantic(
+        run_comparison, args=(resnet_truth,), rounds=1, iterations=1
+    )
+    table, space, _ = resnet_truth
+    emit(
+        "Table III — ResNet-14-mini (10 samples per method)",
+        render_method_comparison(
+            list(comparisons.values()), exhaustive_n=space.total_population
+        )
+        + f"\nexhaustive critical rate: {table.total_rate():.3%}",
+    )
+    check_paper_shape(comparisons)
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_mobilenet(benchmark, mobilenet_truth):
+    comparisons = benchmark.pedantic(
+        run_comparison, args=(mobilenet_truth,), rounds=1, iterations=1
+    )
+    table, space, _ = mobilenet_truth
+    emit(
+        "Table III — MobileNetV2-mini (10 samples per method)",
+        render_method_comparison(
+            list(comparisons.values()), exhaustive_n=space.total_population
+        )
+        + f"\nexhaustive critical rate: {table.total_rate():.3%}",
+    )
+    margins = {m: c.average_margin_percent for m, c in comparisons.items()}
+    # MobileNetV2-mini is shallower (12 layers), so network-wise gets more
+    # samples per layer; it must still be the worst method by margin and
+    # the fine methods must meet the target.
+    assert margins["network-wise"] == max(margins.values())
+    assert margins["data-unaware"] < 1.0
+    assert margins["data-aware"] < 1.0
+    assert (
+        comparisons["data-aware"].injections
+        < comparisons["layer-wise"].injections
+    )

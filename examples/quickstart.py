@@ -1,0 +1,60 @@
+"""Quickstart: plan and run a data-aware statistical FI campaign.
+
+Trains (or loads) the small ResNet-8 model, computes exhaustive ground
+truth once (cached under artifacts/), plans the paper's data-aware SFI
+campaign and validates the statistical estimates against the exhaustive
+result — the whole DATE 2023 pipeline in ~40 lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.faults import TableOracle
+from repro.models import pretrained_path
+from repro.sfi import CampaignRunner, DataAwareSFI, validate_campaign
+from repro.sfi.artifacts import load_or_run_exhaustive
+from repro.train import train_reference_model
+
+MODEL = "resnet8_mini"
+
+
+def main() -> None:
+    if not pretrained_path(MODEL).is_file():
+        print(f"training {MODEL} (first run only)...")
+        _, accuracy = train_reference_model(MODEL)
+        print(f"  test accuracy: {accuracy:.1%}")
+
+    print("loading exhaustive ground truth (computed once, then cached)...")
+    table, space, engine = load_or_run_exhaustive(MODEL, progress=True)
+    print(
+        f"  population N = {space.total_population:,} faults, "
+        f"exhaustive critical rate = {table.total_rate():.3%}"
+    )
+
+    planner = DataAwareSFI(error_margin=0.01, confidence=0.99)
+    plan = planner.plan(space)
+    print(f"\n{plan.describe()}")
+
+    runner = CampaignRunner(TableOracle(table, space), space)
+    result = runner.run(plan, seed=0)
+    report = validate_campaign(result, table)
+
+    print(f"\n{result.summary()}")
+    print(
+        f"average per-layer error margin: {report.average_margin:.3%} "
+        f"(target: 1%)"
+    )
+    print(
+        f"layers where the exhaustive rate falls inside the margin: "
+        f"{report.contained_fraction:.0%}"
+    )
+    for row in report.layers:
+        est = row.estimate
+        print(
+            f"  layer {row.layer:2d}: exhaustive {row.exhaustive_rate:7.3%}  "
+            f"estimated {est.p_hat:7.3%} ± {est.margin:.3%}  "
+            f"({est.injections:,} injections)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — Statistical Fault Injection for CNN reliability assessment.
+
+A from-scratch reproduction of "Assessing Convolutional Neural Networks
+Reliability through Statistical Fault Injections" (Ruospo et al., DATE 2023).
+
+The package provides:
+
+- :mod:`repro.ieee754` — vectorised IEEE-754 bit manipulation (the fault
+  substrate: stuck-at and bit-flip corruption of floating-point weights).
+- :mod:`repro.tensor` — a small tape-based autograd engine on numpy.
+- :mod:`repro.nn` — neural-network modules built on the autograd engine.
+- :mod:`repro.models` — the paper's CNN topologies (ResNet-20, MobileNetV2
+  for CIFAR-shaped inputs) plus width-reduced "mini" variants used for
+  exhaustive-vs-statistical validation.
+- :mod:`repro.data` — SynthCIFAR, a deterministic synthetic 10-class
+  image-classification dataset standing in for CIFAR-10.
+- :mod:`repro.train` — SGD training utilities for the model zoo.
+- :mod:`repro.faults` — fault models, fault-space enumeration, the weight
+  fault injector and a prefix-cached fast inference engine.
+- :mod:`repro.stats` — finite-population sample-size math (paper Eq. 1),
+  error margins, confidence intervals, allocation and homogeneity checks.
+- :mod:`repro.sfi` — the four statistical fault-injection campaign planners
+  (network-wise, layer-wise, data-unaware, data-aware), the data-aware
+  p(i) pipeline (paper Eq. 4-5), samplers, runners and validation.
+- :mod:`repro.analysis` — reporting: per-layer/per-bit criticality tables,
+  method comparisons, ASCII rendering of the paper's tables and figures.
+
+Quickstart::
+
+    from repro.models import resnet20_mini
+    from repro.data import SynthCIFAR
+    from repro.sfi import DataAwareSFI, CampaignRunner
+
+    model = resnet20_mini(pretrained=True)
+    data = SynthCIFAR(split="test", size=256)
+    plan = DataAwareSFI(error_margin=0.01, confidence=0.99).plan(model)
+    result = CampaignRunner(model, data).run(plan, seed=0)
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ieee754",
+    "tensor",
+    "nn",
+    "models",
+    "data",
+    "train",
+    "faults",
+    "stats",
+    "sfi",
+    "analysis",
+]

@@ -1,0 +1,53 @@
+"""Reporting and rendering: criticality analyses, tables and ASCII figures."""
+
+from repro.analysis.tables import (
+    render_table,
+    render_plan_table,
+    render_method_comparison,
+)
+from repro.analysis.figures import (
+    ascii_bars,
+    render_bit_frequency_figure,
+    render_bit_prior_figure,
+    render_per_layer_figure,
+    render_sample_figure,
+    render_variance_curve,
+)
+from repro.analysis.reports import (
+    campaign_to_dict,
+    validation_to_dict,
+    write_comparison_csv,
+    write_json,
+    write_layer_csv,
+)
+from repro.analysis.criticality import (
+    BitCriticalityRow,
+    LayerCriticalityRow,
+    bit_ranking,
+    layer_ranking,
+    most_critical_bit,
+    most_critical_layer,
+)
+
+__all__ = [
+    "render_table",
+    "render_plan_table",
+    "render_method_comparison",
+    "ascii_bars",
+    "render_bit_frequency_figure",
+    "render_bit_prior_figure",
+    "render_per_layer_figure",
+    "render_sample_figure",
+    "render_variance_curve",
+    "BitCriticalityRow",
+    "LayerCriticalityRow",
+    "bit_ranking",
+    "layer_ranking",
+    "most_critical_bit",
+    "most_critical_layer",
+    "campaign_to_dict",
+    "validation_to_dict",
+    "write_comparison_csv",
+    "write_json",
+    "write_layer_csv",
+]

@@ -1,0 +1,118 @@
+"""Criticality analyses over exhaustive or statistical results.
+
+These answer the questions that motivate the paper — *which layer* and
+*which bit position* are most vulnerable — from an
+:class:`~repro.faults.OutcomeTable` (exhaustive ground truth) or from a
+bit-granularity :class:`~repro.sfi.CampaignResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.table import OutcomeTable
+from repro.sfi.granularity import Granularity
+from repro.sfi.results import CampaignResult
+
+
+@dataclass(frozen=True)
+class LayerCriticalityRow:
+    """Critical rate of one layer."""
+
+    layer: int
+    criticals: int
+    population: int
+    rate: float
+
+
+@dataclass(frozen=True)
+class BitCriticalityRow:
+    """Critical rate of one bit position (aggregated over layers)."""
+
+    bit: int
+    criticals: int
+    population: int
+    rate: float
+
+
+def layer_ranking(table: OutcomeTable) -> list[LayerCriticalityRow]:
+    """Layers sorted by exhaustive critical rate, most critical first."""
+    rows = []
+    for layer in range(table.num_layers):
+        criticals, population = table.layer_counts(layer)
+        rows.append(
+            LayerCriticalityRow(
+                layer=layer,
+                criticals=criticals,
+                population=population,
+                rate=criticals / population if population else 0.0,
+            )
+        )
+    return sorted(rows, key=lambda r: (-r.rate, r.layer))
+
+
+def bit_ranking(table: OutcomeTable) -> list[BitCriticalityRow]:
+    """Bit positions sorted by exhaustive critical rate, network-wide."""
+    rows = []
+    for bit in range(table.bits):
+        criticals = 0
+        population = 0
+        for layer in range(table.num_layers):
+            c, p = table.cell_counts(layer, bit)
+            criticals += c
+            population += p
+        rows.append(
+            BitCriticalityRow(
+                bit=bit,
+                criticals=criticals,
+                population=population,
+                rate=criticals / population if population else 0.0,
+            )
+        )
+    return sorted(rows, key=lambda r: (-r.rate, r.bit))
+
+
+def most_critical_layer(table: OutcomeTable) -> LayerCriticalityRow:
+    """The layer with the highest exhaustive critical rate."""
+    return layer_ranking(table)[0]
+
+
+def most_critical_bit(table: OutcomeTable) -> BitCriticalityRow:
+    """The bit position with the highest exhaustive critical rate."""
+    return bit_ranking(table)[0]
+
+
+def estimated_bit_ranking(result: CampaignResult) -> list[BitCriticalityRow]:
+    """Bit ranking estimated from a bit-granularity campaign.
+
+    Only meaningful for campaigns planned at (bit, layer) granularity —
+    exactly the paper's point: coarser campaigns cannot answer this
+    question validly.
+    """
+    if result.granularity is not Granularity.BIT_LAYER:
+        raise ValueError(
+            "per-bit criticality requires a bit-granularity campaign; "
+            f"got {result.granularity.value} (the paper's 4th-Bernoulli "
+            "argument: coarser samples cannot rank bits)"
+        )
+    rows = []
+    for bit in range(result.space.bits):
+        weighted = 0.0
+        population = 0
+        criticals = 0
+        injections = 0
+        for layer in range(len(result.space.layers)):
+            est = result.cell_estimate(layer, bit)
+            weighted += est.p_hat * result.space.cell_population(layer)
+            population += result.space.cell_population(layer)
+            criticals += est.criticals
+            injections += est.injections
+        rows.append(
+            BitCriticalityRow(
+                bit=bit,
+                criticals=criticals,
+                population=population,
+                rate=weighted / population if population else 0.0,
+            )
+        )
+    return sorted(rows, key=lambda r: (-r.rate, r.bit))

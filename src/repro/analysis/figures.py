@@ -1,0 +1,128 @@
+"""ASCII renderings of the paper's figures.
+
+Each ``render_*`` function returns a plain-text block whose rows carry the
+same series the corresponding paper figure plots, so benchmark output can
+be eyeballed against the publication.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.ieee754 import BitFrequencies
+from repro.sfi.results import Estimate
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    fmt: str = "{:.4f}",
+) -> str:
+    """Horizontal ASCII bar chart (one row per label)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return "(empty)"
+    peak = max(max(values), 1e-300)
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(
+            f"{str(label).rjust(label_width)} | {bar:<{width}} {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def render_variance_curve(points: int = 11) -> str:
+    """Fig. 1 (left): p * (1 - p) against p, maximised at p = 0.5."""
+    ps = np.linspace(0.0, 1.0, points)
+    return ascii_bars(
+        [f"p={p:.2f}" for p in ps],
+        [float(p * (1 - p)) for p in ps],
+    )
+
+
+def render_bit_frequency_figure(freqs: BitFrequencies) -> str:
+    """Fig. 3: f0(i) and f1(i) per bit position, MSB first."""
+    rows = freqs.as_rows()
+    lines = [f"{'bit':>4} {'f0':>12} {'f1':>12}"]
+    for bit, f0, f1 in rows:
+        lines.append(f"{bit:>4} {f0:>12,} {f1:>12,}")
+    return "\n".join(lines)
+
+
+def render_bit_prior_figure(
+    p_by_network: dict[str, np.ndarray]
+) -> str:
+    """Fig. 4: the data-aware prior p(i) per bit for each network."""
+    names = list(p_by_network)
+    bits = len(next(iter(p_by_network.values())))
+    header = f"{'bit':>4} " + " ".join(f"{name:>14}" for name in names)
+    lines = [header]
+    for bit in range(bits - 1, -1, -1):
+        cells = " ".join(
+            f"{float(p_by_network[name][bit]):>14.4f}" for name in names
+        )
+        lines.append(f"{bit:>4} {cells}")
+    return "\n".join(lines)
+
+
+def render_per_layer_figure(
+    exhaustive_rates: Sequence[float],
+    estimates_by_method: dict[str, Sequence[Estimate]],
+    *,
+    percent: bool = True,
+) -> str:
+    """Figs. 5/7: per-layer critical rate, exhaustive vs estimates+margins."""
+    scale = 100.0 if percent else 1.0
+    unit = "%" if percent else ""
+    methods = list(estimates_by_method)
+    header = f"{'layer':>5} {'exhaustive':>12} " + " ".join(
+        f"{m + ' (est±margin)':>26}" for m in methods
+    )
+    lines = [header]
+    for layer, rate in enumerate(exhaustive_rates):
+        cells = []
+        for method in methods:
+            est = estimates_by_method[method][layer]
+            margin = est.margin
+            margin_text = (
+                f"±{margin * scale:.3f}{unit}" if margin is not None else "±n/a"
+            )
+            mark = "ok" if margin is not None and est.contains(rate) else "MISS"
+            cells.append(
+                f"{est.p_hat * scale:>9.3f}{unit} {margin_text:>10} {mark:>4}"
+            )
+        lines.append(
+            f"{layer:>5} {rate * scale:>11.3f}{unit} " + " ".join(
+                f"{c:>26}" for c in cells
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_sample_figure(
+    exhaustive_rate: float,
+    samples_by_method: dict[str, Sequence[Estimate]],
+    *,
+    percent: bool = True,
+) -> str:
+    """Fig. 6: per-sample (S0-S9) estimates and margins for one layer."""
+    scale = 100.0 if percent else 1.0
+    unit = "%" if percent else ""
+    lines = [f"exhaustive critical rate: {exhaustive_rate * scale:.3f}{unit}"]
+    for method, estimates in samples_by_method.items():
+        lines.append(f"-- {method} (n={estimates[0].injections})")
+        for idx, est in enumerate(estimates):
+            margin = est.margin if est.margin is not None else float("nan")
+            mark = "ok" if est.contains(exhaustive_rate) else "MISS"
+            lines.append(
+                f"  S{idx}: {est.p_hat * scale:7.3f}{unit} "
+                f"±{margin * scale:.3f}{unit} {mark}"
+            )
+    return "\n".join(lines)

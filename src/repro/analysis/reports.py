@@ -1,0 +1,163 @@
+"""Structured export of campaign results and validation reports.
+
+Reliability studies end in artifacts other people consume — CSVs for
+plotting, JSON for dashboards/CI gates.  These helpers serialise the
+result objects losslessly enough to regenerate every figure offline.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Any
+
+from repro.sfi.results import CampaignResult
+from repro.sfi.validation import MethodComparison, ValidationReport
+
+
+def campaign_to_dict(result: CampaignResult) -> dict[str, Any]:
+    """JSON-ready dictionary of a campaign's observations and estimates."""
+    network = result.network_estimate()
+    return {
+        "method": result.method,
+        "granularity": result.granularity.value,
+        "t": result.t,
+        "seed": result.seed,
+        "population": result.space.total_population,
+        "total_injections": result.total_injections,
+        "total_criticals": result.total_criticals,
+        "total_masked": result.total_masked,
+        "network": {
+            "p_hat": network.p_hat,
+            "margin": network.margin,
+            "injections": network.injections,
+        },
+        "layers": [
+            {
+                "layer": est.key[1],
+                "population": est.population,
+                "injections": est.injections,
+                "criticals": est.criticals,
+                "p_hat": est.p_hat,
+                "margin": est.margin,
+            }
+            for est in result.layer_estimates()
+        ],
+        "cells": [
+            {
+                "layer": layer,
+                "bit": bit,
+                "injections": tally[0],
+                "criticals": tally[1],
+                "masked": tally[2],
+            }
+            for (layer, bit), tally in sorted(result.cell_tallies.items())
+        ],
+    }
+
+
+def validation_to_dict(report: ValidationReport) -> dict[str, Any]:
+    """JSON-ready dictionary of a validation report."""
+    return {
+        "method": report.method,
+        "total_injections": report.total_injections,
+        "population": report.population,
+        "injected_fraction": report.injected_fraction,
+        "average_margin": report.average_margin,
+        "contained_fraction": report.contained_fraction,
+        "average_absolute_error": report.average_absolute_error,
+        "network": {
+            "exhaustive_rate": report.network.exhaustive_rate,
+            "estimate": report.network.estimate.p_hat,
+            "margin": report.network.estimate.margin,
+            "contained": report.network.contained,
+        },
+        "layers": [
+            {
+                "layer": row.layer,
+                "exhaustive_rate": row.exhaustive_rate,
+                "estimate": row.estimate.p_hat,
+                "margin": row.estimate.margin,
+                "injections": row.estimate.injections,
+                "contained": row.contained,
+            }
+            for row in report.layers
+        ],
+    }
+
+
+def write_json(data: dict | list, path: str | os.PathLike) -> None:
+    """Write *data* as pretty-printed JSON (creating directories)."""
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def write_layer_csv(
+    reports: list[ValidationReport], path: str | os.PathLike
+) -> None:
+    """Per-layer CSV across several validation reports (one row per
+    (method, layer) pair) — the format the paper's Figs. 5/7 plot from."""
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "method",
+                "layer",
+                "exhaustive_rate",
+                "estimate",
+                "margin",
+                "injections",
+                "contained",
+            ]
+        )
+        for report in reports:
+            for row in report.layers:
+                writer.writerow(
+                    [
+                        report.method,
+                        row.layer,
+                        f"{row.exhaustive_rate:.8f}",
+                        f"{row.estimate.p_hat:.8f}",
+                        "" if row.estimate.margin is None else f"{row.estimate.margin:.8f}",
+                        row.estimate.injections,
+                        int(row.contained),
+                    ]
+                )
+
+
+def write_comparison_csv(
+    comparisons: list[MethodComparison], path: str | os.PathLike
+) -> None:
+    """Table III as CSV."""
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "method",
+                "injections",
+                "injected_percent",
+                "average_margin_percent",
+                "contained_fraction",
+            ]
+        )
+        for comp in comparisons:
+            writer.writerow(
+                [
+                    comp.method,
+                    comp.injections,
+                    f"{comp.injected_percent:.4f}",
+                    f"{comp.average_margin_percent:.6f}",
+                    f"{comp.contained_fraction:.4f}",
+                ]
+            )

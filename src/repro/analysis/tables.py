@@ -1,0 +1,113 @@
+"""ASCII table rendering for plans and method comparisons."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.sfi.planners import CampaignPlan
+from repro.sfi.validation import MethodComparison
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render *rows* under *headers* as a fixed-width ASCII table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row!r}"
+            )
+    cells = [[str(h) for h in headers]] + [
+        [_format_cell(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(columns)]
+    lines = []
+    for row_idx, row in enumerate(cells):
+        line = " | ".join(value.rjust(widths[i]) for i, value in enumerate(row))
+        lines.append(line)
+        if row_idx == 0:
+            lines.append("-+-".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:,.4f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_plan_table(
+    plans: Sequence[CampaignPlan],
+    layer_params: Sequence[int],
+    *,
+    exhaustive_per_layer: Sequence[int] | None = None,
+    network_wise_allocation: Sequence[int] | None = None,
+) -> str:
+    """Render the paper's Table I layout for a set of plans.
+
+    One row per layer plus a totals row; one column per plan (by method).
+    The network-wise plan has a single network-level stratum, so its
+    per-layer column must be supplied as *network_wise_allocation*
+    (proportional shares, as the paper reports them).
+    """
+    num_layers = len(layer_params)
+    headers = ["Layer", "Params", "Exhaustive"]
+    headers += [plan.method for plan in plans]
+    rows: list[list[object]] = []
+    totals: list[int] = [0] * len(plans)
+    exhaustive_total = 0
+    for layer in range(num_layers):
+        exhaustive = (
+            exhaustive_per_layer[layer]
+            if exhaustive_per_layer is not None
+            else layer_params[layer] * 64
+        )
+        exhaustive_total += exhaustive
+        row: list[object] = [layer, layer_params[layer], exhaustive]
+        for plan_idx, plan in enumerate(plans):
+            if plan.method == "network-wise" and network_wise_allocation:
+                value = network_wise_allocation[layer]
+            else:
+                value = plan.layer_injections(layer)
+            totals[plan_idx] += value
+            row.append(value)
+        rows.append(row)
+    total_row: list[object] = ["Total", sum(layer_params), exhaustive_total]
+    total_row += totals
+    rows.append(total_row)
+    return render_table(headers, rows)
+
+
+def render_method_comparison(
+    comparisons: Sequence[MethodComparison],
+    *,
+    exhaustive_n: int | None = None,
+    margin_target_percent: float = 1.0,
+) -> str:
+    """Render the paper's Table III layout."""
+    headers = [
+        "Method",
+        "FIs (n)",
+        "Injected [%]",
+        f"Avg margin [%] (target<{margin_target_percent:g})",
+        "Exhaustive-in-margin",
+    ]
+    rows: list[list[object]] = []
+    if exhaustive_n is not None:
+        rows.append(["exhaustive", exhaustive_n, 100.0, "-", "-"])
+    for comp in comparisons:
+        rows.append(
+            [
+                comp.method,
+                comp.injections,
+                round(comp.injected_percent, 2),
+                round(comp.average_margin_percent, 4),
+                f"{comp.contained_fraction * 100:.0f}% of layers",
+            ]
+        )
+    return render_table(headers, rows)

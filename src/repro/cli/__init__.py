@@ -1,0 +1,11 @@
+"""Command-line entry points.
+
+- ``repro-plan`` — print campaign plans (sample sizes per subpopulation)
+  for a model, reproducing the paper's Table I layout.
+- ``repro-run`` — execute a statistical (or exhaustive) campaign on a
+  pretrained mini model and print the resulting estimates.
+- ``repro-analyze`` — criticality analyses over cached exhaustive results:
+  most critical layer/bit, per-bit rates, data-aware p(i) profile.
+"""
+
+__all__ = ["plan", "run", "analyze"]

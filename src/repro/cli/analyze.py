@@ -1,0 +1,87 @@
+"""``repro-analyze``: criticality analyses over cached exhaustive results."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import (
+    bit_ranking,
+    layer_ranking,
+    render_bit_frequency_figure,
+)
+from repro.models import MODELS, create_model
+from repro.sfi import bit_criticality, model_weight_vector
+from repro.sfi.artifacts import load_or_run_exhaustive
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description=(
+            "Analyse CNN fault criticality: per-layer/per-bit rankings from "
+            "exhaustive ground truth, and the data-aware p(i) profile from "
+            "the golden weights."
+        ),
+    )
+    parser.add_argument(
+        "--model",
+        default="resnet8_mini",
+        choices=sorted(MODELS),
+        help="model to analyse",
+    )
+    parser.add_argument(
+        "--eval-size", type=int, default=64, help="evaluation set size"
+    )
+    parser.add_argument(
+        "--profile-only",
+        action="store_true",
+        help="only print the weight-distribution profile (no exhaustive "
+        "campaign needed; works for full-size models)",
+    )
+    parser.add_argument(
+        "--pretrained",
+        action="store_true",
+        help="use trained weights for the profile (default for minis)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    is_mini = args.model.endswith("_mini")
+    model = create_model(args.model, pretrained=args.pretrained or is_mini)
+    profile = bit_criticality(model_weight_vector(model))
+    print(f"== data-aware profile for {args.model} ==")
+    print(render_bit_frequency_figure(profile.frequencies))
+    print("\nbit priors p(i), MSB first:")
+    for bit in range(profile.fmt.total_bits - 1, -1, -1):
+        role = profile.fmt.bit_role(bit).value
+        flag = " (outlier -> p=0.5)" if profile.outliers[bit] else ""
+        print(f"  bit {bit:2d} [{role:8s}] p={profile.p[bit]:.4f}{flag}")
+    if args.profile_only:
+        return 0
+    if not is_mini:
+        print(
+            "\n(exhaustive analyses are only cached for mini models; "
+            "use --profile-only for full-size topologies)"
+        )
+        return 0
+    table, _, _ = load_or_run_exhaustive(args.model, eval_size=args.eval_size)
+    print("\n== exhaustive criticality ==")
+    print("most critical layers:")
+    for row in layer_ranking(table)[:5]:
+        print(
+            f"  layer {row.layer:2d}: {row.rate * 100:6.3f}% "
+            f"({row.criticals:,}/{row.population:,})"
+        )
+    print("most critical bits:")
+    for row in bit_ranking(table)[:5]:
+        print(
+            f"  bit {row.bit:2d}: {row.rate * 100:6.3f}% "
+            f"({row.criticals:,}/{row.population:,})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

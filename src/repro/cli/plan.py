@@ -1,0 +1,81 @@
+"""``repro-plan``: print SFI campaign plans for a model."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.faults import FaultSpace
+from repro.models import MODELS, create_model
+from repro.analysis import render_plan_table
+from repro.sfi import (
+    DataAwareSFI,
+    DataUnawareSFI,
+    LayerWiseSFI,
+    NetworkWiseSFI,
+)
+from repro.stats import proportional_allocation
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-plan",
+        description=(
+            "Compute statistical fault-injection sample sizes (paper Eq. 1/3) "
+            "for a model, in the paper's Table I layout."
+        ),
+    )
+    parser.add_argument(
+        "--model",
+        default="resnet20",
+        choices=sorted(MODELS),
+        help="model to plan for (default: resnet20)",
+    )
+    parser.add_argument(
+        "--error-margin",
+        type=float,
+        default=0.01,
+        help="target error margin e (default: 0.01)",
+    )
+    parser.add_argument(
+        "--confidence",
+        type=float,
+        default=0.99,
+        help="confidence level (default: 0.99)",
+    )
+    parser.add_argument(
+        "--pretrained",
+        action="store_true",
+        help="use trained weights for the data-aware profile",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    model = create_model(args.model, pretrained=args.pretrained)
+    space = FaultSpace(model)
+    planners = [
+        NetworkWiseSFI(args.error_margin, args.confidence),
+        LayerWiseSFI(args.error_margin, args.confidence),
+        DataUnawareSFI(args.error_margin, args.confidence),
+        DataAwareSFI(args.error_margin, args.confidence),
+    ]
+    plans = [planner.plan(space) for planner in planners]
+    layer_params = [layer.size for layer in space.layers]
+    network_allocation = proportional_allocation(
+        plans[0].total_injections,
+        [space.layer_population(l) for l in range(len(space.layers))],
+    )
+    print(f"model: {args.model}  population N = {space.total_population:,}")
+    print(
+        render_plan_table(
+            plans,
+            layer_params,
+            network_wise_allocation=network_allocation,
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

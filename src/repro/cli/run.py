@@ -1,0 +1,92 @@
+"""``repro-run``: execute an SFI campaign on a pretrained mini model."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.faults import InferenceOracle, TableOracle
+from repro.models import MODELS
+from repro.sfi import (
+    CampaignRunner,
+    DataAwareSFI,
+    DataUnawareSFI,
+    LayerWiseSFI,
+    NetworkWiseSFI,
+    validate_campaign,
+)
+from repro.sfi.artifacts import load_or_run_exhaustive
+
+_PLANNERS = {
+    "network-wise": NetworkWiseSFI,
+    "layer-wise": LayerWiseSFI,
+    "data-unaware": DataUnawareSFI,
+    "data-aware": DataAwareSFI,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description=(
+            "Run a statistical fault-injection campaign on a pretrained "
+            "mini model and validate it against exhaustive ground truth."
+        ),
+    )
+    parser.add_argument(
+        "--model",
+        default="resnet8_mini",
+        choices=sorted(name for name in MODELS if name.endswith("_mini")),
+        help="pretrained mini model (default: resnet8_mini)",
+    )
+    parser.add_argument(
+        "--method",
+        default="data-aware",
+        choices=sorted(_PLANNERS),
+        help="SFI method (default: data-aware)",
+    )
+    parser.add_argument("--error-margin", type=float, default=0.01)
+    parser.add_argument("--confidence", type=float, default=0.99)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--eval-size", type=int, default=64, help="evaluation set size"
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="really inject each sampled fault instead of replaying the "
+        "cached exhaustive outcomes",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    table, space, engine = load_or_run_exhaustive(
+        args.model, eval_size=args.eval_size, progress=True
+    )
+    planner = _PLANNERS[args.method](args.error_margin, args.confidence)
+    plan = planner.plan(space)
+    oracle = InferenceOracle(engine) if args.live else TableOracle(table, space)
+    runner = CampaignRunner(oracle, space)
+    result = runner.run(plan, seed=args.seed)
+    report = validate_campaign(result, table)
+    print(result.summary())
+    print(
+        f"exhaustive network rate: {table.total_rate() * 100:.3f}% | "
+        f"avg layer margin: {report.average_margin * 100:.3f}% | "
+        f"layers contained: {report.contained_fraction * 100:.0f}%"
+    )
+    for row in report.layers:
+        est = row.estimate
+        margin = f"±{est.margin * 100:.3f}%" if est.margin is not None else "n/a"
+        status = "ok" if row.contained else "MISS"
+        print(
+            f"  layer {row.layer:2d}: exhaustive {row.exhaustive_rate * 100:6.3f}% "
+            f"estimate {est.p_hat * 100:6.3f}% {margin} ({est.injections} FIs) "
+            f"{status}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""``repro-train``: train reference models and cache their weights."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.models import MODELS, pretrained_path
+from repro.train import train_reference_model
+
+DEFAULT_MODELS = ("resnet8_mini", "resnet14_mini", "mobilenetv2_mini")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-train",
+        description=(
+            "Train reference models on SynthCIFAR and store the weights "
+            "where create_model(..., pretrained=True) loads them."
+        ),
+    )
+    parser.add_argument(
+        "--model",
+        choices=sorted(MODELS),
+        help="single model to train (default: all mini models)",
+    )
+    parser.add_argument("--epochs", type=int, help="override the recipe")
+    parser.add_argument("--train-size", type=int, help="override the recipe")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="retrain even when cached weights exist",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-epoch logging"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = [args.model] if args.model else list(DEFAULT_MODELS)
+    for name in names:
+        if not args.force and pretrained_path(name).is_file():
+            print(f"{name}: cached weights found at {pretrained_path(name)}")
+            continue
+        print(f"training {name}...")
+        _, accuracy = train_reference_model(
+            name,
+            epochs=args.epochs,
+            train_size=args.train_size,
+            seed=args.seed,
+            log_every=0 if args.quiet else 5,
+        )
+        print(f"{name}: test accuracy {accuracy:.2%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

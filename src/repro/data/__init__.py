@@ -1,0 +1,26 @@
+"""Datasets for training and evaluating the model zoo.
+
+CIFAR-10 itself is not redistributable inside this offline reproduction, so
+:class:`SynthCIFAR` provides a deterministic, procedurally generated
+10-class 32x32 RGB classification task with the same tensor shapes and a
+comparable "easy for a small CNN" difficulty.  Fault-injection campaigns
+only need a classifier whose top-1 predictions respond to weight
+corruption; the statistics of *which bits matter* come from IEEE-754 and
+the weight distribution, not from the image content.
+"""
+
+from repro.data.synthcifar import (
+    CLASS_NAMES,
+    NUM_CLASSES,
+    SynthCIFAR,
+    generate_images,
+)
+from repro.data.batches import iterate_batches
+
+__all__ = [
+    "CLASS_NAMES",
+    "NUM_CLASSES",
+    "SynthCIFAR",
+    "generate_images",
+    "iterate_batches",
+]

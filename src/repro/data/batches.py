@@ -1,0 +1,40 @@
+"""Mini-batch iteration helpers."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+
+def iterate_batches(
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+    *,
+    shuffle: bool = True,
+    rng: np.random.Generator | None = None,
+    drop_last: bool = False,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(images, labels)`` mini-batches.
+
+    With ``shuffle=True`` a permutation drawn from *rng* (or a default
+    generator) reorders the data each call.  ``drop_last`` discards a final
+    ragged batch.
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if len(images) != len(labels):
+        raise ValueError(
+            f"images ({len(images)}) and labels ({len(labels)}) differ in length"
+        )
+    count = len(images)
+    order = np.arange(count)
+    if shuffle:
+        rng = rng or np.random.default_rng()
+        rng.shuffle(order)
+    for start in range(0, count, batch_size):
+        idx = order[start : start + batch_size]
+        if drop_last and len(idx) < batch_size:
+            return
+        yield images[idx], labels[idx]

@@ -1,0 +1,174 @@
+"""SynthCIFAR: a deterministic synthetic 10-class image dataset.
+
+Each class pairs a geometric shape with a base colour, both informative, so
+small CNNs reach high accuracy quickly.  Per-image randomness (position,
+size, colour jitter, background, pixel noise) keeps the task non-trivial.
+Generation is fully determined by ``(split, seed)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+NUM_CLASSES = 10
+
+CLASS_NAMES = (
+    "circle",
+    "square",
+    "triangle",
+    "cross",
+    "hstripes",
+    "vstripes",
+    "ring",
+    "checker",
+    "diagonal",
+    "corner-dot",
+)
+
+_BASE_COLOURS = np.array(
+    [
+        [0.90, 0.15, 0.15],  # circle - red
+        [0.15, 0.85, 0.20],  # square - green
+        [0.20, 0.30, 0.95],  # triangle - blue
+        [0.95, 0.90, 0.15],  # cross - yellow
+        [0.90, 0.20, 0.90],  # hstripes - magenta
+        [0.15, 0.90, 0.90],  # vstripes - cyan
+        [0.95, 0.55, 0.10],  # ring - orange
+        [0.55, 0.20, 0.85],  # checker - purple
+        [0.92, 0.92, 0.92],  # diagonal - near-white
+        [0.10, 0.55, 0.50],  # corner-dot - teal
+    ],
+    dtype=np.float64,
+)
+
+
+def _shape_mask(label: int, size: int, rng: np.random.Generator) -> np.ndarray:
+    """Boolean foreground mask for one image of class *label*."""
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float64)
+    cx = size / 2 + rng.uniform(-size * 0.12, size * 0.12)
+    cy = size / 2 + rng.uniform(-size * 0.12, size * 0.12)
+    r = size * rng.uniform(0.22, 0.34)
+    if label == 0:  # circle
+        return (xx - cx) ** 2 + (yy - cy) ** 2 <= r * r
+    if label == 1:  # square
+        return (np.abs(xx - cx) <= r) & (np.abs(yy - cy) <= r)
+    if label == 2:  # triangle (downward-pointing)
+        return (yy >= cy - r) & (np.abs(xx - cx) <= (cy + r - yy) * 0.6) & (yy <= cy + r)
+    if label == 3:  # cross
+        arm = r * 0.45
+        return ((np.abs(xx - cx) <= arm) & (np.abs(yy - cy) <= r)) | (
+            (np.abs(yy - cy) <= arm) & (np.abs(xx - cx) <= r)
+        )
+    if label == 4:  # horizontal stripes
+        period = max(3, int(size * rng.uniform(0.12, 0.2)))
+        phase = rng.integers(0, period)
+        return ((yy.astype(int) + phase) % period) < period // 2
+    if label == 5:  # vertical stripes
+        period = max(3, int(size * rng.uniform(0.12, 0.2)))
+        phase = rng.integers(0, period)
+        return ((xx.astype(int) + phase) % period) < period // 2
+    if label == 6:  # ring
+        d2 = (xx - cx) ** 2 + (yy - cy) ** 2
+        return (d2 <= r * r) & (d2 >= (r * 0.55) ** 2)
+    if label == 7:  # checkerboard
+        period = max(4, int(size * rng.uniform(0.18, 0.28)))
+        phase_x = rng.integers(0, period)
+        phase_y = rng.integers(0, period)
+        return (
+            ((xx.astype(int) + phase_x) // (period // 2)
+             + (yy.astype(int) + phase_y) // (period // 2)) % 2
+        ) == 0
+    if label == 8:  # diagonal band
+        width = size * rng.uniform(0.12, 0.2)
+        offset = rng.uniform(-size * 0.25, size * 0.25)
+        return np.abs(xx - yy + offset) <= width
+    if label == 9:  # small dot in a random corner
+        corner_x = rng.choice([size * 0.25, size * 0.75])
+        corner_y = rng.choice([size * 0.25, size * 0.75])
+        rr = size * rng.uniform(0.10, 0.16)
+        return (xx - corner_x) ** 2 + (yy - corner_y) ** 2 <= rr * rr
+    raise ValueError(f"label must be in [0, {NUM_CLASSES}), got {label}")
+
+
+def generate_images(
+    count: int,
+    *,
+    image_size: int = 32,
+    seed: int = 0,
+    noise: float = 0.08,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate *count* images and labels.
+
+    Returns ``(images, labels)`` with images of shape
+    ``(count, 3, image_size, image_size)`` (float32 in [0, 1]) and labels of
+    shape ``(count,)`` (int64).  Classes are balanced round-robin and the
+    order is then shuffled deterministically.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if image_size < 8:
+        raise ValueError(f"image_size must be >= 8, got {image_size}")
+    rng = np.random.default_rng(seed)
+    labels = np.arange(count) % NUM_CLASSES
+    rng.shuffle(labels)
+    images = np.empty((count, 3, image_size, image_size), dtype=np.float32)
+    for idx in range(count):
+        label = int(labels[idx])
+        mask = _shape_mask(label, image_size, rng)
+        colour = np.clip(
+            _BASE_COLOURS[label] + rng.uniform(-0.12, 0.12, size=3), 0.0, 1.0
+        )
+        background = rng.uniform(0.05, 0.35, size=3)
+        img = np.empty((3, image_size, image_size), dtype=np.float64)
+        for ch in range(3):
+            img[ch] = np.where(mask, colour[ch], background[ch])
+        img += rng.normal(0.0, noise, size=img.shape)
+        images[idx] = np.clip(img, 0.0, 1.0).astype(np.float32)
+    return images, labels.astype(np.int64)
+
+
+class SynthCIFAR:
+    """A train/test split of the synthetic dataset.
+
+    The two splits use disjoint derived seeds, so train and test images are
+    i.i.d. but never identical.  Images are normalised to zero mean / unit
+    scale using fixed constants (mean 0.5, std 0.25) — the same convention a
+    CIFAR pipeline would use.
+    """
+
+    MEAN = 0.5
+    STD = 0.25
+
+    def __init__(
+        self,
+        split: str = "train",
+        size: int = 2048,
+        *,
+        image_size: int = 32,
+        seed: int = 1234,
+        noise: float = 0.08,
+        normalize: bool = True,
+    ) -> None:
+        if split not in ("train", "test"):
+            raise ValueError(f"split must be 'train' or 'test', got {split!r}")
+        self.split = split
+        self.image_size = image_size
+        derived_seed = seed * 2 + (0 if split == "train" else 1)
+        raw, labels = generate_images(
+            size, image_size=image_size, seed=derived_seed, noise=noise
+        )
+        if normalize:
+            raw = (raw - self.MEAN) / self.STD
+        self.images = raw
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def subset(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """First *count* images and labels (deterministic slice)."""
+        if not 1 <= count <= len(self):
+            raise ValueError(
+                f"count must be in [1, {len(self)}], got {count}"
+            )
+        return self.images[:count], self.labels[:count]

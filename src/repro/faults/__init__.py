@@ -1,0 +1,57 @@
+"""Fault models, fault-space enumeration and the weight fault injector.
+
+This package is the reproduction's PyTorchFI equivalent, specialised to the
+paper's scenario: permanent stuck-at (and optionally transient bit-flip)
+faults in the *static parameters* — the convolution and linear weights — of
+a CNN.
+
+Key pieces:
+
+- :class:`FaultModel` / :class:`Fault` — what to inject and where
+  (layer, flat weight index, bit position, polarity).
+- :func:`enumerate_weight_layers` — the ordered conv+linear weight layers of
+  a model, matching the paper's Table I layer indexing.
+- :class:`FaultSpace` — the population N of all possible faults and its
+  subpopulations at network / layer / (bit, layer) granularity.
+- :class:`WeightFaultInjector` — applies and reverts faults in place.
+- :class:`InferenceEngine` — prefix-cached fast inference: the golden
+  activations of every stage are cached once, and each injected fault only
+  recomputes the network from the faulted stage onward.
+- :class:`OutcomeTable` — dense per-fault outcome storage so an exhaustive
+  campaign is run once and every statistical campaign replays from it.
+"""
+
+from repro.faults.activations import (
+    TRANSIENT_MODELS,
+    ActivationFaultSpace,
+    ActivationInferenceEngine,
+    ActivationSite,
+)
+from repro.faults.model import Fault, FaultModel, STUCK_AT_MODELS
+from repro.faults.targets import WeightLayer, enumerate_weight_layers
+from repro.faults.space import FaultSpace
+from repro.faults.injector import WeightFaultInjector
+from repro.faults.engine import FaultOutcome, InferenceEngine, classify_predictions
+from repro.faults.table import OutcomeTable
+from repro.faults.oracle import InferenceOracle, Oracle, TableOracle
+
+__all__ = [
+    "TRANSIENT_MODELS",
+    "ActivationFaultSpace",
+    "ActivationInferenceEngine",
+    "ActivationSite",
+    "Fault",
+    "FaultModel",
+    "STUCK_AT_MODELS",
+    "WeightLayer",
+    "enumerate_weight_layers",
+    "FaultSpace",
+    "WeightFaultInjector",
+    "FaultOutcome",
+    "InferenceEngine",
+    "classify_predictions",
+    "OutcomeTable",
+    "Oracle",
+    "InferenceOracle",
+    "TableOracle",
+]

@@ -1,0 +1,185 @@
+"""Prefix-cached fast inference for fault-injection campaigns.
+
+Running the full test set through the network for every injected fault is
+what made the paper's exhaustive campaigns take 37-54 days.  Two standard
+engineering observations make laptop-scale exhaustive campaigns possible
+here:
+
+1. **Masked faults need no inference.**  A stuck-at fault whose target bit
+   already holds the stuck value leaves the weight bit-identical; it can
+   never affect the output.  Half of all stuck-at faults are masked on
+   average.
+2. **Prefix caching.**  A weight fault in stage *s* cannot change the
+   activations of stages ``< s``; the engine caches every stage's golden
+   input once and, per fault, recomputes only stages ``s..end``.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.faults.injector import WeightFaultInjector
+from repro.faults.model import Fault
+from repro.faults.targets import WeightLayer, enumerate_weight_layers
+from repro.ieee754 import FLOAT32, FloatFormat
+from repro.nn import Conv2d, Linear, Module
+
+
+class FaultOutcome(enum.IntEnum):
+    """Classification of one injected fault.
+
+    The paper classifies faults as *Critical* (the top-1 prediction of the
+    faulty network is no longer correct) or *Non-critical*; *Masked* is the
+    sub-case of Non-critical where the corrupted word is bit-identical to
+    the golden one, so no inference is even needed.
+    """
+
+    MASKED = 0
+    NON_CRITICAL = 1
+    CRITICAL = 2
+
+    @property
+    def is_critical(self) -> bool:
+        return self is FaultOutcome.CRITICAL
+
+
+def classify_predictions(
+    faulty_predictions: np.ndarray,
+    golden_predictions: np.ndarray,
+    labels: np.ndarray,
+    *,
+    policy: str = "accuracy_drop",
+    threshold: float = 0.0,
+) -> FaultOutcome:
+    """Classify a fault from faulty vs golden top-1 predictions.
+
+    Policies:
+
+    - ``"accuracy_drop"`` (paper semantics): critical when the faulty
+      network misclassifies at least one image the golden network got
+      right — i.e. its top-1 accuracy drops.
+    - ``"any_mismatch"``: critical when any prediction differs from the
+      golden one (even if a wrong prediction flips to another wrong class).
+    - ``"accuracy_threshold"``: critical when the accuracy drop exceeds
+      *threshold* (a fraction, e.g. 0.05 for five points).
+    """
+    golden_correct = golden_predictions == labels
+    faulty_correct = faulty_predictions == labels
+    if policy == "accuracy_drop":
+        critical = bool(np.any(golden_correct & ~faulty_correct))
+    elif policy == "any_mismatch":
+        critical = bool(np.any(faulty_predictions != golden_predictions))
+    elif policy == "accuracy_threshold":
+        drop = (golden_correct.mean() - faulty_correct.mean()).item()
+        critical = drop > threshold
+    else:
+        raise ValueError(f"unknown classification policy {policy!r}")
+    return FaultOutcome.CRITICAL if critical else FaultOutcome.NON_CRITICAL
+
+
+class InferenceEngine:
+    """Classifies faults by (prefix-cached) inference over a fixed eval set.
+
+    Parameters
+    ----------
+    model:
+        A zoo model exposing ``stage_modules()`` and in eval mode.
+    images, labels:
+        The evaluation set; every fault is judged against the full set.
+    fmt:
+        Floating-point format of the weights.
+    policy, threshold:
+        Fault classification policy (see :func:`classify_predictions`).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        images: np.ndarray,
+        labels: np.ndarray,
+        *,
+        fmt: FloatFormat = FLOAT32,
+        policy: str = "accuracy_drop",
+        threshold: float = 0.0,
+    ) -> None:
+        if not hasattr(model, "stage_modules"):
+            raise TypeError(
+                "model must expose stage_modules() for prefix caching"
+            )
+        if len(images) != len(labels):
+            raise ValueError("images and labels must have the same length")
+        model.eval()
+        self.model = model
+        self.images = np.asarray(images, dtype=np.float32)
+        self.labels = np.asarray(labels)
+        self.policy = policy
+        self.threshold = threshold
+        self.stages: list[Module] = model.stage_modules()
+        self.layers: list[WeightLayer] = enumerate_weight_layers(model)
+        self.injector = WeightFaultInjector(self.layers, fmt=fmt)
+        self._layer_stage = self._map_layers_to_stages()
+        self._activations = self._compute_golden_activations()
+        self.golden_predictions = self._activations[-1].argmax(axis=1)
+        self.golden_accuracy = float(
+            (self.golden_predictions == self.labels).mean()
+        )
+        #: Number of actual (non-masked) inference runs performed.
+        self.inference_count = 0
+
+    def _map_layers_to_stages(self) -> list[int]:
+        """Stage index owning each weight layer, in layer order."""
+        stage_of_module: dict[int, int] = {}
+        for stage_idx, stage in enumerate(self.stages):
+            for module in stage.modules():
+                stage_of_module[id(module)] = stage_idx
+        mapping = []
+        for layer in self.layers:
+            stage_idx = stage_of_module.get(id(layer.module))
+            if stage_idx is None:
+                raise ValueError(
+                    f"weight layer {layer.name} not found in any stage; "
+                    "stage_modules() must cover the whole forward pass"
+                )
+            mapping.append(stage_idx)
+        return mapping
+
+    def _compute_golden_activations(self) -> list[np.ndarray]:
+        """Inputs of every stage plus the final logits."""
+        acts = [self.images]
+        for stage in self.stages:
+            acts.append(stage.forward_fast(acts[-1]))
+        return acts
+
+    # -- classification -------------------------------------------------------
+
+    def predictions_with_fault(self, fault: Fault) -> np.ndarray:
+        """Top-1 predictions of the faulty network (always runs inference)."""
+        stage_idx = self._layer_stage[fault.layer]
+        # Corrupted weights legitimately push activations to inf/NaN; the
+        # classification below only needs argmax, so overflow is expected.
+        with self.injector.inject(fault), np.errstate(all="ignore"):
+            x = self._activations[stage_idx]
+            for stage in self.stages[stage_idx:]:
+                x = stage.forward_fast(x)
+        self.inference_count += 1
+        return x.argmax(axis=1)
+
+    def classify(self, fault: Fault) -> FaultOutcome:
+        """Outcome of injecting *fault*: masked, non-critical or critical."""
+        if self.injector.is_masked(fault):
+            return FaultOutcome.MASKED
+        predictions = self.predictions_with_fault(fault)
+        return classify_predictions(
+            predictions,
+            self.golden_predictions,
+            self.labels,
+            policy=self.policy,
+            threshold=self.threshold,
+        )
+
+    def classify_many(self, faults: Sequence[Fault]) -> list[FaultOutcome]:
+        """Classify a batch of faults (sequentially)."""
+        return [self.classify(fault) for fault in faults]

@@ -1,0 +1,93 @@
+"""In-place weight fault injection with guaranteed restoration."""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.faults.model import Fault
+from repro.faults.targets import WeightLayer, enumerate_weight_layers
+from repro.ieee754 import FLOAT32, FloatFormat, apply_stuck_at, flip_bit
+from repro.nn import Module
+
+
+class WeightFaultInjector:
+    """Applies :class:`Fault` descriptors to a model's weights.
+
+    The injector owns the mapping from fault layer indices to weight
+    tensors and performs the IEEE-754 corruption.  Faults are applied in
+    place (so cached inference engines observe them) and restored exactly.
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[WeightLayer] | Module,
+        *,
+        fmt: FloatFormat = FLOAT32,
+    ) -> None:
+        if isinstance(layers, Module):
+            layers = enumerate_weight_layers(layers)
+        self.layers = list(layers)
+        self.fmt = fmt
+        self._flat = [layer.flat_weights() for layer in self.layers]
+
+    def _check(self, fault: Fault) -> np.ndarray:
+        if not 0 <= fault.layer < len(self.layers):
+            raise ValueError(
+                f"fault layer {fault.layer} out of range "
+                f"(0..{len(self.layers) - 1})"
+            )
+        flat = self._flat[fault.layer]
+        if not 0 <= fault.index < flat.size:
+            raise ValueError(
+                f"fault index {fault.index} out of range for layer "
+                f"{fault.layer} of size {flat.size}"
+            )
+        if not 0 <= fault.bit < self.fmt.total_bits:
+            raise ValueError(
+                f"fault bit {fault.bit} out of range for {self.fmt.name}"
+            )
+        return flat
+
+    def faulty_value(self, fault: Fault) -> tuple[float, float]:
+        """Return ``(golden, faulty)`` scalar values for *fault*.
+
+        Does not modify the model.  ``golden == faulty`` means the fault is
+        masked by the data (e.g. stuck-at-0 on a bit already 0).
+        """
+        flat = self._check(fault)
+        golden = float(flat[fault.index])
+        bits = self.fmt.encode(np.asarray([golden]))
+        stuck = fault.model.stuck_value
+        if stuck is None:
+            corrupted = flip_bit(self.fmt, bits, fault.bit)
+        else:
+            corrupted = apply_stuck_at(self.fmt, bits, fault.bit, stuck)
+        faulty = float(self.fmt.decode_native(corrupted)[0])
+        return golden, faulty
+
+    def is_masked(self, fault: Fault) -> bool:
+        """Whether the fault leaves the stored weight bit-identical."""
+        flat = self._check(fault)
+        golden = flat[fault.index]
+        golden_bits = self.fmt.encode(np.asarray([golden]))
+        stuck = fault.model.stuck_value
+        if stuck is None:
+            return False  # a flip always changes the word
+        corrupted = apply_stuck_at(self.fmt, golden_bits, fault.bit, stuck)
+        return bool(corrupted[0] == golden_bits[0])
+
+    @contextlib.contextmanager
+    def inject(self, fault: Fault) -> Iterator[float]:
+        """Context manager: corrupt the weight, yield the faulty value,
+        restore the golden value on exit (even on exceptions)."""
+        flat = self._check(fault)
+        golden_raw = flat[fault.index].copy()
+        _, faulty = self.faulty_value(fault)
+        flat[fault.index] = faulty
+        try:
+            yield faulty
+        finally:
+            flat[fault.index] = golden_raw

@@ -1,0 +1,63 @@
+"""Fault models and fault descriptors."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FaultModel(enum.Enum):
+    """Supported weight-corruption models.
+
+    The paper's case study uses the two permanent stuck-at models; the
+    transient single bit-flip is provided as an extension (it is the model
+    PyTorchFI users most often pair with statistical sampling).
+    """
+
+    STUCK_AT_0 = "stuck-at-0"
+    STUCK_AT_1 = "stuck-at-1"
+    BIT_FLIP = "bit-flip"
+
+    @property
+    def stuck_value(self) -> int | None:
+        """The forced bit value, or None for a transient flip."""
+        if self is FaultModel.STUCK_AT_0:
+            return 0
+        if self is FaultModel.STUCK_AT_1:
+            return 1
+        return None
+
+
+#: The paper's permanent-fault pair, in canonical order (index 0 -> SA0).
+STUCK_AT_MODELS = (FaultModel.STUCK_AT_0, FaultModel.STUCK_AT_1)
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """A single weight fault.
+
+    Attributes
+    ----------
+    layer:
+        Weight-layer index in the paper's ordering (see
+        :func:`repro.faults.enumerate_weight_layers`).
+    index:
+        Flat index into the layer's weight tensor.
+    bit:
+        Bit position within the floating-point word (0 = LSB).
+    model:
+        The corruption model applied to that bit.
+    """
+
+    layer: int
+    index: int
+    bit: int
+    model: FaultModel
+
+    def __post_init__(self) -> None:
+        if self.layer < 0:
+            raise ValueError(f"layer must be >= 0, got {self.layer}")
+        if self.index < 0:
+            raise ValueError(f"index must be >= 0, got {self.index}")
+        if self.bit < 0:
+            raise ValueError(f"bit must be >= 0, got {self.bit}")

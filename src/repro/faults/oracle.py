@@ -1,0 +1,61 @@
+"""Fault-outcome oracles.
+
+Statistical campaign runners are written against the small :class:`Oracle`
+protocol so the same campaign code can either *really inject* each sampled
+fault (:class:`InferenceOracle`) or *replay* outcomes recorded by a prior
+exhaustive campaign (:class:`TableOracle`) — the latter makes sweeping
+method comparisons (ten samples x four methods x two networks) essentially
+free once the ground truth exists.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.faults.engine import FaultOutcome, InferenceEngine
+from repro.faults.model import Fault
+from repro.faults.space import FaultSpace
+from repro.faults.table import OutcomeTable
+
+
+class Oracle(Protocol):
+    """Anything that can classify a fault."""
+
+    def classify(self, fault: Fault) -> FaultOutcome:
+        """Outcome of injecting *fault*."""
+        ...
+
+
+class InferenceOracle:
+    """Classify faults by actually injecting and running inference."""
+
+    def __init__(self, engine: InferenceEngine) -> None:
+        self.engine = engine
+
+    def classify(self, fault: Fault) -> FaultOutcome:
+        return self.engine.classify(fault)
+
+
+class TableOracle:
+    """Replay outcomes recorded in an :class:`OutcomeTable`."""
+
+    def __init__(self, table: OutcomeTable, space: FaultSpace) -> None:
+        if table.num_layers != len(space.layers):
+            raise ValueError(
+                f"table has {table.num_layers} layers but the fault space "
+                f"has {len(space.layers)}"
+            )
+        self.table = table
+        self.space = space
+        self._model_index = {
+            model: idx for idx, model in enumerate(space.fault_models)
+        }
+
+    def classify(self, fault: Fault) -> FaultOutcome:
+        try:
+            model_index = self._model_index[fault.model]
+        except KeyError:
+            raise ValueError(
+                f"fault model {fault.model} not covered by this table"
+            ) from None
+        return self.table.outcome(fault, model_index)

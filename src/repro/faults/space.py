@@ -1,0 +1,160 @@
+"""The fault population and its subpopulations.
+
+A :class:`FaultSpace` enumerates every possible fault for a model under a
+fault-model set and a floating-point format.  With the paper's permanent
+stuck-at pair on 32-bit weights the population is
+``N = total_weights * 32 * 2`` — e.g. 17,174,144 faults for the 268,346
+weights the paper reports for ResNet-20.
+
+Faults are totally ordered by ``(layer, bit, weight index, model)``; each
+subpopulation (network, one layer, or one (bit, layer) cell) exposes a
+dense local id range so samplers can draw ids without materialising fault
+objects.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.faults.model import Fault, FaultModel, STUCK_AT_MODELS
+from repro.faults.targets import WeightLayer, enumerate_weight_layers
+from repro.ieee754 import FLOAT32, FloatFormat
+from repro.nn import Module
+
+
+class FaultSpace:
+    """All possible faults for a set of weight layers.
+
+    Parameters
+    ----------
+    layers:
+        Weight layers (from :func:`enumerate_weight_layers`) or a model.
+    fmt:
+        Floating-point format of the weights (default float32).
+    fault_models:
+        The corruption models counted in the population; the default is the
+        paper's stuck-at-0/stuck-at-1 pair (two faults per weight bit).
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[WeightLayer] | Module,
+        *,
+        fmt: FloatFormat = FLOAT32,
+        fault_models: Sequence[FaultModel] = STUCK_AT_MODELS,
+    ) -> None:
+        if isinstance(layers, Module):
+            layers = enumerate_weight_layers(layers)
+        if not layers:
+            raise ValueError("fault space needs at least one weight layer")
+        if not fault_models:
+            raise ValueError("fault space needs at least one fault model")
+        self.layers = list(layers)
+        self.fmt = fmt
+        self.fault_models = tuple(fault_models)
+
+    # -- population sizes --------------------------------------------------
+
+    @property
+    def bits(self) -> int:
+        """Number of bit positions per weight."""
+        return self.fmt.total_bits
+
+    @property
+    def models_per_bit(self) -> int:
+        """Number of fault models applied to each weight bit."""
+        return len(self.fault_models)
+
+    def cell_population(self, layer: int) -> int:
+        """Population of one (bit, layer) subpopulation: weights x models."""
+        return self.layers[layer].size * self.models_per_bit
+
+    def layer_population(self, layer: int) -> int:
+        """Population of one layer: weights x bits x models."""
+        return self.cell_population(layer) * self.bits
+
+    @property
+    def total_population(self) -> int:
+        """The full population N."""
+        return sum(self.layer_population(l) for l in range(len(self.layers)))
+
+    # -- id <-> fault mapping ----------------------------------------------
+    #
+    # Local id layout inside a (layer, bit) cell:  index * M + model_idx.
+    # Inside a layer: bit * cell + cell-local id.  Network ids offset by
+    # cumulative layer populations.
+
+    def cell_fault(self, layer: int, bit: int, local_id: int) -> Fault:
+        """Fault for a local id within the (bit, layer) cell."""
+        cell = self.cell_population(layer)
+        if not 0 <= local_id < cell:
+            raise ValueError(
+                f"local_id {local_id} out of range for cell of size {cell}"
+            )
+        if not 0 <= bit < self.bits:
+            raise ValueError(f"bit {bit} out of range (0..{self.bits - 1})")
+        index, model_idx = divmod(local_id, self.models_per_bit)
+        return Fault(
+            layer=layer,
+            index=index,
+            bit=bit,
+            model=self.fault_models[model_idx],
+        )
+
+    def layer_fault(self, layer: int, local_id: int) -> Fault:
+        """Fault for a local id within a layer."""
+        population = self.layer_population(layer)
+        if not 0 <= local_id < population:
+            raise ValueError(
+                f"local_id {local_id} out of range for layer population "
+                f"{population}"
+            )
+        cell = self.cell_population(layer)
+        bit, cell_id = divmod(local_id, cell)
+        return self.cell_fault(layer, bit, cell_id)
+
+    def network_fault(self, global_id: int) -> Fault:
+        """Fault for a global id within the whole population."""
+        if global_id < 0:
+            raise ValueError(f"global_id must be >= 0, got {global_id}")
+        remaining = global_id
+        for layer_idx in range(len(self.layers)):
+            population = self.layer_population(layer_idx)
+            if remaining < population:
+                return self.layer_fault(layer_idx, remaining)
+            remaining -= population
+        raise ValueError(
+            f"global_id {global_id} out of range for population "
+            f"{self.total_population}"
+        )
+
+    def fault_global_id(self, fault: Fault) -> int:
+        """Inverse of :meth:`network_fault`."""
+        if not 0 <= fault.layer < len(self.layers):
+            raise ValueError(f"fault layer {fault.layer} out of range")
+        model_idx = self.fault_models.index(fault.model)
+        offset = sum(self.layer_population(l) for l in range(fault.layer))
+        cell = self.cell_population(fault.layer)
+        return (
+            offset
+            + fault.bit * cell
+            + fault.index * self.models_per_bit
+            + model_idx
+        )
+
+    # -- enumeration -----------------------------------------------------------
+
+    def iter_cell(self, layer: int, bit: int) -> Iterator[Fault]:
+        """All faults in one (bit, layer) cell, in local-id order."""
+        for local_id in range(self.cell_population(layer)):
+            yield self.cell_fault(layer, bit, local_id)
+
+    def iter_layer(self, layer: int) -> Iterator[Fault]:
+        """All faults in one layer, in local-id order."""
+        for local_id in range(self.layer_population(layer)):
+            yield self.layer_fault(layer, local_id)
+
+    def iter_all(self) -> Iterator[Fault]:
+        """Every fault in the population, in global-id order."""
+        for layer_idx in range(len(self.layers)):
+            yield from self.iter_layer(layer_idx)

@@ -1,0 +1,204 @@
+"""Dense per-fault outcome storage (the exhaustive ground truth).
+
+An :class:`OutcomeTable` holds the outcome of *every* fault in a
+:class:`~repro.faults.FaultSpace` as per-layer uint8 arrays of shape
+``(weights, bits, models)``.  It is produced once by an exhaustive campaign
+(:meth:`OutcomeTable.from_exhaustive`) and then serves two purposes:
+
+- ground truth for validating statistical campaigns (the paper's dark-blue
+  exhaustive bars), and
+- a replay oracle: a sampled campaign can look up outcomes instead of
+  re-running inference, since classification is deterministic for a fixed
+  model, eval set and policy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.faults.engine import FaultOutcome, InferenceEngine
+from repro.faults.model import Fault
+from repro.faults.space import FaultSpace
+
+
+class OutcomeTable:
+    """Per-fault outcomes for a whole fault space."""
+
+    def __init__(
+        self,
+        outcomes: list[np.ndarray],
+        *,
+        metadata: dict | None = None,
+    ) -> None:
+        for arr in outcomes:
+            if arr.ndim != 3:
+                raise ValueError(
+                    "each layer's outcomes must be (weights, bits, models), "
+                    f"got shape {arr.shape}"
+                )
+        self.outcomes = [np.asarray(a, dtype=np.uint8) for a in outcomes]
+        self.metadata = dict(metadata or {})
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_exhaustive(
+        cls,
+        engine: InferenceEngine,
+        space: FaultSpace,
+        *,
+        progress: Callable[[int, int], None] | None = None,
+        progress_every: int = 20_000,
+    ) -> "OutcomeTable":
+        """Classify every fault in *space* using *engine*.
+
+        Masked faults are detected vectorised (no inference); everything
+        else runs one prefix-cached inference.  *progress* is called with
+        ``(done, total)`` every *progress_every* faults.
+        """
+        fmt = space.fmt
+        total = space.total_population
+        done = 0
+        start = time.time()
+        outcomes: list[np.ndarray] = []
+        for layer_idx, layer in enumerate(space.layers):
+            size = layer.size
+            bits = space.bits
+            models = space.fault_models
+            table = np.empty((size, bits, len(models)), dtype=np.uint8)
+            golden_bits = fmt.encode(layer.flat_weights())
+            for bit in range(bits):
+                mask = np.array(1, dtype=fmt.uint_dtype) << np.array(
+                    bit, dtype=fmt.uint_dtype
+                )
+                bit_is_one = (golden_bits & mask) != 0
+                for model_idx, fault_model in enumerate(models):
+                    stuck = fault_model.stuck_value
+                    if stuck == 0:
+                        masked = ~bit_is_one
+                    elif stuck == 1:
+                        masked = bit_is_one
+                    else:
+                        masked = np.zeros(size, dtype=bool)
+                    for index in range(size):
+                        if masked[index]:
+                            table[index, bit, model_idx] = FaultOutcome.MASKED
+                        else:
+                            fault = Fault(
+                                layer=layer_idx,
+                                index=index,
+                                bit=bit,
+                                model=fault_model,
+                            )
+                            predictions = engine.predictions_with_fault(fault)
+                            from repro.faults.engine import classify_predictions
+
+                            table[index, bit, model_idx] = classify_predictions(
+                                predictions,
+                                engine.golden_predictions,
+                                engine.labels,
+                                policy=engine.policy,
+                                threshold=engine.threshold,
+                            )
+                        done += 1
+                        if progress and done % progress_every == 0:
+                            progress(done, total)
+            outcomes.append(table)
+        metadata = {
+            "fmt": fmt.name,
+            "fault_models": [m.value for m in space.fault_models],
+            "policy": engine.policy,
+            "threshold": engine.threshold,
+            "eval_images": int(len(engine.images)),
+            "golden_accuracy": engine.golden_accuracy,
+            "inference_count": engine.inference_count,
+            "elapsed_seconds": time.time() - start,
+        }
+        return cls(outcomes, metadata=metadata)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def outcome(self, fault: Fault, model_index: int) -> FaultOutcome:
+        """Outcome of one fault; *model_index* positions it in the table."""
+        return FaultOutcome(
+            int(self.outcomes[fault.layer][fault.index, fault.bit, model_index])
+        )
+
+    # -- aggregation -------------------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def bits(self) -> int:
+        return self.outcomes[0].shape[1]
+
+    def cell_counts(self, layer: int, bit: int) -> tuple[int, int]:
+        """(criticals, population) of one (bit, layer) cell."""
+        cell = self.outcomes[layer][:, bit, :]
+        return int((cell == FaultOutcome.CRITICAL).sum()), int(cell.size)
+
+    def layer_counts(self, layer: int) -> tuple[int, int]:
+        """(criticals, population) of one layer."""
+        arr = self.outcomes[layer]
+        return int((arr == FaultOutcome.CRITICAL).sum()), int(arr.size)
+
+    def total_counts(self) -> tuple[int, int]:
+        """(criticals, population) over the whole network."""
+        criticals = sum(self.layer_counts(l)[0] for l in range(self.num_layers))
+        population = sum(self.layer_counts(l)[1] for l in range(self.num_layers))
+        return criticals, population
+
+    def cell_rate(self, layer: int, bit: int) -> float:
+        """Exhaustive critical rate of one (bit, layer) cell."""
+        criticals, population = self.cell_counts(layer, bit)
+        return criticals / population if population else 0.0
+
+    def layer_rate(self, layer: int) -> float:
+        """Exhaustive critical rate of one layer."""
+        criticals, population = self.layer_counts(layer)
+        return criticals / population if population else 0.0
+
+    def total_rate(self) -> float:
+        """Exhaustive critical rate of the whole network."""
+        criticals, population = self.total_counts()
+        return criticals / population if population else 0.0
+
+    def masked_fraction(self) -> float:
+        """Fraction of the population masked by the data."""
+        masked = sum(
+            int((arr == FaultOutcome.MASKED).sum()) for arr in self.outcomes
+        )
+        _, population = self.total_counts()
+        return masked / population if population else 0.0
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the table (and metadata) to *path* (.npz)."""
+        directory = os.path.dirname(os.fspath(path))
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        arrays = {f"layer{i}": arr for i, arr in enumerate(self.outcomes)}
+        arrays["metadata"] = np.frombuffer(
+            json.dumps(self.metadata).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "OutcomeTable":
+        """Load a table written by :meth:`save`."""
+        with np.load(path) as archive:
+            metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+            layer_names = sorted(
+                (name for name in archive.files if name.startswith("layer")),
+                key=lambda name: int(name[5:]),
+            )
+            outcomes = [archive[name] for name in layer_names]
+        return cls(outcomes, metadata=metadata)

@@ -1,0 +1,71 @@
+"""Enumeration of a model's fault-target weight layers.
+
+The paper indexes CNN layers the way reliability studies usually do: the
+ordered sequence of parameterised *weight* layers — convolutions and the
+final classifier — skipping batch-norm parameters and biases.  ResNet-20
+yields 20 layers under this convention and MobileNetV2 yields 54, matching
+Tables I and II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn import Conv2d, Linear, Module
+from repro.nn.module import Parameter
+
+
+@dataclass(frozen=True)
+class WeightLayer:
+    """One fault-target layer.
+
+    Attributes
+    ----------
+    index:
+        Position in the paper's layer ordering (0-based).
+    name:
+        Dotted module path inside the model.
+    module:
+        The owning :class:`~repro.nn.Conv2d` or :class:`~repro.nn.Linear`.
+    """
+
+    index: int
+    name: str
+    module: Module
+
+    @property
+    def weight(self) -> Parameter:
+        """The layer's weight parameter."""
+        return self.module.weight
+
+    @property
+    def size(self) -> int:
+        """Number of weights in the layer."""
+        return self.weight.size
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Weight tensor shape."""
+        return self.weight.shape
+
+    def flat_weights(self) -> np.ndarray:
+        """A flat view of the layer's weights (shares memory)."""
+        return self.weight.data.reshape(-1)
+
+
+def enumerate_weight_layers(model: Module) -> list[WeightLayer]:
+    """Ordered conv/linear weight layers of *model*.
+
+    Order follows depth-first module definition order, which for the zoo's
+    models coincides with the forward dataflow — and with the paper's layer
+    indexing.
+    """
+    layers: list[WeightLayer] = []
+    for name, module in model.named_modules():
+        if isinstance(module, (Conv2d, Linear)):
+            layers.append(WeightLayer(index=len(layers), name=name, module=module))
+    if not layers:
+        raise ValueError("model has no conv/linear weight layers to target")
+    return layers

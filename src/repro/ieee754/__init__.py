@@ -1,0 +1,60 @@
+"""IEEE-754 bit manipulation substrate.
+
+Everything the fault injector and the data-aware analysis need to treat
+floating-point weights as bit vectors:
+
+- :class:`FloatFormat` descriptors for float32, float16 and bfloat16
+  (:data:`FLOAT32`, :data:`FLOAT16`, :data:`BFLOAT16`).
+- Vectorised encode/decode between values and raw bit patterns.
+- Bit-level primitives: :func:`get_bit`, :func:`set_bit`, :func:`clear_bit`,
+  :func:`flip_bit`, :func:`apply_stuck_at`.
+- Weight-population statistics used by the paper's Eq. 4:
+  :func:`bit_frequencies` (f0/f1 per bit) and :func:`bit_flip_distances`
+  (average |golden - faulty| per bit and flip direction).
+"""
+
+from repro.ieee754.formats import (
+    BFLOAT16,
+    FLOAT16,
+    FLOAT32,
+    FLOAT8_E4M3,
+    FLOAT8_E5M2,
+    FORMATS,
+    BitRole,
+    FloatFormat,
+    format_by_name,
+    make_format,
+)
+from repro.ieee754.bits import (
+    apply_stuck_at,
+    clear_bit,
+    corrupt_value,
+    flip_bit,
+    get_bit,
+    set_bit,
+)
+from repro.ieee754.frequency import BitFrequencies, bit_frequencies
+from repro.ieee754.distance import BitFlipDistances, bit_flip_distances
+
+__all__ = [
+    "BFLOAT16",
+    "FLOAT16",
+    "FLOAT32",
+    "FLOAT8_E4M3",
+    "FLOAT8_E5M2",
+    "FORMATS",
+    "make_format",
+    "BitRole",
+    "FloatFormat",
+    "format_by_name",
+    "apply_stuck_at",
+    "clear_bit",
+    "corrupt_value",
+    "flip_bit",
+    "get_bit",
+    "set_bit",
+    "BitFrequencies",
+    "bit_frequencies",
+    "BitFlipDistances",
+    "bit_flip_distances",
+]

@@ -1,0 +1,74 @@
+"""Vectorised bit-level primitives on floating-point words.
+
+All functions operate on raw bit patterns (unsigned integer arrays produced
+by :meth:`FloatFormat.encode`) and are fully vectorised: ``bits`` may be any
+shape, and ``bit`` may be a scalar or an array broadcastable against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ieee754.formats import FloatFormat
+
+
+def _mask(fmt: FloatFormat, bit) -> np.ndarray:
+    bit = np.asarray(bit)
+    if np.any(bit < 0) or np.any(bit >= fmt.total_bits):
+        raise ValueError(
+            f"bit index out of range for {fmt.name} (0..{fmt.total_bits - 1})"
+        )
+    one = np.array(1, dtype=fmt.uint_dtype)
+    return (one << bit.astype(fmt.uint_dtype)).astype(fmt.uint_dtype)
+
+
+def get_bit(fmt: FloatFormat, bits: np.ndarray, bit) -> np.ndarray:
+    """Return 0/1 value of *bit* in each word of *bits*."""
+    bits = np.asarray(bits, dtype=fmt.uint_dtype)
+    return ((bits & _mask(fmt, bit)) != 0).astype(np.uint8)
+
+
+def set_bit(fmt: FloatFormat, bits: np.ndarray, bit) -> np.ndarray:
+    """Return a copy of *bits* with *bit* forced to 1 (stuck-at-1)."""
+    bits = np.asarray(bits, dtype=fmt.uint_dtype)
+    return bits | _mask(fmt, bit)
+
+
+def clear_bit(fmt: FloatFormat, bits: np.ndarray, bit) -> np.ndarray:
+    """Return a copy of *bits* with *bit* forced to 0 (stuck-at-0)."""
+    bits = np.asarray(bits, dtype=fmt.uint_dtype)
+    return bits & ~_mask(fmt, bit)
+
+
+def flip_bit(fmt: FloatFormat, bits: np.ndarray, bit) -> np.ndarray:
+    """Return a copy of *bits* with *bit* inverted (transient bit-flip)."""
+    bits = np.asarray(bits, dtype=fmt.uint_dtype)
+    return bits ^ _mask(fmt, bit)
+
+
+def apply_stuck_at(
+    fmt: FloatFormat, bits: np.ndarray, bit, stuck_value: int
+) -> np.ndarray:
+    """Force *bit* to *stuck_value* (0 or 1) in each word of *bits*."""
+    if stuck_value == 0:
+        return clear_bit(fmt, bits, bit)
+    if stuck_value == 1:
+        return set_bit(fmt, bits, bit)
+    raise ValueError(f"stuck_value must be 0 or 1, got {stuck_value!r}")
+
+
+def corrupt_value(
+    fmt: FloatFormat, value: float, bit: int, *, stuck_value: int | None = None
+) -> float:
+    """Corrupt a single scalar *value* and return the faulty value.
+
+    With ``stuck_value`` of 0 or 1 the bit is forced (permanent stuck-at
+    fault); with ``stuck_value=None`` the bit is flipped (transient fault).
+    The returned value is a Python float decoded from the corrupted word.
+    """
+    bits = fmt.encode(np.asarray([value]))
+    if stuck_value is None:
+        faulty = flip_bit(fmt, bits, bit)
+    else:
+        faulty = apply_stuck_at(fmt, bits, bit, stuck_value)
+    return float(fmt.decode(faulty)[0])

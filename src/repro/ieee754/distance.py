@@ -1,0 +1,98 @@
+"""Bit-flip distance statistics (paper Fig. 2 and Eq. 4 ingredients).
+
+For every bit position ``i`` and flip direction, compute the average
+absolute distance ``|faulty - golden|`` a bit-flip introduces across a
+weight population:
+
+- ``D_{0->1}(i)`` averages over weights whose bit ``i`` is naturally 0,
+- ``D_{1->0}(i)`` averages over weights whose bit ``i`` is naturally 1.
+
+Flipping high exponent bits of small weights produces enormous (sometimes
+non-finite, when the flip lands on the Inf/NaN encodings) faulty values.
+The ``nonfinite`` policy controls how those distances enter the average:
+
+- ``"max"`` (default): replace non-finite distances with the format's
+  largest finite magnitude.  The affected bits still dominate and become
+  outliers in the paper's Eq. 5 normalisation (pinned at p = 0.5), while
+  the arithmetic stays well-defined.
+- ``"inf"``: keep them as +inf (the averages for those bits become inf).
+- ``"drop"``: exclude non-finite faulty values from the average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ieee754.bits import flip_bit
+from repro.ieee754.formats import FloatFormat
+
+_NONFINITE_POLICIES = ("max", "inf", "drop")
+
+
+@dataclass(frozen=True)
+class BitFlipDistances:
+    """Average bit-flip distances per bit position over a population.
+
+    Attributes
+    ----------
+    fmt:
+        The floating-point format analysed.
+    d01, d10:
+        float64 arrays of length ``fmt.total_bits``; average distance of a
+        0->1 (resp. 1->0) flip on each bit.  Entries are 0 where no weight
+        has the bit in the required state.
+    nonfinite:
+        The policy that was applied to non-finite faulty values.
+    """
+
+    fmt: FloatFormat
+    d01: np.ndarray
+    d10: np.ndarray
+    nonfinite: str
+
+
+def bit_flip_distances(
+    fmt: FloatFormat, values: np.ndarray, *, nonfinite: str = "max"
+) -> BitFlipDistances:
+    """Compute D_{0->1}(i) and D_{1->0}(i) over *values* for every bit i."""
+    if nonfinite not in _NONFINITE_POLICIES:
+        raise ValueError(
+            f"nonfinite must be one of {_NONFINITE_POLICIES}, got {nonfinite!r}"
+        )
+    bits = fmt.encode(np.asarray(values).ravel())
+    golden = fmt.decode(bits)
+    d01 = np.zeros(fmt.total_bits, dtype=np.float64)
+    d10 = np.zeros(fmt.total_bits, dtype=np.float64)
+    one = np.array(1, dtype=fmt.uint_dtype)
+    for i in range(fmt.total_bits):
+        mask = one << np.array(i, dtype=fmt.uint_dtype)
+        faulty = fmt.decode(flip_bit(fmt, bits, i))
+        # Flips that land on Inf/NaN encodings legitimately produce
+        # non-finite distances; the nonfinite policy handles them below.
+        with np.errstate(invalid="ignore"):
+            dist = np.abs(faulty - golden)
+        was_zero = (bits & mask) == 0
+        d01[i] = _direction_average(dist, was_zero, fmt, nonfinite)
+        d10[i] = _direction_average(dist, ~was_zero, fmt, nonfinite)
+    return BitFlipDistances(fmt=fmt, d01=d01, d10=d10, nonfinite=nonfinite)
+
+
+def _direction_average(
+    dist: np.ndarray, selector: np.ndarray, fmt: FloatFormat, nonfinite: str
+) -> float:
+    """Average the distances selected by *selector* under the policy."""
+    selected = dist[selector]
+    if selected.size == 0:
+        return 0.0
+    finite = np.isfinite(selected)
+    if nonfinite == "drop":
+        selected = selected[finite]
+        if selected.size == 0:
+            return 0.0
+    elif nonfinite == "max":
+        selected = np.where(finite, selected, fmt.max_finite)
+    else:  # "inf": non-finite distances (Inf or NaN encodings) become +inf
+        selected = np.where(finite, selected, np.inf)
+    return float(np.mean(selected))

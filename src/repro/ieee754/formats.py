@@ -1,0 +1,275 @@
+"""Floating-point format descriptors.
+
+A :class:`FloatFormat` describes the bit layout of an IEEE-754-style binary
+format and provides vectorised conversion between numeric values and raw bit
+patterns (unsigned integers).  The fault-injection machinery is written
+against this abstraction so the same campaign code runs on float32 weights
+(the paper's case study), float16 and bfloat16 (the paper's future-work
+extension to "different data representations").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class BitRole(enum.Enum):
+    """Role of a bit position within a floating-point word."""
+
+    SIGN = "sign"
+    EXPONENT = "exponent"
+    MANTISSA = "mantissa"
+
+
+@dataclass(frozen=True)
+class FloatFormat:
+    """Bit layout of a binary floating-point format.
+
+    Attributes
+    ----------
+    name:
+        Short identifier, e.g. ``"float32"``.
+    total_bits:
+        Word width in bits (sign + exponent + mantissa).
+    exponent_bits:
+        Width of the biased-exponent field.
+    mantissa_bits:
+        Width of the fraction field.
+    """
+
+    name: str
+    total_bits: int
+    exponent_bits: int
+    mantissa_bits: int
+
+    def __post_init__(self) -> None:
+        if self.total_bits != 1 + self.exponent_bits + self.mantissa_bits:
+            raise ValueError(
+                f"{self.name}: total_bits ({self.total_bits}) must equal "
+                f"1 + exponent_bits ({self.exponent_bits}) "
+                f"+ mantissa_bits ({self.mantissa_bits})"
+            )
+
+    # -- layout ----------------------------------------------------------
+
+    @property
+    def uint_dtype(self) -> np.dtype:
+        """Unsigned integer dtype wide enough to hold one word."""
+        return np.dtype(f"uint{max(8, self.total_bits)}")
+
+    @property
+    def sign_bit(self) -> int:
+        """Index of the sign bit (the most significant bit)."""
+        return self.total_bits - 1
+
+    @property
+    def exponent_slice(self) -> range:
+        """Bit indices of the exponent field, LSB first."""
+        return range(self.mantissa_bits, self.mantissa_bits + self.exponent_bits)
+
+    @property
+    def mantissa_slice(self) -> range:
+        """Bit indices of the mantissa field, LSB first."""
+        return range(0, self.mantissa_bits)
+
+    @property
+    def bias(self) -> int:
+        """Exponent bias (2^(exponent_bits-1) - 1)."""
+        return (1 << (self.exponent_bits - 1)) - 1
+
+    @property
+    def max_finite(self) -> float:
+        """Largest finite representable magnitude."""
+        max_exp = (1 << self.exponent_bits) - 2 - self.bias
+        mantissa_max = 2.0 - 2.0 ** (-self.mantissa_bits)
+        return mantissa_max * 2.0**max_exp
+
+    def bit_role(self, bit: int) -> BitRole:
+        """Classify bit index *bit* as sign, exponent or mantissa."""
+        self._check_bit(bit)
+        if bit == self.sign_bit:
+            return BitRole.SIGN
+        if bit >= self.mantissa_bits:
+            return BitRole.EXPONENT
+        return BitRole.MANTISSA
+
+    def _check_bit(self, bit: int) -> None:
+        if not 0 <= bit < self.total_bits:
+            raise ValueError(
+                f"bit index {bit} out of range for {self.name} "
+                f"(0..{self.total_bits - 1})"
+            )
+
+    # -- conversion ------------------------------------------------------
+    #
+    # float32/float16/bfloat16 use fast native numpy paths; every other
+    # layout (e.g. the FP8 formats) goes through a generic table-based
+    # codec with IEEE-754 semantics (round-to-nearest-even, subnormals,
+    # Inf/NaN at the all-ones exponent).  The generic path is limited to
+    # formats of at most 16 bits, which keeps the value table small.
+
+    def _value_table(self) -> np.ndarray:
+        """float64 value of every bit pattern (generic formats only)."""
+        if self.total_bits > 16:
+            raise NotImplementedError(
+                f"generic codec only supports <=16-bit formats, "
+                f"not {self.name} ({self.total_bits} bits)"
+            )
+        table = _VALUE_TABLES.get(self.name)
+        if table is not None:
+            return table
+        patterns = np.arange(1 << self.total_bits, dtype=np.uint64)
+        sign = np.where((patterns >> (self.total_bits - 1)) & 1, -1.0, 1.0)
+        exp_mask = (1 << self.exponent_bits) - 1
+        exponent = (patterns >> self.mantissa_bits) & exp_mask
+        mantissa = patterns & ((1 << self.mantissa_bits) - 1)
+        frac = mantissa.astype(np.float64) / (1 << self.mantissa_bits)
+        values = np.empty(patterns.shape, dtype=np.float64)
+        normal = (exponent > 0) & (exponent < exp_mask)
+        values[normal] = (1.0 + frac[normal]) * np.exp2(
+            exponent[normal].astype(np.float64) - self.bias
+        )
+        subnormal = exponent == 0
+        values[subnormal] = frac[subnormal] * np.exp2(1.0 - self.bias)
+        special = exponent == exp_mask
+        values[special] = np.where(mantissa[special] == 0, np.inf, np.nan)
+        values *= sign
+        _VALUE_TABLES[self.name] = values
+        return values
+
+    def _encode_generic(self, values: np.ndarray) -> np.ndarray:
+        """Quantise *values* to the nearest representable bit pattern."""
+        table = self._value_table()
+        # Order the finite patterns by value for a searchsorted round.
+        finite = np.isfinite(table)
+        order = np.argsort(table[finite], kind="stable")
+        sorted_values = table[finite][order]
+        sorted_patterns = np.flatnonzero(finite)[order].astype(self.uint_dtype)
+        flat = np.asarray(values, dtype=np.float64).ravel()
+        out = np.empty(flat.shape, dtype=self.uint_dtype)
+        nan_mask = np.isnan(flat)
+        # Canonical quiet NaN: all-ones exponent, mantissa MSB set.
+        nan_pattern = (
+            ((1 << self.exponent_bits) - 1) << self.mantissa_bits
+        ) | (1 << max(self.mantissa_bits - 1, 0))
+        out[nan_mask] = self.uint_dtype.type(nan_pattern)
+        work = np.where(nan_mask, 0.0, flat)
+        idx = np.searchsorted(sorted_values, work)
+        idx = np.clip(idx, 1, len(sorted_values) - 1)
+        left = sorted_values[idx - 1]
+        right = sorted_values[idx]
+        pick_right = (work - left) > (right - work)
+        midpoint = (work - left) == (right - work)
+        # Ties round to the pattern with an even mantissa (LSB 0).
+        right_pattern = sorted_patterns[idx]
+        pick_right |= midpoint & ((right_pattern & 1) == 0)
+        chosen = np.where(
+            pick_right, right_pattern, sorted_patterns[idx - 1]
+        ).astype(self.uint_dtype)
+        # Values beyond the largest finite magnitude overflow to infinity.
+        inf_plus = ((1 << self.exponent_bits) - 1) << self.mantissa_bits
+        inf_minus = inf_plus | (1 << (self.total_bits - 1))
+        chosen[work > self.max_finite] = self.uint_dtype.type(inf_plus)
+        chosen[work < -self.max_finite] = self.uint_dtype.type(inf_minus)
+        out[~nan_mask] = chosen[~nan_mask]
+        return out.reshape(np.asarray(values).shape)
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Convert numeric *values* to raw bit patterns.
+
+        Values are first cast (with round-to-nearest-even) to this format's
+        precision.  Returns an array of :attr:`uint_dtype`, same shape.
+        """
+        values = np.asarray(values)
+        if self.name == "float32":
+            return values.astype(np.float32).view(np.uint32).copy()
+        if self.name == "float16":
+            return values.astype(np.float16).view(np.uint16).copy()
+        if self.name == "bfloat16":
+            u32 = values.astype(np.float32).view(np.uint32)
+            # Round-to-nearest-even truncation of the low 16 bits.
+            rounding_bias = np.uint32(0x7FFF) + ((u32 >> np.uint32(16)) & np.uint32(1))
+            return ((u32 + rounding_bias) >> np.uint32(16)).astype(np.uint16)
+        return self._encode_generic(values)
+
+    def decode(self, bits: np.ndarray) -> np.ndarray:
+        """Convert raw bit patterns to float64 values (same shape).
+
+        NaN payloads survive the upcast; the cast warning numpy emits for
+        them is suppressed since NaN words are legitimate fault results.
+        """
+        bits = np.asarray(bits, dtype=self.uint_dtype)
+        with np.errstate(invalid="ignore"):
+            if self.name == "float32":
+                return bits.view(np.float32).astype(np.float64)
+            if self.name == "float16":
+                return bits.view(np.float16).astype(np.float64)
+            if self.name == "bfloat16":
+                return (
+                    (bits.astype(np.uint32) << np.uint32(16))
+                    .view(np.float32)
+                    .astype(np.float64)
+                )
+        return self._value_table()[bits.astype(np.int64)]
+
+    def decode_native(self, bits: np.ndarray) -> np.ndarray:
+        """Decode raw bits to the closest native numpy float dtype.
+
+        float32 -> float32, float16 -> float16, bfloat16 -> float32 (numpy
+        has no bfloat16; the value set is exactly representable in float32).
+        """
+        bits = np.asarray(bits, dtype=self.uint_dtype)
+        if self.name == "float32":
+            return bits.view(np.float32).copy()
+        if self.name == "float16":
+            return bits.view(np.float16).copy()
+        if self.name == "bfloat16":
+            return (bits.astype(np.uint32) << np.uint32(16)).view(np.float32).copy()
+        # Generic formats decode to float32 (their values are exact in it).
+        return self.decode(bits).astype(np.float32)
+
+
+#: Cache of per-format value tables for the generic codec.
+_VALUE_TABLES: dict[str, np.ndarray] = {}
+
+FLOAT32 = FloatFormat(name="float32", total_bits=32, exponent_bits=8, mantissa_bits=23)
+FLOAT16 = FloatFormat(name="float16", total_bits=16, exponent_bits=5, mantissa_bits=10)
+BFLOAT16 = FloatFormat(name="bfloat16", total_bits=16, exponent_bits=8, mantissa_bits=7)
+#: 8-bit formats popular for DNN inference, with IEEE-style semantics
+#: (all-ones exponent reserved for Inf/NaN; the OCP E4M3 variant instead
+#: reuses it for normals — documented deviation).
+FLOAT8_E4M3 = FloatFormat(name="float8_e4m3", total_bits=8, exponent_bits=4, mantissa_bits=3)
+FLOAT8_E5M2 = FloatFormat(name="float8_e5m2", total_bits=8, exponent_bits=5, mantissa_bits=2)
+
+FORMATS = {
+    fmt.name: fmt
+    for fmt in (FLOAT32, FLOAT16, BFLOAT16, FLOAT8_E4M3, FLOAT8_E5M2)
+}
+
+
+def make_format(name: str, exponent_bits: int, mantissa_bits: int) -> FloatFormat:
+    """Create a custom IEEE-style format (generic codec, <=16 bits)."""
+    fmt = FloatFormat(
+        name=name,
+        total_bits=1 + exponent_bits + mantissa_bits,
+        exponent_bits=exponent_bits,
+        mantissa_bits=mantissa_bits,
+    )
+    if fmt.total_bits > 16 and name not in ("float32",):
+        raise ValueError(
+            f"custom formats are limited to 16 bits, got {fmt.total_bits}"
+        )
+    return fmt
+
+
+def format_by_name(name: str) -> FloatFormat:
+    """Look up a :class:`FloatFormat` by name (``float32`` etc.)."""
+    try:
+        return FORMATS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown float format {name!r}; available: {sorted(FORMATS)}"
+        ) from None

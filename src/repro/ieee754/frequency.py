@@ -1,0 +1,66 @@
+"""Per-bit frequency statistics over a weight population (paper Fig. 3).
+
+For every bit position ``i`` of the chosen floating-point format, count how
+often the bit is naturally 0 (``f0``) or 1 (``f1``) across all weights.
+These frequencies weight the two bit-flip directions in the paper's Eq. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ieee754.formats import FloatFormat
+
+
+@dataclass(frozen=True)
+class BitFrequencies:
+    """Counts of 0s and 1s per bit position over a weight population.
+
+    Attributes
+    ----------
+    fmt:
+        The floating-point format the counts refer to.
+    f0, f1:
+        Integer arrays of length ``fmt.total_bits``; ``f0[i]`` is the number
+        of weights whose bit ``i`` is 0, ``f1[i]`` those where it is 1.
+    """
+
+    fmt: FloatFormat
+    f0: np.ndarray
+    f1: np.ndarray
+
+    @property
+    def total(self) -> int:
+        """Number of weights in the population."""
+        return int(self.f0[0] + self.f1[0])
+
+    def fraction_ones(self) -> np.ndarray:
+        """Fraction of weights with each bit set (f1 / (f0 + f1))."""
+        denom = (self.f0 + self.f1).astype(np.float64)
+        with np.errstate(invalid="ignore"):
+            out = np.where(denom > 0, self.f1 / denom, 0.0)
+        return out
+
+    def as_rows(self) -> list[tuple[int, int, int]]:
+        """Rows of (bit index, f0, f1), MSB first — Fig. 3 layout."""
+        bits = range(self.fmt.total_bits - 1, -1, -1)
+        return [(i, int(self.f0[i]), int(self.f1[i])) for i in bits]
+
+
+def bit_frequencies(fmt: FloatFormat, values: np.ndarray) -> BitFrequencies:
+    """Count f0(i)/f1(i) for every bit position over *values*.
+
+    *values* may be any shape; it is flattened.  Values are first encoded
+    into *fmt* (so e.g. float64 inputs are rounded to float32 words when
+    ``fmt`` is float32).
+    """
+    bits = fmt.encode(np.asarray(values).ravel())
+    n = bits.size
+    f1 = np.empty(fmt.total_bits, dtype=np.int64)
+    for i in range(fmt.total_bits):
+        mask = np.array(1, dtype=fmt.uint_dtype) << np.array(i, dtype=fmt.uint_dtype)
+        f1[i] = int(np.count_nonzero(bits & mask))
+    f0 = n - f1
+    return BitFrequencies(fmt=fmt, f0=f0, f1=f1)

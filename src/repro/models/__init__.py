@@ -1,0 +1,52 @@
+"""Model zoo: the paper's CNN topologies and width-reduced variants.
+
+Full-size topologies match the paper's case study exactly in weight-layer
+structure:
+
+- :func:`resnet20` — CIFAR ResNet-20, 20 weight layers, 268,336 conv+linear
+  weights (the paper reports 268,346; its layer 11 carries a +10 anomaly —
+  see EXPERIMENTS.md).
+- :func:`mobilenetv2` — CIFAR MobileNetV2, 54 weight layers, 2,203,584
+  conv+linear weights — matching the paper's Table II total exactly.
+
+The ``*_mini`` variants keep the same topology family (residual blocks,
+inverted residuals with depthwise convolutions) at a few thousand weights so
+that *exhaustive* fault injection — the paper's ground truth — runs in
+minutes on a laptop instead of the paper's 37-54 GPU-days.
+"""
+
+from repro.models.resnet import (
+    BasicBlock,
+    ResNetCIFAR,
+    resnet8_mini,
+    resnet14_mini,
+    resnet20,
+    resnet20_mini,
+)
+from repro.models.mobilenet import (
+    InvertedResidual,
+    MobileNetV2CIFAR,
+    mobilenetv2,
+    mobilenetv2_mini,
+)
+from repro.models.vgg import VGGCIFAR, vgg_mini
+from repro.models.registry import MODELS, create_model, load_pretrained, pretrained_path
+
+__all__ = [
+    "BasicBlock",
+    "ResNetCIFAR",
+    "resnet8_mini",
+    "resnet14_mini",
+    "resnet20",
+    "resnet20_mini",
+    "InvertedResidual",
+    "MobileNetV2CIFAR",
+    "mobilenetv2",
+    "mobilenetv2_mini",
+    "VGGCIFAR",
+    "vgg_mini",
+    "MODELS",
+    "create_model",
+    "load_pretrained",
+    "pretrained_path",
+]

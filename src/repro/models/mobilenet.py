@@ -1,0 +1,196 @@
+"""CIFAR-style MobileNetV2 (Sandler et al.).
+
+The full-size configuration reproduces the paper's Table II case study
+exactly: 54 weight layers (stem + 17 inverted residual blocks x 3
+convolutions + final 1x1 convolution + classifier) totalling 2,203,584
+conv+linear weights.  Every block carries an expansion 1x1 convolution, a
+depthwise 3x3 convolution and a projection 1x1 convolution; the identity
+residual is used only when the block keeps shape (stride 1, equal
+channels), so no parameters hide in shortcuts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+)
+from repro.nn import functional as F
+from repro.tensor import Tensor, ops
+
+#: (expansion, out_channels, num_blocks, stride) per group — the standard
+#: CIFAR MobileNetV2 configuration (17 blocks).
+FULL_CONFIG = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 1),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+#: A three-group tiny configuration for exhaustive-FI experiments.
+MINI_CONFIG = (
+    (1, 8, 1, 1),
+    (2, 12, 1, 2),
+    (2, 16, 1, 2),
+)
+
+
+class InvertedResidual(Module):
+    """Expansion -> depthwise -> projection, with identity residual."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        expansion: int,
+        stride: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        hidden = in_channels * expansion
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride
+        self.use_residual = stride == 1 and in_channels == out_channels
+        self.conv1 = Conv2d(in_channels, hidden, 1, rng=rng)
+        self.bn1 = BatchNorm2d(hidden)
+        self.conv2 = Conv2d(
+            hidden, hidden, 3, stride=stride, padding=1, groups=hidden, rng=rng
+        )
+        self.bn2 = BatchNorm2d(hidden)
+        self.conv3 = Conv2d(hidden, out_channels, 1, rng=rng)
+        self.bn3 = BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.relu6(self.bn1(self.conv1(x)))
+        out = ops.relu6(self.bn2(self.conv2(out)))
+        out = self.bn3(self.conv3(out))
+        if self.use_residual:
+            out = ops.add(out, x)
+        return out
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        out = F.relu6(self.bn1.forward_fast(self.conv1.forward_fast(x)))
+        out = F.relu6(self.bn2.forward_fast(self.conv2.forward_fast(out)))
+        out = self.bn3.forward_fast(self.conv3.forward_fast(out))
+        if self.use_residual:
+            out = out + x
+        return out
+
+
+class _Stem(Module):
+    """Stem: 3x3 convolution + batch norm + ReLU6."""
+
+    def __init__(self, out_channels: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.conv = Conv2d(3, out_channels, 3, stride=1, padding=1, rng=rng)
+        self.bn = BatchNorm2d(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu6(self.bn(self.conv(x)))
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        return F.relu6(self.bn.forward_fast(self.conv.forward_fast(x)))
+
+
+class _Head(Module):
+    """Final 1x1 convolution, pooling and classifier."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        hidden: int,
+        num_classes: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.conv = Conv2d(in_channels, hidden, 1, rng=rng)
+        self.bn = BatchNorm2d(hidden)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(hidden, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.relu6(self.bn(self.conv(x)))
+        return self.fc(self.pool(out))
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        out = F.relu6(self.bn.forward_fast(self.conv.forward_fast(x)))
+        return self.fc.forward_fast(self.pool.forward_fast(out))
+
+
+class MobileNetV2CIFAR(Module):
+    """MobileNetV2 for 32x32 inputs."""
+
+    def __init__(
+        self,
+        config: tuple[tuple[int, int, int, int], ...] = FULL_CONFIG,
+        stem_channels: int = 32,
+        head_channels: int = 1280,
+        num_classes: int = 10,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.stem = _Stem(stem_channels, rng)
+        blocks: list[InvertedResidual] = []
+        in_channels = stem_channels
+        for expansion, out_channels, num_blocks, stride in config:
+            for block_idx in range(num_blocks):
+                block_stride = stride if block_idx == 0 else 1
+                blocks.append(
+                    InvertedResidual(
+                        in_channels, out_channels, expansion, block_stride, rng
+                    )
+                )
+                in_channels = out_channels
+        self._block_list = blocks
+        for i, block in enumerate(blocks):
+            self.add_module(f"block{i}", block)
+        self.head = _Head(in_channels, head_channels, num_classes, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        for block in self._block_list:
+            out = block(out)
+        return self.head(out)
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        out = self.stem.forward_fast(x)
+        for block in self._block_list:
+            out = block.forward_fast(out)
+        return self.head.forward_fast(out)
+
+    def stage_modules(self) -> list[Module]:
+        """Sequential stages for the prefix-cached FI inference engine."""
+        return [self.stem, *self._block_list, self.head]
+
+
+def mobilenetv2(num_classes: int = 10, seed: int = 0) -> MobileNetV2CIFAR:
+    """Full-size CIFAR MobileNetV2 (54 weight layers, 2,203,584 weights)."""
+    return MobileNetV2CIFAR(
+        config=FULL_CONFIG,
+        stem_channels=32,
+        head_channels=1280,
+        num_classes=num_classes,
+        seed=seed,
+    )
+
+
+def mobilenetv2_mini(num_classes: int = 10, seed: int = 0) -> MobileNetV2CIFAR:
+    """Tiny MobileNetV2 (3 blocks, ~3k weights) for exhaustive FI."""
+    return MobileNetV2CIFAR(
+        config=MINI_CONFIG,
+        stem_channels=6,
+        head_channels=32,
+        num_classes=num_classes,
+        seed=seed,
+    )

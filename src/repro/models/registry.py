@@ -1,0 +1,58 @@
+"""Model registry and pretrained-weight loading."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.models.mobilenet import mobilenetv2, mobilenetv2_mini
+from repro.models.resnet import resnet8_mini, resnet14_mini, resnet20, resnet20_mini
+from repro.models.vgg import vgg_mini
+from repro.nn import Module, load_state
+from repro.utils import artifacts_dir
+
+#: Name -> constructor for every model in the zoo.
+MODELS = {
+    "resnet20": resnet20,
+    "resnet20_mini": resnet20_mini,
+    "resnet8_mini": resnet8_mini,
+    "resnet14_mini": resnet14_mini,
+    "vgg_mini": vgg_mini,
+    "mobilenetv2": mobilenetv2,
+    "mobilenetv2_mini": mobilenetv2_mini,
+}
+
+
+def pretrained_path(name: str) -> Path:
+    """Path where trained weights for model *name* are stored."""
+    return artifacts_dir() / "weights" / f"{name}.npz"
+
+
+def create_model(name: str, *, pretrained: bool = False, seed: int = 0) -> Module:
+    """Instantiate a model by registry *name*, optionally with weights.
+
+    ``pretrained=True`` loads weights produced by ``examples/train_models.py``
+    (or :func:`repro.train.train_reference_model`); a missing weight file
+    raises ``FileNotFoundError`` with the command that generates it.
+    """
+    try:
+        constructor = MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODELS)}"
+        ) from None
+    model = constructor(seed=seed)
+    if pretrained:
+        load_pretrained(model, name)
+    return model
+
+
+def load_pretrained(model: Module, name: str) -> None:
+    """Load trained weights for *name* into *model* (in place)."""
+    path = pretrained_path(name)
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"no trained weights at {path}; generate them with "
+            f"`python examples/train_models.py --model {name}`"
+        )
+    load_state(model, path)
+    model.eval()

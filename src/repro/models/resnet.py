@@ -1,0 +1,190 @@
+"""CIFAR-style ResNet (He et al.) with option-A shortcuts.
+
+ResNet-20 is ``ResNetCIFAR(blocks_per_stage=3, widths=(16, 32, 64))``: one
+stem convolution, three stages of three basic blocks (two 3x3 convolutions
+each) and a final linear classifier — 20 weight layers, exactly the paper's
+Table I layout.  Option-A shortcuts (stride-2 subsampling plus zero channel
+padding) are parameter-free, so the weight-layer count and per-layer
+parameter counts match the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.nn import functional as F
+from repro.tensor import Tensor, ops
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with a parameter-free (option A) shortcut."""
+
+    def __init__(
+        self,
+        in_planes: int,
+        planes: int,
+        stride: int,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        if (planes - in_planes) % 2:
+            raise ValueError(
+                "option-A shortcut needs an even channel increase, got "
+                f"{in_planes} -> {planes}"
+            )
+        self.in_planes = in_planes
+        self.planes = planes
+        self.stride = stride
+        self.conv1 = Conv2d(
+            in_planes, planes, 3, stride=stride, padding=1, rng=rng
+        )
+        self.bn1 = BatchNorm2d(planes)
+        self.conv2 = Conv2d(planes, planes, 3, stride=1, padding=1, rng=rng)
+        self.bn2 = BatchNorm2d(planes)
+        self._pad = (planes - in_planes) // 2
+
+    def _shortcut(self, x: Tensor) -> Tensor:
+        if self.stride == 1 and self._pad == 0:
+            return x
+        out = ops.subsample2d(x, self.stride) if self.stride != 1 else x
+        if self._pad:
+            out = ops.pad_channels(out, self._pad, self._pad)
+        return out
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        out = ops.add(out, self._shortcut(x))
+        return ops.relu(out)
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        out = F.relu(self.bn1.forward_fast(self.conv1.forward_fast(x)))
+        out = self.bn2.forward_fast(self.conv2.forward_fast(out))
+        shortcut = x
+        if self.stride != 1:
+            shortcut = F.subsample2d(shortcut, self.stride)
+        if self._pad:
+            shortcut = F.pad_channels(shortcut, self._pad, self._pad)
+        return F.relu(out + shortcut)
+
+
+class _Stem(Module):
+    """Stem: 3x3 convolution + batch norm + ReLU."""
+
+    def __init__(self, out_planes: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.conv = Conv2d(3, out_planes, 3, stride=1, padding=1, rng=rng)
+        self.bn = BatchNorm2d(out_planes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(self.bn(self.conv(x)))
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        return F.relu(self.bn.forward_fast(self.conv.forward_fast(x)))
+
+
+class _Head(Module):
+    """Head: global average pooling + linear classifier."""
+
+    def __init__(
+        self, in_features: int, num_classes: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(in_features, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(self.pool(x))
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        return self.fc.forward_fast(self.pool.forward_fast(x))
+
+
+class ResNetCIFAR(Module):
+    """CIFAR ResNet: stem, three stages of basic blocks, linear head.
+
+    Weight-layer count is ``2 + 6 * blocks_per_stage`` (stem + two convs per
+    block + classifier); ``blocks_per_stage=3`` gives ResNet-20.
+    """
+
+    def __init__(
+        self,
+        blocks_per_stage: int = 3,
+        widths: tuple[int, int, int] = (16, 32, 64),
+        num_classes: int = 10,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.blocks_per_stage = blocks_per_stage
+        self.widths = widths
+        self.num_classes = num_classes
+        self.stem = _Stem(widths[0], rng)
+        blocks: list[BasicBlock] = []
+        in_planes = widths[0]
+        for stage, width in enumerate(widths):
+            for block_idx in range(blocks_per_stage):
+                stride = 2 if stage > 0 and block_idx == 0 else 1
+                blocks.append(BasicBlock(in_planes, width, stride, rng))
+                in_planes = width
+        self.blocks = Sequential(*blocks)
+        self.head = _Head(widths[-1], num_classes, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.blocks(self.stem(x)))
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        return self.head.forward_fast(
+            self.blocks.forward_fast(self.stem.forward_fast(x))
+        )
+
+    def stage_modules(self) -> list[Module]:
+        """Sequential stages for the prefix-cached FI inference engine."""
+        return [self.stem, *self.blocks, self.head]
+
+
+def resnet20(num_classes: int = 10, seed: int = 0) -> ResNetCIFAR:
+    """Full-size CIFAR ResNet-20 (20 weight layers, 268,336 weights)."""
+    return ResNetCIFAR(
+        blocks_per_stage=3, widths=(16, 32, 64), num_classes=num_classes, seed=seed
+    )
+
+
+def resnet20_mini(num_classes: int = 10, seed: int = 0) -> ResNetCIFAR:
+    """Width-reduced ResNet-20 (same 20-layer structure, ~17k weights)."""
+    return ResNetCIFAR(
+        blocks_per_stage=3, widths=(4, 8, 16), num_classes=num_classes, seed=seed
+    )
+
+
+def resnet14_mini(num_classes: int = 10, seed: int = 0) -> ResNetCIFAR:
+    """Small ResNet-14 (two blocks per stage, 14 weight layers, ~4k weights).
+
+    Deep enough that a network-wise campaign's per-layer shares are small —
+    which is what makes the paper's "network-wise SFI blows past the 1%
+    margin" observation visible — while exhaustive FI still runs in
+    minutes.
+    """
+    return ResNetCIFAR(
+        blocks_per_stage=2, widths=(4, 6, 8), num_classes=num_classes, seed=seed
+    )
+
+
+def resnet8_mini(num_classes: int = 10, seed: int = 0) -> ResNetCIFAR:
+    """Tiny ResNet-8 (one block per stage, ~2k weights).
+
+    Small enough for *exhaustive* fault injection on a laptop; this is the
+    stand-in for the paper's 37-day exhaustive ResNet-20 campaign.
+    """
+    return ResNetCIFAR(
+        blocks_per_stage=1, widths=(4, 6, 8), num_classes=num_classes, seed=seed
+    )

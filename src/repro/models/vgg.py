@@ -1,0 +1,113 @@
+"""A small plain (VGG-style) CNN — no residuals, no depthwise tricks.
+
+The paper evaluates a residual network and an inverted-residual network;
+a plain convolutional stack completes the family coverage and exercises
+the statistical machinery on a topology with no skip connections (every
+fault's effect propagates through the full depth).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.nn import functional as F
+from repro.tensor import Tensor, ops
+
+
+class _ConvBlock(Module):
+    """conv -> batch norm -> ReLU, optionally followed by 2x2 pooling."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        *,
+        pool: bool,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__()
+        self.conv = Conv2d(in_channels, out_channels, 3, padding=1, rng=rng)
+        self.bn = BatchNorm2d(out_channels)
+        self.pool = AvgPool2d(2) if pool else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.relu(self.bn(self.conv(x)))
+        if self.pool is not None:
+            out = self.pool(out)
+        return out
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        out = F.relu(self.bn.forward_fast(self.conv.forward_fast(x)))
+        if self.pool is not None:
+            out = self.pool.forward_fast(out)
+        return out
+
+
+class _Head(Module):
+    """Global average pooling + linear classifier."""
+
+    def __init__(
+        self, in_features: int, num_classes: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(in_features, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(self.pool(x))
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        return self.fc.forward_fast(self.pool.forward_fast(x))
+
+
+class VGGCIFAR(Module):
+    """Plain conv stack for 32x32 inputs.
+
+    ``widths`` gives the channel count per block; a 2x2 average pooling
+    follows every block except the first.  Weight layers = blocks + 1.
+    """
+
+    def __init__(
+        self,
+        widths: tuple[int, ...] = (8, 16, 24, 32),
+        num_classes: int = 10,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if not widths:
+            raise ValueError("widths must be non-empty")
+        rng = np.random.default_rng(seed)
+        blocks: list[_ConvBlock] = []
+        in_channels = 3
+        for idx, width in enumerate(widths):
+            blocks.append(
+                _ConvBlock(in_channels, width, pool=idx > 0, rng=rng)
+            )
+            in_channels = width
+        self.blocks = Sequential(*blocks)
+        self.head = _Head(widths[-1], num_classes, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.blocks(x))
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        return self.head.forward_fast(self.blocks.forward_fast(x))
+
+    def stage_modules(self) -> list[Module]:
+        """Sequential stages for the prefix-cached FI inference engine."""
+        return [*self.blocks, self.head]
+
+
+def vgg_mini(num_classes: int = 10, seed: int = 0) -> VGGCIFAR:
+    """A ~5k-weight plain CNN (5 weight layers)."""
+    return VGGCIFAR(widths=(6, 10, 14, 18), num_classes=num_classes, seed=seed)

@@ -1,0 +1,40 @@
+"""Neural-network modules on top of the repro autograd engine.
+
+Mirrors the small subset of ``torch.nn`` the paper's CNNs need: parameterised
+modules with a registry (for state-dict save/load and fault-target
+enumeration), a training/eval mode switch, and — crucially for fault
+injection throughput — a graph-free ``forward_fast`` inference path on every
+module.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    ReLU,
+    ReLU6,
+    Sequential,
+)
+from repro.nn import functional
+from repro.nn.serialization import load_state, save_state
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "AvgPool2d",
+    "BatchNorm2d",
+    "Conv2d",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "Linear",
+    "ReLU",
+    "ReLU6",
+    "Sequential",
+    "functional",
+    "load_state",
+    "save_state",
+]

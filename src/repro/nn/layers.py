@@ -1,0 +1,231 @@
+"""Standard layers: convolution, batch norm, linear, activations, pooling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, ops
+
+
+def _he_init(
+    rng: np.random.Generator, shape: tuple[int, ...], fan_in: int
+) -> np.ndarray:
+    """Kaiming-normal initialisation for ReLU networks."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+class Conv2d(Module):
+    """2-D convolution with optional groups (depthwise when groups == C).
+
+    Weight shape is ``(out_channels, in_channels // groups, kh, kw)``; the
+    paper's fault campaigns target exactly these weights.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        *,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        bias: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"in/out channels ({in_channels}/{out_channels}) must be "
+                f"divisible by groups ({groups})"
+            )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        rng = rng or np.random.default_rng(0)
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
+        shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
+        self.weight = Parameter(_he_init(rng, shape, fan_in), name="conv.weight")
+        self.bias = Parameter(np.zeros(out_channels, dtype=np.float32)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.conv2d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+        )
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        return F.conv2d(
+            x,
+            self.weight.data,
+            None if self.bias is None else self.bias.data,
+            stride=self.stride,
+            padding=self.padding,
+            groups=self.groups,
+        )
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over (N, H, W) per channel."""
+
+    def __init__(
+        self, num_features: int, *, momentum: float = 0.1, eps: float = 1e-5
+    ) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features, dtype=np.float32))
+        self.bias = Parameter(np.zeros(num_features, dtype=np.float32))
+        self.register_buffer(
+            "running_mean", np.zeros(num_features, dtype=np.float32)
+        )
+        self.register_buffer(
+            "running_var", np.ones(num_features, dtype=np.float32)
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.batchnorm2d(
+            x,
+            self.weight,
+            self.bias,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        return F.batchnorm2d(
+            x,
+            self.weight.data,
+            self.bias.data,
+            self.running_mean,
+            self.running_var,
+            eps=self.eps,
+        )
+
+
+class Linear(Module):
+    """Fully connected layer ``x @ W.T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(
+            _he_init(rng, (out_features, in_features), in_features)
+        )
+        self.bias = (
+            Parameter(np.zeros(out_features, dtype=np.float32)) if bias else None
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.linear(x, self.weight, self.bias)
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        return F.linear(
+            x, self.weight.data, None if self.bias is None else self.bias.data
+        )
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        return F.relu(x)
+
+
+class ReLU6(Module):
+    """ReLU clipped at 6 (MobileNetV2)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu6(x)
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        return F.relu6(x)
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling with stride == kernel."""
+
+    def __init__(self, kernel: int) -> None:
+        super().__init__()
+        self.kernel = kernel
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.avg_pool2d(x, self.kernel)
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        return F.avg_pool2d(x, self.kernel)
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling: (N, C, H, W) -> (N, C)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.global_avg_pool2d(x)
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        return F.global_avg_pool2d(x)
+
+
+class Flatten(Module):
+    """Flatten all non-batch dimensions."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.reshape(x, (x.shape[0], -1))
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
+
+
+class Sequential(Module):
+    """Run sub-modules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layers = list(layers)
+        for i, layer in enumerate(layers):
+            self.add_module(str(i), layer)
+
+    def __iter__(self):
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        for layer in self._layers:
+            x = layer.forward_fast(x)
+        return x

@@ -1,0 +1,154 @@
+"""Module base class: parameter/buffer registry and mode switching."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always ``requires_grad=True``)."""
+
+    def __init__(self, data, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all network modules.
+
+    Subclasses assign :class:`Parameter`, buffer (plain ndarray registered
+    via :meth:`register_buffer`) and sub-:class:`Module` attributes; the
+    registry powers iteration, state-dict (de)serialisation and the fault
+    injector's weight-target discovery.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    # -- registry ---------------------------------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-trainable state array (e.g. BN running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        """Register a sub-module under *name* (for dynamic children)."""
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # -- iteration ----------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters, depth-first."""
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``(dotted_name, buffer)`` pairs, depth-first."""
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}{name}", buf)
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)`` including self (empty name)."""
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield all modules in the tree, including self."""
+        for _, module in self.named_modules():
+            yield module
+
+    # -- modes ---------------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively; returns self."""
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to inference mode recursively; returns self."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- state dict ------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of dotted names to parameter/buffer arrays."""
+        state: dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[name] = np.asarray(buf).copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load arrays saved by :meth:`state_dict` (strict matching)."""
+        own_params = dict(self.named_parameters())
+        own_buffers = dict(self.named_buffers())
+        expected = set(own_params) | set(own_buffers)
+        provided = set(state)
+        if expected != provided:
+            missing = sorted(expected - provided)
+            extra = sorted(provided - expected)
+            raise KeyError(
+                f"state dict mismatch; missing={missing[:5]}, extra={extra[:5]}"
+            )
+        for name, param in own_params.items():
+            value = np.asarray(state[name], dtype=param.data.dtype)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{value.shape} vs {param.data.shape}"
+                )
+            param.data[...] = value
+        for name, buf in own_buffers.items():
+            value = np.asarray(state[name], dtype=buf.dtype)
+            if value.shape != buf.shape:
+                raise ValueError(
+                    f"shape mismatch for buffer {name}: "
+                    f"{value.shape} vs {buf.shape}"
+                )
+            buf[...] = value
+
+    # -- forward -----------------------------------------------------------------
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Autograd forward pass (training / gradient evaluation)."""
+        raise NotImplementedError
+
+    def forward_fast(self, x: np.ndarray) -> np.ndarray:
+        """Graph-free inference forward on raw ndarrays."""
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)

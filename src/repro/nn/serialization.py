@@ -1,0 +1,25 @@
+"""Saving and loading model state as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state(model: Module, path: str | os.PathLike) -> None:
+    """Write the model's state dict to *path* (.npz)."""
+    state = model.state_dict()
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+
+
+def load_state(model: Module, path: str | os.PathLike) -> None:
+    """Load a state dict previously written by :func:`save_state`."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)

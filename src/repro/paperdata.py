@@ -1,0 +1,115 @@
+"""Published reference numbers from the paper (Tables I-III).
+
+These constants let tests and benchmarks compare this reproduction's
+arithmetic digit-for-digit against the published tables.
+
+Note on the ResNet-20 parameter counts: the paper's Table I lists layer 11
+as 9,226 weights where the standard topology has 9,216 (a +10 anomaly,
+likely the classifier bias folded in or a typo).  The standard counts below
+sum to 268,336; the paper's to 268,346.  Both are carried so tests can be
+explicit about which population they check.
+"""
+
+from __future__ import annotations
+
+#: Table I, column "Parameters (32-bit FP)" exactly as published.
+RESNET20_PAPER_LAYER_PARAMS = (
+    432, 2304, 2304, 2304, 2304, 2304, 2304, 4608,
+    9216, 9216, 9216, 9226, 9216, 18432,
+    36864, 36864, 36864, 36864, 36864, 640,
+)
+
+#: The standard ResNet-20 weight-layer sizes (what this repo's model has).
+RESNET20_STANDARD_LAYER_PARAMS = (
+    432, 2304, 2304, 2304, 2304, 2304, 2304, 4608,
+    9216, 9216, 9216, 9216, 9216, 18432,
+    36864, 36864, 36864, 36864, 36864, 640,
+)
+
+#: Table I, "Exhaustive FI" column (params x 32 bits x 2 stuck-at models).
+RESNET20_EXHAUSTIVE = tuple(p * 64 for p in RESNET20_PAPER_LAYER_PARAMS)
+
+#: Table I, "Network-wise [9]" per-layer column (e=1%, 99% confidence).
+RESNET20_NETWORK_WISE = (
+    27, 143, 143, 143, 143, 143, 143, 285,
+    571, 571, 571, 572, 571, 1142,
+    2284, 2284, 2284, 2284, 2284, 40,
+)
+
+#: Table I, "Layer-wise" per-layer column.
+RESNET20_LAYER_WISE = (
+    10389, 14954, 14954, 14954, 14954, 14954, 14954, 15752,
+    16184, 16184, 16184, 16185, 16184, 16410,
+    16524, 16524, 16524, 16524, 16524, 11834,
+)
+
+#: Table I, "Data-unaware (p==0.5)" per-layer column.
+RESNET20_DATA_UNAWARE = (
+    26272, 115488, 115488, 115488, 115488, 115488, 115488, 189792,
+    279872, 279872, 279872, 280000, 279872, 366912,
+    434464, 434464, 434464, 434464, 434464, 38048,
+)
+
+#: Table I, "Data-aware (p!=0.5)" per-layer column (depends on the trained
+#: CIFAR-10 weights the authors used; reproduced in *shape* only).
+RESNET20_DATA_AWARE = (
+    2732, 6258, 6258, 6258, 6258, 6258, 6258, 8744,
+    11652, 11652, 11652, 11656, 11652, 14425,
+    16563, 16563, 16563, 16563, 16563, 3309,
+)
+
+#: Table I totals row.
+RESNET20_TOTALS = {
+    "parameters": 268_346,
+    "exhaustive": 17_174_144,
+    "network-wise": 16_625,
+    "layer-wise": 307_650,
+    "data-unaware": 4_885_760,
+    "data-aware": 207_837,
+}
+
+#: Table II (MobileNetV2) totals.
+MOBILENETV2_TOTALS = {
+    "layers": 54,
+    "parameters": 2_203_584,
+    "exhaustive": 141_029_376,
+    "network-wise": 16_639,
+    "layer-wise": 838_988,
+    "data-unaware": 14_894_400,
+    "data-aware": 778_951,
+}
+
+#: Table III: (injections, injected %, average error margin %) per method.
+TABLE3_RESNET20 = {
+    "exhaustive": (17_174_144, 100.0, None),
+    "network-wise": (16_625, 0.10, 1.57),
+    "layer-wise": (307_650, 1.79, 0.19),
+    "data-unaware": (4_885_760, 28.45, 0.06),
+    "data-aware": (207_837, 1.21, 0.08),
+}
+
+TABLE3_MOBILENETV2 = {
+    "exhaustive": (141_029_376, 100.0, None),
+    "network-wise": (16_639, 0.01, 3.28),
+    "layer-wise": (838_988, 0.59, 0.01),
+    "data-unaware": (14_894_400, 10.56, 0.004),
+    "data-aware": (778_951, 0.55, 0.008),
+}
+
+#: Headline claims from the abstract/conclusions.
+HEADLINE = {
+    "resnet20_injected_percent": 1.21,
+    "mobilenetv2_injected_percent": 0.55,
+    "margin_target_percent": 1.0,
+    "resnet20_accuracy": 0.917,
+    "mobilenetv2_accuracy": 0.9201,
+    "statistical_fraction_claim": 1.50,  # "about 1.50% of the possible faults"
+}
+
+#: Campaign configuration shared by all of the paper's SFI variants.
+CAMPAIGN_CONFIG = {
+    "error_margin": 0.01,
+    "confidence": 0.99,
+    "t": 2.58,
+    "p_safe": 0.5,
+}

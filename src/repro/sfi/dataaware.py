@@ -1,0 +1,180 @@
+"""The data-aware p(i) pipeline (paper Section III-B, Eq. 4-5).
+
+From the *golden* weight distribution alone, estimate how critical a fault
+on each bit position is:
+
+1. Count per-bit frequencies f0(i), f1(i) over all weights (Fig. 3).
+2. Compute average bit-flip distances D_{0->1}(i), D_{1->0}(i).
+3. Combine: ``D_avg(i) = D_{0->1}(i) * f0(i) + D_{1->0}(i) * f1(i)``
+   (Eq. 4; frequencies enter as fractions so D_avg is an expected
+   per-weight distance).
+4. Min-max normalise D_avg into [0, 0.5] *excluding outliers*; outliers are
+   pinned at the maximum criticality p = 0.5 (Eq. 5).
+
+The resulting p(i) feeds Eq. 1 per (bit, layer) subpopulation: bits whose
+corruption barely moves the weight get p near 0 (tiny samples), bits that
+explode the weight get p = 0.5 (the safe maximum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.targets import enumerate_weight_layers
+from repro.ieee754 import (
+    FLOAT32,
+    BitFlipDistances,
+    BitFrequencies,
+    FloatFormat,
+    bit_flip_distances,
+    bit_frequencies,
+)
+from repro.nn import Module
+
+_OUTLIER_POLICIES = ("iqr", "percentile", "none")
+
+
+@dataclass(frozen=True)
+class BitCriticality:
+    """Per-bit criticality profile of a weight population.
+
+    Attributes
+    ----------
+    fmt:
+        Floating-point format analysed.
+    frequencies:
+        f0/f1 counts per bit (paper Fig. 3).
+    distances:
+        Average bit-flip distances per bit and direction.
+    d_avg:
+        Eq. 4 combined criticality value per bit.
+    p:
+        Eq. 5 normalised per-bit prior in [0, 0.5] (paper Fig. 4).
+    outliers:
+        Boolean mask of bits treated as outliers (pinned at p = 0.5).
+    """
+
+    fmt: FloatFormat
+    frequencies: BitFrequencies
+    distances: BitFlipDistances
+    d_avg: np.ndarray
+    p: np.ndarray
+    outliers: np.ndarray
+
+
+def model_weight_vector(model: Module) -> np.ndarray:
+    """All conv/linear weights of *model* concatenated into one vector."""
+    layers = enumerate_weight_layers(model)
+    return np.concatenate([layer.flat_weights() for layer in layers])
+
+
+def bit_criticality(
+    weights: np.ndarray,
+    *,
+    fmt: FloatFormat = FLOAT32,
+    nonfinite: str = "max",
+    outlier_policy: str = "iqr",
+    outlier_percentile: float = 95.0,
+) -> BitCriticality:
+    """Full Eq. 4-5 pipeline over a weight vector.
+
+    Parameters
+    ----------
+    weights:
+        The golden weights (any shape; flattened).
+    fmt:
+        Floating-point format to analyse.
+    nonfinite:
+        Policy for non-finite bit-flip results (see
+        :func:`repro.ieee754.bit_flip_distances`).
+    outlier_policy:
+        ``"iqr"`` (Tukey fences on log10 D_avg), ``"percentile"`` (everything
+        above *outlier_percentile* of D_avg) or ``"none"``.
+    """
+    weights = np.asarray(weights).ravel()
+    if weights.size == 0:
+        raise ValueError("weight vector is empty")
+    freqs = bit_frequencies(fmt, weights)
+    dists = bit_flip_distances(fmt, weights, nonfinite=nonfinite)
+    total = freqs.total
+    f0 = freqs.f0 / total
+    f1 = freqs.f1 / total
+    d_avg = dists.d01 * f0 + dists.d10 * f1
+    outliers = _find_outliers(d_avg, outlier_policy, outlier_percentile)
+    p = _normalise(d_avg, outliers)
+    return BitCriticality(
+        fmt=fmt,
+        frequencies=freqs,
+        distances=dists,
+        d_avg=d_avg,
+        p=p,
+        outliers=outliers,
+    )
+
+
+def data_aware_p(
+    model: Module,
+    *,
+    fmt: FloatFormat = FLOAT32,
+    nonfinite: str = "max",
+    outlier_policy: str = "iqr",
+) -> np.ndarray:
+    """Per-bit prior p(i) for *model* (convenience wrapper)."""
+    return bit_criticality(
+        model_weight_vector(model),
+        fmt=fmt,
+        nonfinite=nonfinite,
+        outlier_policy=outlier_policy,
+    ).p
+
+
+def _find_outliers(
+    d_avg: np.ndarray, policy: str, percentile: float
+) -> np.ndarray:
+    """Bits whose D_avg is an outlier of the distribution."""
+    if policy not in _OUTLIER_POLICIES:
+        raise ValueError(
+            f"outlier_policy must be one of {_OUTLIER_POLICIES}, got {policy!r}"
+        )
+    if policy == "none":
+        return np.zeros(d_avg.shape, dtype=bool)
+    finite = np.isfinite(d_avg)
+    outliers = ~finite  # non-finite averages are always outliers
+    values = d_avg[finite]
+    if values.size == 0:
+        return np.ones(d_avg.shape, dtype=bool)
+    if policy == "percentile":
+        cut = np.percentile(values, percentile)
+        outliers |= d_avg > cut
+        return outliers
+    # IQR fences on a log scale: bit-flip distances span ~40 decades in
+    # float32, so linear-scale fences would mark almost everything or
+    # nothing.  Zero distances are kept (never high outliers).
+    positive = values[values > 0]
+    if positive.size < 4:
+        return outliers
+    logs = np.log10(positive)
+    q1, q3 = np.percentile(logs, [25, 75])
+    upper = q3 + 1.5 * (q3 - q1)
+    with np.errstate(divide="ignore"):
+        log_d = np.where(d_avg > 0, np.log10(np.maximum(d_avg, 1e-300)), -np.inf)
+    outliers |= log_d > upper
+    return outliers
+
+
+def _normalise(d_avg: np.ndarray, outliers: np.ndarray) -> np.ndarray:
+    """Eq. 5: min-max into [0, 0.5] on non-outliers; outliers get 0.5."""
+    a, b = 0.0, 0.5
+    p = np.full(d_avg.shape, b, dtype=np.float64)
+    inner = d_avg[~outliers]
+    if inner.size == 0:
+        return p
+    lo = float(inner.min())
+    hi = float(inner.max())
+    if hi > lo:
+        p[~outliers] = a + (d_avg[~outliers] - lo) * (b - a) / (hi - lo)
+    else:
+        p[~outliers] = b  # degenerate: all equal -> safest prior
+    return p

@@ -1,0 +1,110 @@
+"""Subpopulation partitioning at the paper's three granularities.
+
+The paper's key observation: Eq. 1 requires the 4th Bernoulli assumption
+(equal success probability for every trial), which holds only *within* a
+subpopulation of comparable faults.  The finer the partition, the more
+homogeneous each part:
+
+- network granularity — one population, valid only for whole-network
+  questions;
+- layer granularity — one subpopulation per layer;
+- (bit, layer) granularity — one subpopulation per bit position per layer,
+  the level at which "a fault on bit *i* of any weight in layer *l* has the
+  same probability of success" is a reasonable assumption.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.faults.model import Fault
+from repro.faults.space import FaultSpace
+
+
+class Granularity(enum.Enum):
+    """Partitioning level of a campaign."""
+
+    NETWORK = "network"
+    LAYER = "layer"
+    BIT_LAYER = "bit-layer"
+
+
+@dataclass(frozen=True)
+class Subpopulation:
+    """One stratum of the fault population.
+
+    Attributes
+    ----------
+    granularity:
+        The partitioning level this stratum belongs to.
+    layer:
+        Layer index, or None for the network-level population.
+    bit:
+        Bit position, or None unless granularity is BIT_LAYER.
+    population:
+        Number of possible faults N in this stratum.
+    space:
+        The owning fault space (used to decode sampled local ids).
+    """
+
+    granularity: Granularity
+    layer: int | None
+    bit: int | None
+    population: int
+    space: FaultSpace
+
+    @property
+    def key(self) -> tuple:
+        """Hashable identity of the stratum."""
+        return (self.granularity.value, self.layer, self.bit)
+
+    def fault(self, local_id: int) -> Fault:
+        """Decode a stratum-local id into a :class:`Fault`."""
+        if self.granularity is Granularity.NETWORK:
+            return self.space.network_fault(local_id)
+        if self.granularity is Granularity.LAYER:
+            assert self.layer is not None
+            return self.space.layer_fault(self.layer, local_id)
+        assert self.layer is not None and self.bit is not None
+        return self.space.cell_fault(self.layer, self.bit, local_id)
+
+
+def network_subpopulation(space: FaultSpace) -> Subpopulation:
+    """The whole population as a single stratum."""
+    return Subpopulation(
+        granularity=Granularity.NETWORK,
+        layer=None,
+        bit=None,
+        population=space.total_population,
+        space=space,
+    )
+
+
+def layer_subpopulations(space: FaultSpace) -> list[Subpopulation]:
+    """One stratum per layer."""
+    return [
+        Subpopulation(
+            granularity=Granularity.LAYER,
+            layer=layer,
+            bit=None,
+            population=space.layer_population(layer),
+            space=space,
+        )
+        for layer in range(len(space.layers))
+    ]
+
+
+def cell_subpopulations(space: FaultSpace) -> list[Subpopulation]:
+    """One stratum per (bit, layer) cell, layer-major then bit order."""
+    return [
+        Subpopulation(
+            granularity=Granularity.BIT_LAYER,
+            layer=layer,
+            bit=bit,
+            population=space.cell_population(layer),
+            space=space,
+        )
+        for layer in range(len(space.layers))
+        for bit in range(space.bits)
+    ]

@@ -1,0 +1,278 @@
+"""The four SFI campaign planners.
+
+A planner turns a :class:`~repro.faults.FaultSpace` into a
+:class:`CampaignPlan`: the list of subpopulations to sample and, per
+subpopulation, the Eq. 1 sample size under the method's assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.space import FaultSpace
+from repro.nn import Module
+from repro.sfi.dataaware import BitCriticality, bit_criticality
+from repro.sfi.granularity import (
+    Granularity,
+    Subpopulation,
+    cell_subpopulations,
+    layer_subpopulations,
+    network_subpopulation,
+)
+from repro.stats import confidence_to_t, sample_size
+
+
+@dataclass(frozen=True)
+class PlannedSubpopulation:
+    """One stratum with its planned sample size and assumed prior."""
+
+    subpopulation: Subpopulation
+    sample_size: int
+    p_assumed: float
+
+
+@dataclass
+class CampaignPlan:
+    """The executable output of a planner."""
+
+    method: str
+    granularity: Granularity
+    error_margin: float
+    confidence: float
+    t: float
+    items: list[PlannedSubpopulation] = field(default_factory=list)
+
+    @property
+    def total_injections(self) -> int:
+        """Total planned sample size n_TOT (paper Eq. 3)."""
+        return sum(item.sample_size for item in self.items)
+
+    def layer_injections(self, layer: int) -> int:
+        """Planned injections whose stratum lies in *layer*.
+
+        For the network-wise plan the single stratum spans all layers, so
+        per-layer numbers are undefined here; use the executed campaign's
+        :meth:`~repro.sfi.results.CampaignResult.layer_injections` instead.
+        """
+        return sum(
+            item.sample_size
+            for item in self.items
+            if item.subpopulation.layer == layer
+        )
+
+    def describe(self) -> str:
+        """One-line description of the plan."""
+        return (
+            f"{self.method}: {len(self.items)} subpopulations, "
+            f"n_TOT={self.total_injections} "
+            f"(e={self.error_margin:.2%}, confidence={self.confidence:.0%})"
+        )
+
+
+class _BasePlanner:
+    """Shared configuration for all planners."""
+
+    method: str = "base"
+    granularity: Granularity = Granularity.NETWORK
+
+    def __init__(
+        self,
+        error_margin: float = 0.01,
+        confidence: float = 0.99,
+        *,
+        t_mode: str = "paper",
+        min_samples: int = 0,
+    ) -> None:
+        if error_margin <= 0 or error_margin >= 1:
+            raise ValueError(
+                f"error_margin must be in (0, 1), got {error_margin}"
+            )
+        self.error_margin = error_margin
+        self.confidence = confidence
+        self.t = confidence_to_t(confidence, mode=t_mode)
+        self.min_samples = min_samples
+
+    def _plan(
+        self, subpopulations: list[Subpopulation], priors: list[float]
+    ) -> CampaignPlan:
+        plan = CampaignPlan(
+            method=self.method,
+            granularity=self.granularity,
+            error_margin=self.error_margin,
+            confidence=self.confidence,
+            t=self.t,
+        )
+        for subpop, prior in zip(subpopulations, priors):
+            n = sample_size(
+                subpop.population,
+                self.error_margin,
+                self.t,
+                prior,
+                min_samples=self.min_samples,
+            )
+            plan.items.append(
+                PlannedSubpopulation(
+                    subpopulation=subpop, sample_size=n, p_assumed=prior
+                )
+            )
+        return plan
+
+    def plan(self, space: FaultSpace) -> CampaignPlan:
+        """Build the campaign plan for *space*."""
+        raise NotImplementedError
+
+
+class NetworkWiseSFI(_BasePlanner):
+    """Eq. 1 applied once to the whole fault population ([9] baseline).
+
+    Valid for the single network-level critical rate; the paper shows its
+    per-layer readouts violate the Bernoulli assumptions and blow past the
+    target error margin.
+    """
+
+    method = "network-wise"
+    granularity = Granularity.NETWORK
+
+    def plan(self, space: FaultSpace) -> CampaignPlan:
+        subpop = network_subpopulation(space)
+        return self._plan([subpop], [0.5])
+
+
+class LayerWiseSFI(_BasePlanner):
+    """Eq. 1 applied to each layer independently."""
+
+    method = "layer-wise"
+    granularity = Granularity.LAYER
+
+    def plan(self, space: FaultSpace) -> CampaignPlan:
+        subpops = layer_subpopulations(space)
+        return self._plan(subpops, [0.5] * len(subpops))
+
+
+class DataUnawareSFI(_BasePlanner):
+    """Eq. 1 per (bit, layer) cell with the safe prior p = 0.5 (Eq. 3)."""
+
+    method = "data-unaware"
+    granularity = Granularity.BIT_LAYER
+
+    def plan(self, space: FaultSpace) -> CampaignPlan:
+        subpops = cell_subpopulations(space)
+        return self._plan(subpops, [0.5] * len(subpops))
+
+
+class DataAwareSFI(_BasePlanner):
+    """Eq. 1 per (bit, layer) cell with the data-aware prior p(i).
+
+    The prior comes from the golden weight distribution via Eq. 4-5; it can
+    be supplied explicitly (``profile=`` or ``p=``) or is computed from the
+    fault space's own weights at planning time.
+    """
+
+    method = "data-aware"
+    granularity = Granularity.BIT_LAYER
+
+    def __init__(
+        self,
+        error_margin: float = 0.01,
+        confidence: float = 0.99,
+        *,
+        t_mode: str = "paper",
+        min_samples: int = 0,
+        profile: BitCriticality | None = None,
+        p: np.ndarray | None = None,
+        outlier_policy: str = "iqr",
+        nonfinite: str = "max",
+        per_layer: bool = False,
+    ) -> None:
+        super().__init__(
+            error_margin, confidence, t_mode=t_mode, min_samples=min_samples
+        )
+        if profile is not None and p is not None:
+            raise ValueError("pass either profile or p, not both")
+        if per_layer and (profile is not None or p is not None):
+            raise ValueError(
+                "per_layer profiles are computed from the fault space; "
+                "do not pass profile/p together with per_layer=True"
+            )
+        self._profile = profile
+        self._p = None if p is None else np.asarray(p, dtype=np.float64)
+        self.outlier_policy = outlier_policy
+        self.nonfinite = nonfinite
+        self.per_layer = per_layer
+
+    def bit_priors(self, space: FaultSpace) -> np.ndarray:
+        """The per-bit p(i) used for planning on *space*."""
+        if self._p is not None:
+            if self._p.shape != (space.bits,):
+                raise ValueError(
+                    f"p must have shape ({space.bits},), got {self._p.shape}"
+                )
+            return self._p
+        profile = self._profile
+        if profile is None:
+            weights = np.concatenate(
+                [layer.flat_weights() for layer in space.layers]
+            )
+            profile = bit_criticality(
+                weights,
+                fmt=space.fmt,
+                nonfinite=self.nonfinite,
+                outlier_policy=self.outlier_policy,
+            )
+        if profile.fmt.total_bits != space.bits:
+            raise ValueError(
+                f"profile format {profile.fmt.name} does not match the "
+                f"fault space format {space.fmt.name}"
+            )
+        return profile.p
+
+    def layer_priors(self, space: FaultSpace) -> list[np.ndarray]:
+        """Per-layer p_l(i) profiles (``per_layer=True`` extension).
+
+        The paper computes one global p(i) from all weights; profiling each
+        layer's own weight distribution instead captures per-layer scale
+        differences (e.g. the classifier's wider weights) at the cost of
+        noisier profiles for small layers.
+        """
+        return [
+            bit_criticality(
+                layer.flat_weights(),
+                fmt=space.fmt,
+                nonfinite=self.nonfinite,
+                outlier_policy=self.outlier_policy,
+            ).p
+            for layer in space.layers
+        ]
+
+    def plan(self, space: FaultSpace) -> CampaignPlan:
+        subpops = cell_subpopulations(space)
+        if self.per_layer:
+            per_layer = self.layer_priors(space)
+            priors = [
+                float(per_layer[subpop.layer][subpop.bit]) for subpop in subpops
+            ]
+        else:
+            priors_by_bit = self.bit_priors(space)
+            priors = [float(priors_by_bit[subpop.bit]) for subpop in subpops]
+        return self._plan(subpops, priors)
+
+    def plan_with_model(self, model: Module, space: FaultSpace) -> CampaignPlan:
+        """Plan using a profile computed from *model*'s weights."""
+        from repro.sfi.dataaware import model_weight_vector
+
+        profile = bit_criticality(
+            model_weight_vector(model),
+            fmt=space.fmt,
+            nonfinite=self.nonfinite,
+            outlier_policy=self.outlier_policy,
+        )
+        planner = DataAwareSFI(
+            self.error_margin,
+            self.confidence,
+            min_samples=self.min_samples,
+            profile=profile,
+        )
+        planner.t = self.t
+        return planner.plan(space)

@@ -1,0 +1,253 @@
+"""Campaign result containers and stratified estimation.
+
+A campaign's raw observations are tallied per (layer, bit) cell regardless
+of the planning granularity; estimates at any level are then derived:
+
+- **Pooled** estimates (network-wise and layer-wise campaigns): the
+  observations inside the level form a simple random sample of it, so
+  ``p_hat = criticals / n`` with the finite-population margin of Eq. 1.
+- **Stratified** estimates (bit-level campaigns, or network-level readouts
+  of layer-wise campaigns): combine strata as
+  ``p_hat = sum(N_h * p_h) / N`` with variance
+  ``sum((N_h/N)^2 * p_h(1-p_h)/n_h * FPC_h)``.  Strata that the plan left
+  unsampled (data-aware cells with p(i) = 0) contribute their assumed prior
+  with zero variance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.faults.space import FaultSpace
+from repro.sfi.granularity import Granularity
+from repro.stats import error_margin
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A critical-rate estimate for one population level."""
+
+    key: tuple
+    population: int
+    injections: int
+    criticals: int
+    p_hat: float
+    margin: float | None
+
+    def interval(self) -> tuple[float, float]:
+        """(low, high) bounds, clamped into [0, 1]; requires a margin."""
+        if self.margin is None:
+            raise ValueError(f"estimate {self.key} has no defined margin")
+        return (max(0.0, self.p_hat - self.margin), min(1.0, self.p_hat + self.margin))
+
+    def contains(self, true_rate: float) -> bool:
+        """Whether *true_rate* falls inside the margin."""
+        if self.margin is None:
+            return False
+        return abs(true_rate - self.p_hat) <= self.margin + 1e-12
+
+
+@dataclass
+class CampaignResult:
+    """Observations and derived estimates of one executed campaign."""
+
+    method: str
+    granularity: Granularity
+    t: float
+    space: FaultSpace
+    #: (layer, bit) -> [injections, criticals, masked]
+    cell_tallies: dict[tuple[int, int], list[int]] = field(default_factory=dict)
+    #: (layer, bit) -> assumed prior p for unsampled strata (data-aware).
+    assumed_p: dict[tuple[int, int], float] = field(default_factory=dict)
+    seed: int = 0
+
+    # -- raw tallies -------------------------------------------------------
+
+    def record(self, layer: int, bit: int, critical: bool, masked: bool) -> None:
+        """Tally one observed injection."""
+        tally = self.cell_tallies.setdefault((layer, bit), [0, 0, 0])
+        tally[0] += 1
+        tally[1] += int(critical)
+        tally[2] += int(masked)
+
+    @property
+    def total_injections(self) -> int:
+        """Number of faults actually injected."""
+        return sum(t[0] for t in self.cell_tallies.values())
+
+    @property
+    def total_criticals(self) -> int:
+        """Number of injected faults classified critical."""
+        return sum(t[1] for t in self.cell_tallies.values())
+
+    @property
+    def total_masked(self) -> int:
+        """Number of injected faults that were data-masked."""
+        return sum(t[2] for t in self.cell_tallies.values())
+
+    def layer_injections(self, layer: int) -> int:
+        """Injections that landed in *layer*."""
+        return sum(
+            t[0] for (l, _), t in self.cell_tallies.items() if l == layer
+        )
+
+    # -- estimates ---------------------------------------------------------
+
+    def cell_estimate(self, layer: int, bit: int) -> Estimate:
+        """Direct estimate for one (bit, layer) cell."""
+        population = self.space.cell_population(layer)
+        n, criticals, _ = self.cell_tallies.get((layer, bit), (0, 0, 0))
+        if n == 0:
+            assumed = self.assumed_p.get((layer, bit))
+            return Estimate(
+                key=("cell", layer, bit),
+                population=population,
+                injections=0,
+                criticals=0,
+                p_hat=assumed if assumed is not None else 0.0,
+                margin=None,
+            )
+        p_hat = criticals / n
+        return Estimate(
+            key=("cell", layer, bit),
+            population=population,
+            injections=n,
+            criticals=criticals,
+            p_hat=p_hat,
+            margin=error_margin(n, population, p_hat, self.t),
+        )
+
+    def layer_estimate(self, layer: int) -> Estimate:
+        """Estimate of the layer's critical rate.
+
+        Pooled for network/layer-granularity campaigns, stratified over bit
+        cells for bit-granularity campaigns.
+        """
+        population = self.space.layer_population(layer)
+        if self.granularity in (Granularity.NETWORK, Granularity.LAYER):
+            n = 0
+            criticals = 0
+            for (l, _), tally in self.cell_tallies.items():
+                if l == layer:
+                    n += tally[0]
+                    criticals += tally[1]
+            if n == 0:
+                return Estimate(
+                    key=("layer", layer),
+                    population=population,
+                    injections=0,
+                    criticals=0,
+                    p_hat=0.0,
+                    margin=None,
+                )
+            p_hat = criticals / n
+            return Estimate(
+                key=("layer", layer),
+                population=population,
+                injections=n,
+                criticals=criticals,
+                p_hat=p_hat,
+                margin=error_margin(n, population, p_hat, self.t),
+            )
+        strata = [
+            (self.space.cell_population(layer), self.cell_estimate(layer, bit))
+            for bit in range(self.space.bits)
+        ]
+        return self._stratified(("layer", layer), population, strata)
+
+    def network_estimate(self) -> Estimate:
+        """Estimate of the whole-network critical rate."""
+        population = self.space.total_population
+        if self.granularity is Granularity.NETWORK:
+            n = self.total_injections
+            criticals = self.total_criticals
+            if n == 0:
+                return Estimate(
+                    key=("network",),
+                    population=population,
+                    injections=0,
+                    criticals=0,
+                    p_hat=0.0,
+                    margin=None,
+                )
+            p_hat = criticals / n
+            return Estimate(
+                key=("network",),
+                population=population,
+                injections=n,
+                criticals=criticals,
+                p_hat=p_hat,
+                margin=error_margin(n, population, p_hat, self.t),
+            )
+        if self.granularity is Granularity.LAYER:
+            strata = [
+                (
+                    self.space.layer_population(layer),
+                    self.layer_estimate(layer),
+                )
+                for layer in range(len(self.space.layers))
+            ]
+        else:
+            strata = [
+                (
+                    self.space.cell_population(layer),
+                    self.cell_estimate(layer, bit),
+                )
+                for layer in range(len(self.space.layers))
+                for bit in range(self.space.bits)
+            ]
+        return self._stratified(("network",), population, strata)
+
+    def _stratified(
+        self,
+        key: tuple,
+        population: int,
+        strata: list[tuple[int, Estimate]],
+    ) -> Estimate:
+        """Combine stratum estimates into a level estimate."""
+        p_hat = 0.0
+        variance = 0.0
+        injections = 0
+        criticals = 0
+        for stratum_pop, est in strata:
+            weight = stratum_pop / population
+            p_hat += weight * est.p_hat
+            injections += est.injections
+            criticals += est.criticals
+            if est.injections > 0 and stratum_pop > 1:
+                fpc = (stratum_pop - est.injections) / (stratum_pop - 1)
+                variance += (
+                    weight * weight
+                    * est.p_hat * (1.0 - est.p_hat)
+                    / est.injections
+                    * fpc
+                )
+        margin = self.t * math.sqrt(variance)
+        return Estimate(
+            key=key,
+            population=population,
+            injections=injections,
+            criticals=criticals,
+            p_hat=p_hat,
+            margin=margin,
+        )
+
+    def layer_estimates(self) -> list[Estimate]:
+        """Per-layer estimates in layer order."""
+        return [
+            self.layer_estimate(layer) for layer in range(len(self.space.layers))
+        ]
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        net = self.network_estimate()
+        margin_text = (
+            f"±{net.margin * 100:.3f}%" if net.margin is not None else "n/a"
+        )
+        return (
+            f"{self.method}: {self.total_injections} injections "
+            f"({self.total_injections / self.space.total_population * 100:.2f}% "
+            f"of {self.space.total_population}), network critical rate "
+            f"{net.p_hat * 100:.3f}% {margin_text}"
+        )

@@ -1,0 +1,91 @@
+"""Campaign execution: sampled campaigns and the exhaustive baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.engine import FaultOutcome, InferenceEngine
+from repro.faults.model import FaultModel, STUCK_AT_MODELS
+from repro.faults.oracle import Oracle
+from repro.faults.space import FaultSpace
+from repro.faults.table import OutcomeTable
+from repro.ieee754 import FLOAT32, FloatFormat
+from repro.nn import Module
+from repro.sfi.granularity import Granularity
+from repro.sfi.planners import CampaignPlan
+from repro.sfi.results import CampaignResult
+from repro.sfi.sampler import sample_subpopulation
+
+
+class CampaignRunner:
+    """Executes a :class:`CampaignPlan` against a fault oracle.
+
+    The oracle is either an :class:`~repro.faults.InferenceOracle` (real
+    injections) or a :class:`~repro.faults.TableOracle` (replay of an
+    exhaustive campaign's recorded outcomes — bit-exact and much faster).
+    """
+
+    def __init__(self, oracle: Oracle, space: FaultSpace) -> None:
+        self.oracle = oracle
+        self.space = space
+
+    def run(self, plan: CampaignPlan, *, seed: int = 0) -> CampaignResult:
+        """Sample and classify every planned stratum; returns the result."""
+        rng = np.random.default_rng(seed)
+        result = CampaignResult(
+            method=plan.method,
+            granularity=plan.granularity,
+            t=plan.t,
+            space=self.space,
+            seed=seed,
+        )
+        for item in plan.items:
+            subpop = item.subpopulation
+            if item.sample_size == 0:
+                if (
+                    plan.granularity is Granularity.BIT_LAYER
+                    and subpop.layer is not None
+                    and subpop.bit is not None
+                ):
+                    result.assumed_p[(subpop.layer, subpop.bit)] = item.p_assumed
+                continue
+            faults = sample_subpopulation(subpop, item.sample_size, rng)
+            for fault in faults:
+                outcome = self.oracle.classify(fault)
+                result.record(
+                    fault.layer,
+                    fault.bit,
+                    critical=outcome is FaultOutcome.CRITICAL,
+                    masked=outcome is FaultOutcome.MASKED,
+                )
+        return result
+
+    def run_many(
+        self, plan: CampaignPlan, *, seeds: list[int]
+    ) -> list[CampaignResult]:
+        """Run the plan once per seed (the paper's S0-S9 samples)."""
+        return [self.run(plan, seed=seed) for seed in seeds]
+
+
+def run_exhaustive(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    *,
+    fmt: FloatFormat = FLOAT32,
+    fault_models: tuple[FaultModel, ...] = STUCK_AT_MODELS,
+    policy: str = "accuracy_drop",
+    threshold: float = 0.0,
+    progress=None,
+) -> tuple[OutcomeTable, FaultSpace, InferenceEngine]:
+    """Run the full exhaustive campaign for *model* over the eval set.
+
+    Returns ``(table, space, engine)``; the table is the paper's exhaustive
+    ground truth (every possible fault classified).
+    """
+    engine = InferenceEngine(
+        model, images, labels, fmt=fmt, policy=policy, threshold=threshold
+    )
+    space = FaultSpace(engine.layers, fmt=fmt, fault_models=fault_models)
+    table = OutcomeTable.from_exhaustive(engine, space, progress=progress)
+    return table, space, engine

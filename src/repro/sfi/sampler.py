@@ -1,0 +1,49 @@
+"""Seeded fault sampling within subpopulations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.model import Fault
+from repro.sfi.granularity import Subpopulation
+
+
+def sample_without_replacement(
+    population: int, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw *n* distinct integers from ``range(population)``.
+
+    For sparse draws (n << population) rejection sampling avoids
+    materialising the full index range, which matters for multi-million
+    fault populations.
+    """
+    if not 0 <= n <= population:
+        raise ValueError(f"n must be in [0, {population}], got {n}")
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if n == population:
+        return np.arange(population, dtype=np.int64)
+    if n > population // 8:
+        return rng.choice(population, size=n, replace=False).astype(np.int64)
+    chosen: set[int] = set()
+    result = np.empty(n, dtype=np.int64)
+    filled = 0
+    while filled < n:
+        draw = rng.integers(0, population, size=(n - filled) * 2)
+        for value in draw:
+            value = int(value)
+            if value not in chosen:
+                chosen.add(value)
+                result[filled] = value
+                filled += 1
+                if filled == n:
+                    break
+    return result
+
+
+def sample_subpopulation(
+    subpop: Subpopulation, n: int, rng: np.random.Generator
+) -> list[Fault]:
+    """Draw *n* distinct faults uniformly from *subpop*."""
+    ids = sample_without_replacement(subpop.population, n, rng)
+    return [subpop.fault(int(local_id)) for local_id in ids]

@@ -1,0 +1,149 @@
+"""Validation of statistical campaigns against exhaustive ground truth.
+
+Reproduces the paper's evaluation protocol: an SFI approach is *valid* when
+the exhaustive critical rate falls inside the statistical estimate's error
+margin, and the paper's Table III compares methods by total injections and
+the error margin averaged over all layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.table import OutcomeTable
+from repro.sfi.results import CampaignResult, Estimate
+
+
+@dataclass(frozen=True)
+class LayerValidation:
+    """Per-layer comparison of an estimate with the exhaustive rate."""
+
+    layer: int
+    exhaustive_rate: float
+    estimate: Estimate
+
+    @property
+    def contained(self) -> bool:
+        """Whether the exhaustive rate falls inside the error margin."""
+        return self.estimate.contains(self.exhaustive_rate)
+
+    @property
+    def absolute_error(self) -> float:
+        """|estimate - exhaustive|."""
+        return abs(self.estimate.p_hat - self.exhaustive_rate)
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Full validation of one campaign against an exhaustive table."""
+
+    method: str
+    layers: tuple[LayerValidation, ...]
+    network: LayerValidation
+    total_injections: int
+    population: int
+
+    @property
+    def injected_fraction(self) -> float:
+        """Fraction of the population the campaign injected."""
+        return self.total_injections / self.population if self.population else 0.0
+
+    @property
+    def average_margin(self) -> float:
+        """Error margin averaged over layers (Table III's key column).
+
+        Layers with an undefined margin (no injections landed there) count
+        as a full-width margin of 1.0 — an unusable estimate.
+        """
+        margins = [
+            lv.estimate.margin if lv.estimate.margin is not None else 1.0
+            for lv in self.layers
+        ]
+        return sum(margins) / len(margins) if margins else 0.0
+
+    @property
+    def contained_fraction(self) -> float:
+        """Fraction of layers whose exhaustive rate the margin contains."""
+        if not self.layers:
+            return 0.0
+        return sum(lv.contained for lv in self.layers) / len(self.layers)
+
+    @property
+    def average_absolute_error(self) -> float:
+        """Mean |estimate - exhaustive| over layers."""
+        if not self.layers:
+            return 0.0
+        return sum(lv.absolute_error for lv in self.layers) / len(self.layers)
+
+    def meets_margin_target(self, target: float = 0.01) -> bool:
+        """Whether the average layer margin respects the campaign target."""
+        return self.average_margin <= target
+
+
+def validate_campaign(
+    result: CampaignResult, table: OutcomeTable
+) -> ValidationReport:
+    """Compare *result* with the exhaustive *table* layer by layer."""
+    if table.num_layers != len(result.space.layers):
+        raise ValueError(
+            f"table covers {table.num_layers} layers, campaign space has "
+            f"{len(result.space.layers)}"
+        )
+    layer_rows = tuple(
+        LayerValidation(
+            layer=layer,
+            exhaustive_rate=table.layer_rate(layer),
+            estimate=result.layer_estimate(layer),
+        )
+        for layer in range(table.num_layers)
+    )
+    network_row = LayerValidation(
+        layer=-1,
+        exhaustive_rate=table.total_rate(),
+        estimate=result.network_estimate(),
+    )
+    return ValidationReport(
+        method=result.method,
+        layers=layer_rows,
+        network=network_row,
+        total_injections=result.total_injections,
+        population=result.space.total_population,
+    )
+
+
+@dataclass(frozen=True)
+class MethodComparison:
+    """Table III-style comparison row for one method."""
+
+    method: str
+    injections: int
+    injected_percent: float
+    average_margin_percent: float
+    contained_fraction: float
+
+    @classmethod
+    def from_report(cls, report: ValidationReport) -> "MethodComparison":
+        return cls(
+            method=report.method,
+            injections=report.total_injections,
+            injected_percent=report.injected_fraction * 100.0,
+            average_margin_percent=report.average_margin * 100.0,
+            contained_fraction=report.contained_fraction,
+        )
+
+
+def average_reports(reports: list[ValidationReport]) -> MethodComparison:
+    """Average several same-method reports (the paper's S0-S9 samples)."""
+    if not reports:
+        raise ValueError("need at least one report to average")
+    methods = {report.method for report in reports}
+    if len(methods) != 1:
+        raise ValueError(f"reports mix methods: {sorted(methods)}")
+    count = len(reports)
+    return MethodComparison(
+        method=reports[0].method,
+        injections=round(sum(r.total_injections for r in reports) / count),
+        injected_percent=sum(r.injected_fraction for r in reports) / count * 100,
+        average_margin_percent=sum(r.average_margin for r in reports) / count * 100,
+        contained_fraction=sum(r.contained_fraction for r in reports) / count,
+    )

@@ -1,0 +1,61 @@
+"""Statistical machinery for fault-sampling campaigns.
+
+Implements the finite-population sample-size formula of the paper's Eq. 1
+(originally from Leveugle et al., DATE 2009), the corresponding error-margin
+inversion, binomial confidence intervals, stratified-allocation helpers and
+the Bernoulli-assumption (homogeneity) diagnostics that motivate the paper.
+"""
+
+from repro.stats.confidence import (
+    PAPER_T_VALUES,
+    confidence_to_t,
+)
+from repro.stats.sample_size import (
+    sample_size,
+    sample_size_exact,
+    sample_size_infinite,
+)
+from repro.stats.error_margin import (
+    error_margin,
+    margin_contains,
+)
+from repro.stats.intervals import (
+    ConfidenceInterval,
+    clopper_pearson_interval,
+    normal_interval,
+    wilson_interval,
+)
+from repro.stats.power import (
+    resolvable_difference,
+    two_proportion_sample_size,
+    two_proportion_z_test,
+)
+from repro.stats.allocation import (
+    neyman_allocation,
+    proportional_allocation,
+)
+from repro.stats.homogeneity import (
+    HomogeneityResult,
+    chi_square_homogeneity,
+)
+
+__all__ = [
+    "PAPER_T_VALUES",
+    "confidence_to_t",
+    "sample_size",
+    "sample_size_exact",
+    "sample_size_infinite",
+    "error_margin",
+    "margin_contains",
+    "ConfidenceInterval",
+    "clopper_pearson_interval",
+    "normal_interval",
+    "wilson_interval",
+    "resolvable_difference",
+    "two_proportion_sample_size",
+    "two_proportion_z_test",
+    "neyman_allocation",
+    "proportional_allocation",
+    "HomogeneityResult",
+    "chi_square_homogeneity",
+]

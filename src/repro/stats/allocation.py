@@ -1,0 +1,101 @@
+"""Allocation of a total sample across strata (subpopulations).
+
+The paper's network-wise campaign computes one global *n* from Eq. 1 and
+implicitly spreads it across layers in proportion to their fault counts
+(that is how Table I's per-layer network-wise column is obtained).
+:func:`proportional_allocation` reproduces that; :func:`neyman_allocation`
+is the variance-optimal alternative offered as an ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def proportional_allocation(total: int, sizes: Sequence[int]) -> list[int]:
+    """Split *total* across strata proportionally to their *sizes*.
+
+    Uses largest-remainder (Hamilton) rounding so the parts sum exactly to
+    *total* and each part never exceeds its stratum size.
+    """
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    if any(s < 0 for s in sizes):
+        raise ValueError("stratum sizes must be >= 0")
+    pop = sum(sizes)
+    if pop == 0:
+        if total > 0:
+            raise ValueError("cannot allocate a positive total over empty strata")
+        return [0] * len(sizes)
+    if total > pop:
+        raise ValueError(f"total ({total}) exceeds population ({pop})")
+    quotas = [total * s / pop for s in sizes]
+    parts = [min(math.floor(q), s) for q, s in zip(quotas, sizes)]
+    remainder = total - sum(parts)
+    # Assign leftover units to strata with the largest fractional parts
+    # (ties broken by index for determinism), respecting capacity.
+    order = sorted(
+        range(len(sizes)), key=lambda i: (-(quotas[i] - math.floor(quotas[i])), i)
+    )
+    idx = 0
+    while remainder > 0:
+        i = order[idx % len(order)]
+        if parts[i] < sizes[i]:
+            parts[i] += 1
+            remainder -= 1
+        idx += 1
+        if idx > 2 * len(order) * (total + 1):  # pragma: no cover - safety net
+            raise RuntimeError("allocation failed to converge")
+    return parts
+
+
+def neyman_allocation(
+    total: int, sizes: Sequence[int], std_devs: Sequence[float]
+) -> list[int]:
+    """Variance-optimal (Neyman) allocation: n_h ∝ N_h * sigma_h.
+
+    Strata with zero spread receive no samples unless every stratum has
+    zero spread, in which case the allocation degrades to proportional.
+    """
+    if len(sizes) != len(std_devs):
+        raise ValueError("sizes and std_devs must have the same length")
+    if any(s < 0 for s in std_devs):
+        raise ValueError("standard deviations must be >= 0")
+    weights = [n * s for n, s in zip(sizes, std_devs)]
+    if sum(weights) == 0:
+        return proportional_allocation(total, sizes)
+    if total > sum(sizes):
+        raise ValueError(f"total ({total}) exceeds population ({sum(sizes)})")
+    # Reuse largest-remainder rounding over the Neyman quotas, but cap at
+    # stratum capacity and re-distribute any overflow proportionally.
+    capped = list(sizes)
+    parts = [0] * len(sizes)
+    remaining = total
+    active = [i for i in range(len(sizes)) if weights[i] > 0]
+    while remaining > 0 and active:
+        wsum = sum(weights[i] for i in active)
+        quotas = {i: remaining * weights[i] / wsum for i in active}
+        step = {i: min(math.floor(quotas[i]), capped[i] - parts[i]) for i in active}
+        if all(v == 0 for v in step.values()):
+            # Hand out single units by largest quota until done.
+            for i in sorted(active, key=lambda j: (-quotas[j], j)):
+                if remaining == 0:
+                    break
+                if parts[i] < capped[i]:
+                    parts[i] += 1
+                    remaining -= 1
+        else:
+            for i in active:
+                parts[i] += step[i]
+                remaining -= step[i]
+        active = [i for i in active if parts[i] < capped[i]]
+    if remaining > 0:
+        # Spill into zero-weight strata if the weighted ones are exhausted.
+        for i in range(len(sizes)):
+            take = min(remaining, capped[i] - parts[i])
+            parts[i] += take
+            remaining -= take
+            if remaining == 0:
+                break
+    return parts

@@ -1,0 +1,52 @@
+"""Confidence level -> normal quantile (the paper's *t* constant).
+
+The sample-size formula uses the two-sided normal quantile
+``t = z_{1-(1-c)/2}``.  The paper (and its reference [9], Leveugle et al.)
+uses the traditional rounded textbook constants — in particular
+``t = 2.58`` for 99% confidence.  Reproducing Tables I/II digit-for-digit
+requires those rounded values, so the default mode is ``"paper"``; the
+``"exact"`` mode computes the quantile with scipy instead.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.stats import norm
+
+#: Rounded textbook quantiles used by the paper and by Leveugle et al. [9].
+PAPER_T_VALUES = {
+    0.80: 1.282,
+    0.90: 1.645,
+    0.95: 1.960,
+    0.98: 2.326,
+    0.99: 2.58,
+    0.995: 2.807,
+    0.999: 3.291,
+}
+
+_MODES = ("paper", "exact")
+
+
+def confidence_to_t(confidence: float, *, mode: str = "paper") -> float:
+    """Return the two-sided normal quantile for *confidence*.
+
+    Parameters
+    ----------
+    confidence:
+        Confidence level in (0, 1), e.g. ``0.99``.
+    mode:
+        ``"paper"`` uses the rounded textbook constant when *confidence*
+        matches one of the standard levels (falling back to the exact
+        quantile otherwise); ``"exact"`` always computes
+        ``norm.ppf(1 - (1 - confidence) / 2)``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if mode not in _MODES:
+        raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+    if mode == "paper":
+        for level, t in PAPER_T_VALUES.items():
+            if math.isclose(confidence, level, rel_tol=0, abs_tol=1e-9):
+                return t
+    return float(norm.ppf(1.0 - (1.0 - confidence) / 2.0))

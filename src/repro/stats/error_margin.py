@@ -1,0 +1,58 @@
+"""Error margin of a statistical FI estimate (inverse of paper Eq. 1).
+
+After injecting *n* of the *N* possible faults and observing a critical
+fraction ``p_hat``, the (finite-population-corrected) margin of error at
+quantile *t* is
+
+.. math::
+
+    e = t \\sqrt{\\frac{\\hat p (1 - \\hat p)}{n} \\cdot \\frac{N - n}{N - 1}}
+
+This is the black vertical bar of the paper's Figs. 5-7: the exhaustive
+result should fall within ``p_hat ± e`` for the campaign to be considered
+statistically valid.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def error_margin(n: int, population: int, p_hat: float, t: float) -> float:
+    """Margin of error of an estimated proportion from a finite population.
+
+    Parameters
+    ----------
+    n:
+        Number of injected faults (sample size), ``1 <= n <= population``.
+    population:
+        Total number of possible faults *N*.
+    p_hat:
+        Observed critical fraction in the sample, in [0, 1].
+    t:
+        Normal quantile for the desired confidence.
+
+    Returns 0.0 when the sample is exhaustive (``n == population``).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if population < n:
+        raise ValueError(f"population ({population}) must be >= n ({n})")
+    if not 0.0 <= p_hat <= 1.0:
+        raise ValueError(f"p_hat must be in [0, 1], got {p_hat}")
+    if t <= 0.0:
+        raise ValueError(f"t must be > 0, got {t}")
+    if population == 1 or n == population:
+        return 0.0
+    fpc = (population - n) / (population - 1)
+    return t * math.sqrt(p_hat * (1.0 - p_hat) / n * fpc)
+
+
+def margin_contains(
+    p_hat: float, margin: float, true_value: float, *, slack: float = 0.0
+) -> bool:
+    """Whether *true_value* lies within ``p_hat ± (margin + slack)``."""
+    if margin < 0.0:
+        raise ValueError(f"margin must be >= 0, got {margin}")
+    # The 1e-12 guard makes the boundary robust to float rounding.
+    return abs(true_value - p_hat) <= margin + slack + 1e-12

@@ -1,0 +1,82 @@
+"""Empirical checks of the 4th Bernoulli assumption.
+
+The paper's central argument is that Eq. 1 is only valid inside a
+(sub)population whose faults share the same success probability *p*.  Given
+exhaustive (or sampled) per-subpopulation critical counts, the chi-square
+homogeneity test quantifies how badly that assumption is violated at a
+given granularity — e.g. it rejects homogeneity across layers (so
+network-wise sampling is invalid for per-layer questions) but typically
+cannot reject it across weights within one (bit, layer) cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+from scipy.stats import chi2
+
+
+@dataclass(frozen=True)
+class HomogeneityResult:
+    """Outcome of a chi-square homogeneity test across subpopulations."""
+
+    statistic: float
+    dof: int
+    p_value: float
+    pooled_rate: float
+
+    def rejects_homogeneity(self, alpha: float = 0.01) -> bool:
+        """Whether equal-*p* across subpopulations is rejected at *alpha*."""
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        return self.p_value < alpha
+
+
+def chi_square_homogeneity(
+    trials: Sequence[int], successes: Sequence[int]
+) -> HomogeneityResult:
+    """Chi-square test that all subpopulations share one success rate.
+
+    Parameters
+    ----------
+    trials:
+        Number of trials per subpopulation (all > 0).
+    successes:
+        Number of successes per subpopulation (0 <= s_k <= trials_k).
+
+    Groups are compared against the pooled rate; the statistic follows a
+    chi-square distribution with ``K - 1`` degrees of freedom under the
+    null hypothesis of homogeneity.
+    """
+    trials = np.asarray(trials, dtype=np.float64)
+    successes = np.asarray(successes, dtype=np.float64)
+    if trials.shape != successes.shape or trials.ndim != 1:
+        raise ValueError("trials and successes must be 1-D and equally long")
+    if trials.size < 2:
+        raise ValueError("need at least two subpopulations to compare")
+    if np.any(trials <= 0):
+        raise ValueError("every subpopulation needs at least one trial")
+    if np.any(successes < 0) or np.any(successes > trials):
+        raise ValueError("successes must be within [0, trials] per group")
+
+    pooled = float(successes.sum() / trials.sum())
+    if pooled in (0.0, 1.0):
+        # Degenerate: every trial in every group agreed; perfectly
+        # homogeneous by construction.
+        return HomogeneityResult(
+            statistic=0.0, dof=int(trials.size - 1), p_value=1.0, pooled_rate=pooled
+        )
+    expected_s = trials * pooled
+    expected_f = trials * (1.0 - pooled)
+    failures = trials - successes
+    stat = float(
+        np.sum((successes - expected_s) ** 2 / expected_s)
+        + np.sum((failures - expected_f) ** 2 / expected_f)
+    )
+    dof = int(trials.size - 1)
+    p_value = float(chi2.sf(stat, dof))
+    return HomogeneityResult(
+        statistic=stat, dof=dof, p_value=p_value, pooled_rate=pooled
+    )

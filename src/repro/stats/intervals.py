@@ -1,0 +1,116 @@
+"""Binomial confidence intervals for critical-fault proportions.
+
+Three estimators are provided:
+
+- :func:`normal_interval` — the normal (Wald) approximation with the
+  finite-population correction; this is what the paper's error margins use.
+- :func:`wilson_interval` — the Wilson score interval, which behaves far
+  better for proportions near 0 or 1 and small samples.
+- :func:`clopper_pearson_interval` — the exact binomial interval, the
+  conservative gold standard (never undercovers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from scipy.stats import beta
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval for a proportion."""
+
+    low: float
+    high: float
+    method: str
+
+    @property
+    def width(self) -> float:
+        """Total width (high - low) of the interval."""
+        return self.high - self.low
+
+    def contains(self, value: float) -> bool:
+        """Whether *value* lies inside the interval (inclusive, with a
+        1e-12 guard against float rounding at the boundaries)."""
+        return self.low - 1e-12 <= value <= self.high + 1e-12
+
+    def clamped(self) -> "ConfidenceInterval":
+        """Return a copy with bounds clamped into [0, 1]."""
+        return ConfidenceInterval(
+            low=max(0.0, self.low), high=min(1.0, self.high), method=self.method
+        )
+
+
+def _check(n: int, successes: int, t: float) -> None:
+    if n <= 0:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0 <= successes <= n:
+        raise ValueError(f"successes must be in [0, {n}], got {successes}")
+    if t <= 0.0:
+        raise ValueError(f"t must be > 0, got {t}")
+
+
+def normal_interval(
+    n: int, successes: int, t: float, *, population: int | None = None
+) -> ConfidenceInterval:
+    """Wald interval ``p_hat ± t * se``, optionally with the FPC.
+
+    With ``population`` given, the standard error is shrunk by the
+    finite-population correction factor ``sqrt((N - n) / (N - 1))``.
+    """
+    _check(n, successes, t)
+    p_hat = successes / n
+    se = math.sqrt(p_hat * (1.0 - p_hat) / n)
+    if population is not None:
+        if population < n:
+            raise ValueError(f"population ({population}) must be >= n ({n})")
+        if population > 1:
+            se *= math.sqrt((population - n) / (population - 1))
+        else:
+            se = 0.0
+    return ConfidenceInterval(
+        low=p_hat - t * se, high=p_hat + t * se, method="normal"
+    ).clamped()
+
+
+def clopper_pearson_interval(
+    n: int, successes: int, confidence: float
+) -> ConfidenceInterval:
+    """Exact (Clopper-Pearson) binomial interval at *confidence*.
+
+    Guaranteed coverage at the cost of conservatism; takes the confidence
+    level directly (not a normal quantile) because it is quantile-free.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0 <= successes <= n:
+        raise ValueError(f"successes must be in [0, {n}], got {successes}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    alpha = 1.0 - confidence
+    if successes == 0:
+        low = 0.0
+    else:
+        low = float(beta.ppf(alpha / 2, successes, n - successes + 1))
+    if successes == n:
+        high = 1.0
+    else:
+        high = float(beta.ppf(1 - alpha / 2, successes + 1, n - successes))
+    return ConfidenceInterval(low=low, high=high, method="clopper-pearson")
+
+
+def wilson_interval(n: int, successes: int, t: float) -> ConfidenceInterval:
+    """Wilson score interval for a binomial proportion."""
+    _check(n, successes, t)
+    p_hat = successes / n
+    t2 = t * t
+    denom = 1.0 + t2 / n
+    centre = (p_hat + t2 / (2.0 * n)) / denom
+    half = (
+        t * math.sqrt(p_hat * (1.0 - p_hat) / n + t2 / (4.0 * n * n)) / denom
+    )
+    return ConfidenceInterval(
+        low=centre - half, high=centre + half, method="wilson"
+    ).clamped()

@@ -1,0 +1,109 @@
+"""Power analysis for comparing subpopulation critical rates.
+
+The paper's motivation is to *rank* internal units ("the most critical
+layer, the most critical bit").  Establishing that layer A is more
+critical than layer B is a two-proportion comparison; this module answers
+the planning question "how many injections per layer do I need to resolve
+a difference of delta at a given significance and power?" — the natural
+companion to Eq. 1, which only targets the estimation error of a single
+proportion.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy.stats import norm
+
+
+def two_proportion_sample_size(
+    p1: float,
+    p2: float,
+    *,
+    alpha: float = 0.01,
+    power: float = 0.9,
+) -> int:
+    """Per-group sample size to detect ``p1 != p2``.
+
+    Uses the classical normal-approximation formula with pooled variance
+    under the null and unpooled under the alternative:
+
+    .. math::
+
+        n = \\frac{\\left(z_{1-\\alpha/2}\\sqrt{2\\bar p(1-\\bar p)} +
+                z_{power}\\sqrt{p_1(1-p_1) + p_2(1-p_2)}\\right)^2}
+               {(p_1 - p_2)^2}
+    """
+    for name, value in (("p1", p1), ("p2", p2)):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if not 0.0 < power < 1.0:
+        raise ValueError(f"power must be in (0, 1), got {power}")
+    if p1 == p2:
+        raise ValueError("p1 and p2 must differ to be distinguishable")
+    z_alpha = float(norm.ppf(1 - alpha / 2))
+    z_power = float(norm.ppf(power))
+    pooled = (p1 + p2) / 2
+    numerator = (
+        z_alpha * math.sqrt(2 * pooled * (1 - pooled))
+        + z_power * math.sqrt(p1 * (1 - p1) + p2 * (1 - p2))
+    ) ** 2
+    return math.ceil(numerator / (p1 - p2) ** 2)
+
+
+def two_proportion_z_test(
+    n1: int, successes1: int, n2: int, successes2: int
+) -> tuple[float, float]:
+    """Two-sided z-test that two observed proportions differ.
+
+    Returns ``(z, p_value)``.  Used to decide whether an observed
+    per-layer criticality ranking is statistically meaningful.
+    """
+    for name, n, s in (("1", n1, successes1), ("2", n2, successes2)):
+        if n <= 0:
+            raise ValueError(f"n{name} must be >= 1, got {n}")
+        if not 0 <= s <= n:
+            raise ValueError(
+                f"successes{name} must be in [0, {n}], got {s}"
+            )
+    p1 = successes1 / n1
+    p2 = successes2 / n2
+    pooled = (successes1 + successes2) / (n1 + n2)
+    variance = pooled * (1 - pooled) * (1 / n1 + 1 / n2)
+    if variance == 0.0:
+        return 0.0, 1.0
+    z = (p1 - p2) / math.sqrt(variance)
+    p_value = 2.0 * float(norm.sf(abs(z)))
+    return z, min(p_value, 1.0)
+
+
+def resolvable_difference(
+    n: int, p_base: float, *, alpha: float = 0.01, power: float = 0.9
+) -> float:
+    """Smallest rate difference resolvable with *n* injections per group.
+
+    Inverts :func:`two_proportion_sample_size` numerically (bisection on
+    delta); answers "after an Eq. 1-sized campaign, how fine a criticality
+    ranking can I trust?".
+    """
+    if n <= 0:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 <= p_base < 1.0:
+        raise ValueError(f"p_base must be in [0, 1), got {p_base}")
+    lo, hi = 1e-9, 1.0 - p_base
+    if two_proportion_sample_size(
+        p_base, p_base + hi, alpha=alpha, power=power
+    ) > n:
+        return hi  # not even the maximum difference is resolvable
+    for _ in range(60):
+        mid = (lo + hi) / 2
+        needed = two_proportion_sample_size(
+            p_base, p_base + mid, alpha=alpha, power=power
+        )
+        if needed <= n:
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,91 @@
+"""Finite-population sample-size formula (paper Eq. 1).
+
+.. math::
+
+    n = \\frac{N}{1 + e^2 \\cdot \\frac{N - 1}{t^2 \\cdot p (1 - p)}}
+
+where *N* is the population size (total number of possible faults), *e* the
+desired error margin, *t* the normal quantile for the desired confidence
+level, and *p* the assumed probability that a fault becomes a critical
+failure.  ``p = 0.5`` maximises ``p (1 - p)`` and therefore yields the
+largest — safest — sample; the data-aware method of the paper supplies
+per-bit priors ``p(i) <= 0.5`` that shrink the sample.
+"""
+
+from __future__ import annotations
+
+
+def sample_size_infinite(error_margin: float, t: float, p: float = 0.5) -> float:
+    """Sample size for an infinite population: ``t^2 p(1-p) / e^2``."""
+    _check_args(error_margin, t, p)
+    return t * t * p * (1.0 - p) / (error_margin * error_margin)
+
+
+def sample_size_exact(
+    population: int, error_margin: float, t: float, p: float = 0.5
+) -> float:
+    """Eq. 1 with the finite-population correction, un-rounded.
+
+    Returns the real-valued sample size; use :func:`sample_size` for the
+    integer version used when planning campaigns.
+    """
+    if population < 0:
+        raise ValueError(f"population must be >= 0, got {population}")
+    _check_args(error_margin, t, p)
+    if population == 0:
+        return 0.0
+    variance = t * t * p * (1.0 - p)
+    if variance == 0.0:
+        # p of exactly 0 or 1: every trial has a known outcome, nothing to
+        # sample.  The formula's limit is 0 for N > 1.
+        return 0.0
+    return population / (
+        1.0 + error_margin * error_margin * (population - 1) / variance
+    )
+
+
+def sample_size(
+    population: int,
+    error_margin: float,
+    t: float,
+    p: float = 0.5,
+    *,
+    min_samples: int = 0,
+) -> int:
+    """Integer sample size per Eq. 1, rounded to nearest.
+
+    Rounding to nearest (not ceiling) is what reproduces the paper's
+    Tables I and II digit-for-digit.  ``min_samples`` optionally clamps the
+    result from below (useful to guarantee at least a handful of trials per
+    subpopulation even when a data-aware prior drives *n* to zero); the
+    result never exceeds the population size.
+
+    Parameters
+    ----------
+    population:
+        Total number of possible faults *N* in this (sub)population.
+    error_margin:
+        Desired margin of error *e*, e.g. ``0.01`` for 1%.
+    t:
+        Normal quantile for the desired confidence (see
+        :func:`repro.stats.confidence_to_t`).
+    p:
+        Assumed per-trial success probability in [0, 1].
+    min_samples:
+        Lower clamp on the returned sample size (before the population cap).
+    """
+    if min_samples < 0:
+        raise ValueError(f"min_samples must be >= 0, got {min_samples}")
+    raw = sample_size_exact(population, error_margin, t, p)
+    n = int(round(raw))
+    n = max(n, min_samples)
+    return min(n, population)
+
+
+def _check_args(error_margin: float, t: float, p: float) -> None:
+    if error_margin <= 0.0:
+        raise ValueError(f"error_margin must be > 0, got {error_margin}")
+    if t <= 0.0:
+        raise ValueError(f"t must be > 0, got {t}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")

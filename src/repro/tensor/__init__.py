@@ -1,0 +1,56 @@
+"""A small tape-based autograd engine on numpy.
+
+This is the substrate that replaces PyTorch for this reproduction: enough
+reverse-mode automatic differentiation to *train* the paper's CNN
+topologies (convolutions with stride/padding/groups, batch normalisation,
+ReLU family, pooling, linear layers, softmax cross-entropy) and a fast
+graph-free inference path used by the fault-injection engine.
+
+Public surface:
+
+- :class:`Tensor` — an N-d array with an optional gradient and a backward
+  tape.
+- :mod:`repro.tensor.ops` — functional operators building the autograd
+  graph (also re-exported here).
+- :mod:`repro.tensor.im2col` — the im2col/col2im machinery shared by the
+  autograd and the fast inference convolutions.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad
+from repro.tensor.im2col import col2im, conv_output_size, im2col
+from repro.tensor import ops
+from repro.tensor.ops import (
+    add,
+    avg_pool2d,
+    batchnorm2d,
+    conv2d,
+    cross_entropy,
+    global_avg_pool2d,
+    linear,
+    pad_channels,
+    relu,
+    relu6,
+    reshape,
+    subsample2d,
+)
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "ops",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+    "add",
+    "avg_pool2d",
+    "batchnorm2d",
+    "conv2d",
+    "cross_entropy",
+    "global_avg_pool2d",
+    "linear",
+    "pad_channels",
+    "relu",
+    "relu6",
+    "reshape",
+    "subsample2d",
+]

@@ -1,0 +1,291 @@
+"""Differentiable operators for the tape autograd engine.
+
+Every function takes and returns :class:`~repro.tensor.Tensor` objects and
+registers a backward closure mapping the output gradient to parent
+gradients.  Shapes follow the PyTorch conventions the paper's stack uses:
+images are ``(N, C, H, W)``, linear weights are ``(out, in)``, convolution
+weights are ``(out_channels, in_channels // groups, kh, kw)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.im2col import col2im, conv_output_size, im2col
+from repro.tensor.tensor import Tensor
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce *grad* back to *shape* after numpy broadcasting."""
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise (broadcasting) addition."""
+    out_data = a.data + b.data
+
+    def backward(grad: np.ndarray):
+        return _unbroadcast(grad, a.shape), _unbroadcast(grad, b.shape)
+
+    return Tensor(out_data, _parents=(a, b), _backward=backward)
+
+
+def reshape(x: Tensor, shape: tuple[int, ...]) -> Tensor:
+    """Reshape preserving element order."""
+    original = x.shape
+    out_data = x.data.reshape(shape)
+
+    def backward(grad: np.ndarray):
+        return (grad.reshape(original),)
+
+    return Tensor(out_data, _parents=(x,), _backward=backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    mask = x.data > 0
+    out_data = np.where(mask, x.data, 0.0).astype(np.float32)
+
+    def backward(grad: np.ndarray):
+        return (grad * mask,)
+
+    return Tensor(out_data, _parents=(x,), _backward=backward)
+
+
+def relu6(x: Tensor) -> Tensor:
+    """ReLU clipped at 6 (MobileNetV2's activation)."""
+    mask = (x.data > 0) & (x.data < 6.0)
+    out_data = np.clip(x.data, 0.0, 6.0).astype(np.float32)
+
+    def backward(grad: np.ndarray):
+        return (grad * mask,)
+
+    return Tensor(out_data, _parents=(x,), _backward=backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` for ``x`` of shape (N, in)."""
+    out_data = x.data @ weight.data.T
+    if bias is not None:
+        out_data = out_data + bias.data
+
+    def backward(grad: np.ndarray):
+        dx = grad @ weight.data
+        dw = grad.T @ x.data
+        if bias is None:
+            return dx, dw
+        return dx, dw, grad.sum(axis=0)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor(out_data, _parents=parents, _backward=backward)
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    *,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> Tensor:
+    """Grouped 2-D convolution via im2col.
+
+    ``x``: (N, C, H, W); ``weight``: (OC, C // groups, kh, kw);
+    ``bias``: (OC,) or None.  ``groups == C == OC`` gives the depthwise
+    convolution MobileNetV2 relies on.
+    """
+    n, c, h, w = x.shape
+    oc, cg, kh, kw = weight.shape
+    if c % groups or oc % groups:
+        raise ValueError(
+            f"channels ({c}) and out_channels ({oc}) must be divisible by "
+            f"groups ({groups})"
+        )
+    if cg != c // groups:
+        raise ValueError(
+            f"weight in-channels ({cg}) must equal C/groups ({c // groups})"
+        )
+    out_h = conv_output_size(h, kh, stride, padding)
+    out_w = conv_output_size(w, kw, stride, padding)
+    ocg = oc // groups
+    k = cg * kh * kw
+
+    cols = im2col(x.data, kh, kw, stride, padding)  # (N, C*kh*kw, P)
+    p = out_h * out_w
+    cols_g = cols.reshape(n, groups, k, p)
+    w_g = weight.data.reshape(groups, ocg, k)
+    out = np.einsum("gok,ngkp->ngop", w_g, cols_g, optimize=True)
+    out_data = out.reshape(n, oc, out_h, out_w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, oc, 1, 1)
+    out_data = out_data.astype(np.float32)
+
+    def backward(grad: np.ndarray):
+        grad_g = grad.reshape(n, groups, ocg, p)
+        dw = np.einsum("ngop,ngkp->gok", grad_g, cols_g, optimize=True)
+        dw = dw.reshape(weight.shape)
+        dcols = np.einsum("gok,ngop->ngkp", w_g, grad_g, optimize=True)
+        dcols = dcols.reshape(n, c * kh * kw, p)
+        dx = col2im(dcols, (n, c, h, w), kh, kw, stride, padding)
+        if bias is None:
+            return dx, dw
+        return dx, dw, grad.sum(axis=(0, 2, 3))
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return Tensor(out_data, _parents=parents, _backward=backward)
+
+
+def batchnorm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    *,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalisation over (N, H, W) per channel.
+
+    In training mode batch statistics are used and the running buffers are
+    updated in place (biased variance, matching a simple exponential moving
+    average); in eval mode the running buffers are used.
+    """
+    c = x.shape[1]
+    axes = (0, 2, 3)
+    if training:
+        mean = x.data.mean(axis=axes)
+        var = x.data.var(axis=axes)
+        count = x.data.size / c
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        if count > 1:
+            running_var += momentum * var * count / (count - 1)
+        else:
+            running_var += momentum * var
+    else:
+        mean = running_mean
+        var = running_var
+    std = np.sqrt(var + eps).astype(np.float32)
+    x_hat = (x.data - mean.reshape(1, c, 1, 1)) / std.reshape(1, c, 1, 1)
+    out_data = (
+        gamma.data.reshape(1, c, 1, 1) * x_hat + beta.data.reshape(1, c, 1, 1)
+    ).astype(np.float32)
+
+    def backward(grad: np.ndarray):
+        dgamma = (grad * x_hat).sum(axis=axes)
+        dbeta = grad.sum(axis=axes)
+        g = gamma.data.reshape(1, c, 1, 1)
+        if training:
+            m = x.data.size / c
+            dx_hat = grad * g
+            dx = (
+                dx_hat
+                - dx_hat.mean(axis=axes, keepdims=True)
+                - x_hat * (dx_hat * x_hat).mean(axis=axes, keepdims=True)
+            ) / std.reshape(1, c, 1, 1)
+            del m  # batch size folded into the means above
+        else:
+            dx = grad * g / std.reshape(1, c, 1, 1)
+        return dx.astype(np.float32), dgamma, dbeta
+
+    return Tensor(out_data, _parents=(x, gamma, beta), _backward=backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int) -> Tensor:
+    """Non-overlapping average pooling with stride == kernel.
+
+    Requires H and W divisible by *kernel*.
+    """
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(
+            f"avg_pool2d kernel {kernel} must divide spatial dims ({h}x{w})"
+        )
+    oh, ow = h // kernel, w // kernel
+    view = x.data.reshape(n, c, oh, kernel, ow, kernel)
+    out_data = view.mean(axis=(3, 5)).astype(np.float32)
+
+    def backward(grad: np.ndarray):
+        scaled = grad / (kernel * kernel)
+        dx = np.broadcast_to(
+            scaled[:, :, :, None, :, None], (n, c, oh, kernel, ow, kernel)
+        ).reshape(n, c, h, w)
+        return (dx.astype(np.float32),)
+
+    return Tensor(out_data, _parents=(x,), _backward=backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the full spatial extent, returning (N, C)."""
+    n, c, h, w = x.shape
+    out_data = x.data.mean(axis=(2, 3)).astype(np.float32)
+
+    def backward(grad: np.ndarray):
+        dx = np.broadcast_to(grad[:, :, None, None] / (h * w), (n, c, h, w))
+        return (dx.astype(np.float32),)
+
+    return Tensor(out_data, _parents=(x,), _backward=backward)
+
+
+def subsample2d(x: Tensor, stride: int) -> Tensor:
+    """Spatial subsampling ``x[:, :, ::stride, ::stride]``.
+
+    Used by the ResNet option-A shortcut on stride-2 stages.
+    """
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    out_data = np.ascontiguousarray(x.data[:, :, ::stride, ::stride])
+
+    def backward(grad: np.ndarray):
+        dx = np.zeros_like(x.data)
+        dx[:, :, ::stride, ::stride] = grad
+        return (dx,)
+
+    return Tensor(out_data, _parents=(x,), _backward=backward)
+
+
+def pad_channels(x: Tensor, before: int, after: int) -> Tensor:
+    """Zero-pad the channel dimension (ResNet option-A shortcut)."""
+    if before < 0 or after < 0:
+        raise ValueError("channel padding must be >= 0")
+    out_data = np.pad(
+        x.data, ((0, 0), (before, after), (0, 0), (0, 0)), mode="constant"
+    )
+
+    def backward(grad: np.ndarray):
+        c = x.shape[1]
+        return (grad[:, before : before + c],)
+
+    return Tensor(out_data, _parents=(x,), _backward=backward)
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy for integer *labels* of shape (N,)."""
+    labels = np.asarray(labels)
+    n, k = logits.shape
+    if labels.shape != (n,):
+        raise ValueError(f"labels shape {labels.shape} != ({n},)")
+    if labels.min() < 0 or labels.max() >= k:
+        raise ValueError(f"labels must be in [0, {k})")
+    z = logits.data - logits.data.max(axis=1, keepdims=True)
+    exp = np.exp(z)
+    softmax = exp / exp.sum(axis=1, keepdims=True)
+    log_probs = z - np.log(exp.sum(axis=1, keepdims=True))
+    loss = -log_probs[np.arange(n), labels].mean()
+
+    def backward(grad: np.ndarray):
+        d = softmax.copy()
+        d[np.arange(n), labels] -= 1.0
+        return (d * (float(grad) / n),)
+
+    return Tensor(np.float32(loss), _parents=(logits,), _backward=backward)

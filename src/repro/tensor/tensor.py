@@ -1,0 +1,185 @@
+"""The Tensor class: an ndarray with a gradient and a backward tape."""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterator
+
+import numpy as np
+
+_grad_enabled = True
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager disabling graph construction (inference mode)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def grad_enabled() -> bool:
+    """Whether autograd graph construction is currently enabled."""
+    return _grad_enabled
+
+
+class Tensor:
+    """An N-d float32 array with reverse-mode automatic differentiation.
+
+    Construction records parents and a backward closure; calling
+    :meth:`backward` on a scalar tensor propagates gradients to every
+    ancestor with ``requires_grad=True``.
+
+    Only float32 data participates in gradients; integer tensors (labels)
+    can be wrapped with ``requires_grad=False``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(
+        self,
+        data,
+        *,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        _backward=None,
+        name: str | None = None,
+    ) -> None:
+        array = np.asarray(data)
+        if array.dtype.kind == "f" and array.dtype != np.float32:
+            array = array.astype(np.float32)
+        self.data = array
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = _parents if grad_enabled() else ()
+        self._backward = _backward if grad_enabled() else None
+        self.name = name
+
+    # -- shape / dtype proxies ---------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_flag}{label})"
+
+    # -- numeric helpers -----------------------------------------------------
+
+    def item(self) -> float:
+        """Return the scalar value of a one-element tensor."""
+        return float(self.data.reshape(-1)[0]) if self.size == 1 else _not_scalar()
+
+    def numpy(self) -> np.ndarray:
+        """The underlying ndarray (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # -- autograd -------------------------------------------------------------
+
+    def zero_grad(self) -> None:
+        """Drop any accumulated gradient."""
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add *grad* into this tensor's gradient buffer."""
+        if not self.requires_grad:
+            return
+        grad = np.asarray(grad, dtype=np.float32)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match data shape "
+                f"{self.data.shape} for tensor {self.name or '<unnamed>'}"
+            )
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded tape.
+
+        For scalar tensors *grad* defaults to 1.  Gradients accumulate in
+        the ``grad`` attribute of every reachable tensor that has
+        ``requires_grad=True``.
+        """
+        if grad is None:
+            if self.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a "
+                    f"scalar tensor, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data, dtype=np.float32)
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        grads: dict[int, np.ndarray] = {id(self): np.asarray(grad, dtype=np.float32)}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad:
+                node.accumulate_grad(node_grad)
+            if node._backward is None:
+                continue
+            parent_grads = node._backward(node_grad)
+            for parent, pgrad in zip(node._parents, parent_grads):
+                if pgrad is None:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+    # -- operator sugar (delegates to ops; imported lazily to avoid cycles) --
+
+    def __add__(self, other: "Tensor") -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.add(self, other)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.reshape(self, shape)
+
+
+def _not_scalar():
+    raise ValueError("item() is only valid on one-element tensors")

@@ -1,0 +1,16 @@
+"""Training utilities: SGD optimiser, schedules, trainer loop, evaluation."""
+
+from repro.train.optim import SGD
+from repro.train.schedule import cosine_lr, step_lr
+from repro.train.trainer import TrainConfig, Trainer, evaluate_accuracy
+from repro.train.reference import train_reference_model
+
+__all__ = [
+    "SGD",
+    "cosine_lr",
+    "step_lr",
+    "TrainConfig",
+    "Trainer",
+    "evaluate_accuracy",
+    "train_reference_model",
+]

@@ -1,0 +1,54 @@
+"""Stochastic gradient descent with momentum and weight decay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class SGD:
+    """SGD with classical momentum and decoupled L2 weight decay.
+
+    The update is ``v = momentum * v + grad + weight_decay * w`` followed by
+    ``w -= lr * v`` — the same scheme ``torch.optim.SGD`` uses.
+    """
+
+    def __init__(
+        self,
+        parameters,
+        lr: float,
+        *,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0.0:
+            raise ValueError(f"lr must be > 0, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.parameters: list[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the accumulated gradients."""
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            update = param.grad
+            if self.weight_decay:
+                update = update + self.weight_decay * param.data
+            velocity *= self.momentum
+            velocity += update
+            param.data -= self.lr * velocity

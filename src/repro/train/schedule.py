@@ -1,0 +1,38 @@
+"""Learning-rate schedules as plain ``epoch -> lr`` callables."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+
+
+def step_lr(
+    base_lr: float, milestones: Sequence[int], gamma: float = 0.1
+) -> Callable[[int], float]:
+    """Multiply the LR by *gamma* at each epoch in *milestones*."""
+    if base_lr <= 0:
+        raise ValueError(f"base_lr must be > 0, got {base_lr}")
+    if sorted(milestones) != list(milestones):
+        raise ValueError("milestones must be sorted ascending")
+
+    def schedule(epoch: int) -> float:
+        passed = sum(1 for m in milestones if epoch >= m)
+        return base_lr * gamma**passed
+
+    return schedule
+
+
+def cosine_lr(
+    base_lr: float, total_epochs: int, *, min_lr: float = 0.0
+) -> Callable[[int], float]:
+    """Cosine annealing from *base_lr* to *min_lr* over *total_epochs*."""
+    if base_lr <= 0:
+        raise ValueError(f"base_lr must be > 0, got {base_lr}")
+    if total_epochs <= 0:
+        raise ValueError(f"total_epochs must be > 0, got {total_epochs}")
+
+    def schedule(epoch: int) -> float:
+        progress = min(max(epoch, 0), total_epochs) / total_epochs
+        return min_lr + (base_lr - min_lr) * 0.5 * (1 + math.cos(math.pi * progress))
+
+    return schedule

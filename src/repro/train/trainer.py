@@ -1,0 +1,106 @@
+"""Trainer loop and evaluation."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data import iterate_batches
+from repro.nn.module import Module
+from repro.tensor import Tensor, no_grad, ops
+from repro.train.optim import SGD
+
+
+def evaluate_accuracy(
+    model: Module, images: np.ndarray, labels: np.ndarray, *, batch_size: int = 256
+) -> float:
+    """Top-1 accuracy of *model* over the given data (inference mode)."""
+    model.eval()
+    correct = 0
+    with no_grad():
+        for start in range(0, len(images), batch_size):
+            batch = images[start : start + batch_size]
+            logits = model.forward_fast(batch)
+            predictions = logits.argmax(axis=1)
+            correct += int((predictions == labels[start : start + batch_size]).sum())
+    return correct / len(images)
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of a training run."""
+
+    epochs: int = 30
+    batch_size: int = 64
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 5e-4
+    seed: int = 0
+    lr_schedule: Callable[[int], float] | None = None
+    log_every: int = 0
+    history: list[dict] = field(default_factory=list, repr=False)
+
+
+class Trainer:
+    """Minimal SGD training loop over in-memory data."""
+
+    def __init__(self, model: Module, config: TrainConfig) -> None:
+        self.model = model
+        self.config = config
+        self.optimizer = SGD(
+            model.parameters(),
+            lr=config.lr,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+
+    def fit(
+        self,
+        train_images: np.ndarray,
+        train_labels: np.ndarray,
+        *,
+        val_images: np.ndarray | None = None,
+        val_labels: np.ndarray | None = None,
+    ) -> list[dict]:
+        """Train for ``config.epochs``; returns a per-epoch history."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        for epoch in range(cfg.epochs):
+            if cfg.lr_schedule is not None:
+                self.optimizer.lr = cfg.lr_schedule(epoch)
+            self.model.train()
+            epoch_loss = 0.0
+            batches = 0
+            start_time = time.time()
+            for batch_x, batch_y in iterate_batches(
+                train_images, train_labels, cfg.batch_size, shuffle=True, rng=rng
+            ):
+                self.optimizer.zero_grad()
+                logits = self.model(Tensor(batch_x))
+                loss = ops.cross_entropy(logits, batch_y)
+                loss.backward()
+                self.optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            record = {
+                "epoch": epoch,
+                "loss": epoch_loss / max(batches, 1),
+                "lr": self.optimizer.lr,
+                "seconds": time.time() - start_time,
+            }
+            if val_images is not None and val_labels is not None:
+                record["val_accuracy"] = evaluate_accuracy(
+                    self.model, val_images, val_labels
+                )
+            cfg.history.append(record)
+            if cfg.log_every and epoch % cfg.log_every == 0:
+                val = record.get("val_accuracy")
+                val_text = f" val_acc={val:.3f}" if val is not None else ""
+                print(
+                    f"epoch {epoch:3d} loss={record['loss']:.4f} "
+                    f"lr={record['lr']:.4f}{val_text}"
+                )
+        return cfg.history

@@ -1,0 +1,27 @@
+"""Shared utilities: artifact directory resolution and seeding helpers."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+
+def artifacts_dir() -> Path:
+    """Directory for generated artifacts (weights, cached FI ground truth).
+
+    Resolution order: the ``REPRO_ARTIFACTS`` environment variable, then
+    ``<repository root>/artifacts`` when the package is an editable install
+    inside the repository, then ``~/.cache/repro``.
+    """
+    env = os.environ.get("REPRO_ARTIFACTS")
+    if env:
+        path = Path(env)
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+    package_root = Path(__file__).resolve().parents[2]
+    if (package_root / "pyproject.toml").is_file():
+        path = package_root / "artifacts"
+    else:
+        path = Path.home() / ".cache" / "repro"
+    path.mkdir(parents=True, exist_ok=True)
+    return path

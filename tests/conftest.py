@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SynthCIFAR
+from repro.models import ResNetCIFAR, pretrained_path
+
+
+@pytest.fixture(scope="session")
+def tiny_model():
+    """A very small (untrained) ResNet for structural/FI tests."""
+    model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def tiny_eval_set():
+    """A small evaluation set (16 images)."""
+    data = SynthCIFAR("test", size=16, seed=99)
+    return data.images, data.labels
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(0)
+
+
+def pretrained_available(name: str) -> bool:
+    """Whether trained weights for *name* exist in the artifact cache."""
+    return pretrained_path(name).is_file()
+
+
+requires_pretrained_resnet = pytest.mark.skipif(
+    not pretrained_available("resnet8_mini"),
+    reason="trained resnet8_mini weights not generated yet "
+    "(run examples/train_models.py)",
+)

@@ -1,0 +1,68 @@
+"""Test helpers: numeric gradient checking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+def numeric_gradient(fn, value: np.ndarray, epsilon: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar-valued *fn* at *value*.
+
+    ``fn`` receives an ndarray and returns a Python float.
+    """
+    value = value.astype(np.float64)
+    grad = np.zeros_like(value)
+    it = np.nditer(value, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = value[idx]
+        value[idx] = original + epsilon
+        plus = fn(value.astype(np.float32))
+        value[idx] = original - epsilon
+        minus = fn(value.astype(np.float32))
+        value[idx] = original
+        grad[idx] = (plus - minus) / (2 * epsilon)
+        it.iternext()
+    return grad
+
+
+def check_gradient(
+    build_loss,
+    arrays: dict[str, np.ndarray],
+    *,
+    epsilon: float = 1e-3,
+    atol: float = 2e-2,
+    rtol: float = 5e-2,
+) -> None:
+    """Compare autograd gradients against numeric ones.
+
+    ``build_loss`` maps a dict of :class:`Tensor` (same keys as *arrays*)
+    to a scalar Tensor.  Each array's autograd gradient is checked against
+    the central-difference estimate.
+    """
+    tensors = {
+        name: Tensor(value.copy(), requires_grad=True)
+        for name, value in arrays.items()
+    }
+    loss = build_loss(tensors)
+    loss.backward()
+    for name, value in arrays.items():
+        def scalar_fn(perturbed, _name=name):
+            local = {
+                k: Tensor(perturbed if k == _name else arrays[k].copy())
+                for k in arrays
+            }
+            return float(build_loss(local).data)
+
+        expected = numeric_gradient(scalar_fn, value, epsilon=epsilon)
+        actual = tensors[name].grad
+        assert actual is not None, f"no gradient for {name}"
+        np.testing.assert_allclose(
+            actual,
+            expected,
+            atol=atol,
+            rtol=rtol,
+            err_msg=f"gradient mismatch for {name}",
+        )

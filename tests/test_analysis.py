@@ -1,0 +1,187 @@
+"""Tests for repro.analysis: tables, figures, criticality rankings."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_bars,
+    bit_ranking,
+    layer_ranking,
+    most_critical_bit,
+    most_critical_layer,
+    render_bit_frequency_figure,
+    render_bit_prior_figure,
+    render_method_comparison,
+    render_per_layer_figure,
+    render_plan_table,
+    render_sample_figure,
+    render_table,
+    render_variance_curve,
+)
+from repro.analysis.criticality import estimated_bit_ranking
+from repro.faults import FaultOutcome, FaultSpace, OutcomeTable, TableOracle
+from repro.ieee754 import FLOAT32, bit_frequencies
+from repro.models import ResNetCIFAR
+from repro.sfi import (
+    CampaignRunner,
+    DataUnawareSFI,
+    LayerWiseSFI,
+    NetworkWiseSFI,
+    validate_campaign,
+)
+from repro.sfi.validation import MethodComparison
+
+
+@pytest.fixture(scope="module")
+def truth_setup():
+    model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+    space = FaultSpace(model)
+    outcomes = []
+    for idx, layer in enumerate(space.layers):
+        arr = np.full(
+            (layer.size, space.bits, 2), FaultOutcome.NON_CRITICAL, dtype=np.uint8
+        )
+        arr[:, 30, 1] = FaultOutcome.CRITICAL
+        if idx == 2:  # layer 2 also critical on bit 29 -> most critical
+            arr[:, 29, 1] = FaultOutcome.CRITICAL
+        outcomes.append(arr)
+    return space, OutcomeTable(outcomes)
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["a", "b"], [[1, 2.5], [30000, "x"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "30,000" in lines[3]
+
+    def test_row_width_validation(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_bool_formatting(self):
+        text = render_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+
+class TestRenderPlanTable:
+    def test_paper_layout(self, truth_setup):
+        space, _ = truth_setup
+        plans = [
+            NetworkWiseSFI().plan(space),
+            LayerWiseSFI().plan(space),
+            DataUnawareSFI().plan(space),
+        ]
+        allocation = [1] * len(space.layers)
+        text = render_plan_table(
+            plans,
+            [l.size for l in space.layers],
+            network_wise_allocation=allocation,
+        )
+        assert "layer-wise" in text
+        assert "Total" in text
+        # Per-layer rows plus header/rule/total.
+        assert len(text.splitlines()) == len(space.layers) + 3
+
+
+class TestRenderFigures:
+    def test_variance_curve_peaks_at_half(self):
+        text = render_variance_curve()
+        lines = [l for l in text.splitlines() if "p=0.50" in l]
+        assert lines and lines[0].count("#") == 40  # the peak bar
+
+    def test_bit_frequency_figure(self):
+        freqs = bit_frequencies(FLOAT32, np.ones(5))
+        text = render_bit_frequency_figure(freqs)
+        assert text.splitlines()[1].strip().startswith("31")
+
+    def test_bit_prior_figure(self):
+        p = np.linspace(0, 0.5, 32)
+        text = render_bit_prior_figure({"resnet20": p, "mobilenetv2": p})
+        assert "resnet20" in text
+        assert len(text.splitlines()) == 33
+
+    def test_per_layer_figure(self, truth_setup):
+        space, table = truth_setup
+        result = CampaignRunner(TableOracle(table, space), space).run(
+            LayerWiseSFI().plan(space), seed=0
+        )
+        rates = [table.layer_rate(l) for l in range(table.num_layers)]
+        text = render_per_layer_figure(
+            rates, {"layer-wise": result.layer_estimates()}
+        )
+        assert "layer-wise" in text
+        assert len(text.splitlines()) == len(rates) + 1
+
+    def test_sample_figure(self, truth_setup):
+        space, table = truth_setup
+        runner = CampaignRunner(TableOracle(table, space), space)
+        plan = LayerWiseSFI().plan(space)
+        estimates = [
+            runner.run(plan, seed=s).layer_estimate(0) for s in range(3)
+        ]
+        text = render_sample_figure(table.layer_rate(0), {"layer-wise": estimates})
+        assert "S0" in text and "S2" in text
+
+    def test_ascii_bars_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+        assert ascii_bars([], []) == "(empty)"
+
+
+class TestMethodComparisonRendering:
+    def test_table3_layout(self, truth_setup):
+        space, table = truth_setup
+        runner = CampaignRunner(TableOracle(table, space), space)
+        comparisons = []
+        for planner in (NetworkWiseSFI(), LayerWiseSFI()):
+            result = runner.run(planner.plan(space), seed=0)
+            comparisons.append(
+                MethodComparison.from_report(validate_campaign(result, table))
+            )
+        text = render_method_comparison(
+            comparisons, exhaustive_n=space.total_population
+        )
+        assert "exhaustive" in text
+        assert "network-wise" in text
+
+
+class TestCriticality:
+    def test_layer_ranking(self, truth_setup):
+        _, table = truth_setup
+        ranking = layer_ranking(table)
+        assert ranking[0].layer == 2  # the doubly-critical layer
+        assert ranking[0].rate > ranking[1].rate
+
+    def test_most_critical_layer(self, truth_setup):
+        _, table = truth_setup
+        assert most_critical_layer(table).layer == 2
+
+    def test_bit_ranking(self, truth_setup):
+        _, table = truth_setup
+        ranking = bit_ranking(table)
+        assert ranking[0].bit == 30
+        assert ranking[1].bit == 29
+        assert ranking[2].rate == 0.0
+
+    def test_most_critical_bit(self, truth_setup):
+        _, table = truth_setup
+        assert most_critical_bit(table).bit == 30
+
+    def test_estimated_bit_ranking_matches_truth(self, truth_setup):
+        space, table = truth_setup
+        result = CampaignRunner(TableOracle(table, space), space).run(
+            DataUnawareSFI().plan(space), seed=0
+        )
+        ranking = estimated_bit_ranking(result)
+        assert ranking[0].bit == 30
+
+    def test_estimated_bit_ranking_rejects_coarse_campaigns(self, truth_setup):
+        """The paper's core argument: you cannot rank bits from a
+        network-wise sample."""
+        space, table = truth_setup
+        result = CampaignRunner(TableOracle(table, space), space).run(
+            NetworkWiseSFI().plan(space), seed=0
+        )
+        with pytest.raises(ValueError, match="Bernoulli"):
+            estimated_bit_ranking(result)

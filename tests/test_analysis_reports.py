@@ -1,0 +1,123 @@
+"""Tests for repro.analysis.reports."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    campaign_to_dict,
+    validation_to_dict,
+    write_comparison_csv,
+    write_json,
+    write_layer_csv,
+)
+from repro.faults import FaultOutcome, FaultSpace, OutcomeTable, TableOracle
+from repro.models import ResNetCIFAR
+from repro.sfi import (
+    CampaignRunner,
+    LayerWiseSFI,
+    NetworkWiseSFI,
+    validate_campaign,
+)
+from repro.sfi.validation import MethodComparison
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+    space = FaultSpace(model)
+    outcomes = []
+    for layer in space.layers:
+        arr = np.full(
+            (layer.size, space.bits, 2), FaultOutcome.NON_CRITICAL, dtype=np.uint8
+        )
+        arr[:, 30, 1] = FaultOutcome.CRITICAL
+        outcomes.append(arr)
+    table = OutcomeTable(outcomes)
+    runner = CampaignRunner(TableOracle(table, space), space)
+    result = runner.run(LayerWiseSFI().plan(space), seed=0)
+    report = validate_campaign(result, table)
+    return space, table, result, report
+
+
+class TestCampaignToDict:
+    def test_round_trips_through_json(self, setup):
+        _, _, result, _ = setup
+        data = campaign_to_dict(result)
+        encoded = json.dumps(data)
+        decoded = json.loads(encoded)
+        assert decoded["method"] == "layer-wise"
+        assert decoded["total_injections"] == result.total_injections
+
+    def test_layers_cover_model(self, setup):
+        space, _, result, _ = setup
+        data = campaign_to_dict(result)
+        assert len(data["layers"]) == len(space.layers)
+        assert all("p_hat" in row for row in data["layers"])
+
+    def test_cells_sum_to_total(self, setup):
+        _, _, result, _ = setup
+        data = campaign_to_dict(result)
+        assert (
+            sum(cell["injections"] for cell in data["cells"])
+            == result.total_injections
+        )
+
+
+class TestValidationToDict:
+    def test_fields(self, setup):
+        _, _, _, report = setup
+        data = validation_to_dict(report)
+        assert data["method"] == "layer-wise"
+        assert 0 <= data["contained_fraction"] <= 1
+        assert data["network"]["contained"] in (True, False)
+        assert len(data["layers"]) == len(report.layers)
+
+
+class TestWriters:
+    def test_write_json(self, setup, tmp_path):
+        _, _, result, _ = setup
+        path = tmp_path / "sub" / "campaign.json"
+        write_json(campaign_to_dict(result), path)
+        loaded = json.loads(path.read_text())
+        assert loaded["method"] == "layer-wise"
+
+    def test_write_layer_csv(self, setup, tmp_path):
+        space, table, result, report = setup
+        runner = CampaignRunner(TableOracle(table, space), space)
+        other = validate_campaign(
+            runner.run(NetworkWiseSFI().plan(space), seed=0), table
+        )
+        path = tmp_path / "layers.csv"
+        write_layer_csv([report, other], path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2 * len(space.layers)
+        methods = {row["method"] for row in rows}
+        assert methods == {"layer-wise", "network-wise"}
+        first = rows[0]
+        assert float(first["estimate"]) >= 0.0
+
+    def test_write_comparison_csv(self, setup, tmp_path):
+        _, _, _, report = setup
+        comp = MethodComparison.from_report(report)
+        path = tmp_path / "table3.csv"
+        write_comparison_csv([comp], path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["method"] == "layer-wise"
+        assert int(rows[0]["injections"]) == report.total_injections
+
+    def test_empty_margin_serialised_as_blank(self, setup, tmp_path):
+        space, table, _, _ = setup
+        runner = CampaignRunner(TableOracle(table, space), space)
+        sparse = runner.run(
+            NetworkWiseSFI(error_margin=0.3).plan(space), seed=0
+        )
+        report = validate_campaign(sparse, table)
+        path = tmp_path / "sparse.csv"
+        write_layer_csv([report], path)
+        content = path.read_text()
+        assert "layer-wise" not in content  # sanity: only network-wise rows

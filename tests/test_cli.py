@@ -1,0 +1,106 @@
+"""Tests for the CLI entry points."""
+
+import pytest
+
+from repro.cli.analyze import main as analyze_main
+from repro.cli.plan import main as plan_main
+from repro.cli.run import main as run_main
+from repro.models import pretrained_path
+from repro.sfi.artifacts import exhaustive_table_path
+
+
+def has_artifacts(model: str) -> bool:
+    return (
+        pretrained_path(model).is_file()
+        and exhaustive_table_path(model).is_file()
+    )
+
+
+class TestPlanCLI:
+    def test_plan_mini_model(self, capsys):
+        assert plan_main(["--model", "resnet8_mini"]) == 0
+        out = capsys.readouterr().out
+        assert "population N" in out
+        assert "data-aware" in out
+        assert "Total" in out
+
+    def test_plan_resnet20_reproduces_table1_numbers(self, capsys):
+        assert plan_main(["--model", "resnet20"]) == 0
+        out = capsys.readouterr().out
+        assert "10,389" in out  # layer-wise layer 0
+        assert "26,272" in out  # data-unaware layer 0
+
+    def test_plan_custom_margin(self, capsys):
+        assert plan_main(["--model", "resnet8_mini", "--error-margin", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Total" in out
+
+    def test_plan_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            plan_main(["--model", "alexnet"])
+
+
+class TestAnalyzeCLI:
+    def test_profile_only_full_size(self, capsys):
+        assert analyze_main(["--model", "resnet20", "--profile-only"]) == 0
+        out = capsys.readouterr().out
+        assert "data-aware profile" in out
+        assert "exponent" in out
+
+    def test_full_analysis_with_artifacts(self, capsys):
+        if not has_artifacts("resnet8_mini"):
+            pytest.skip("artifacts not generated")
+        assert analyze_main(["--model", "resnet8_mini"]) == 0
+        out = capsys.readouterr().out
+        assert "most critical layers" in out
+        assert "most critical bits" in out
+
+
+class TestRunCLI:
+    def test_run_replay_campaign(self, capsys):
+        if not has_artifacts("resnet8_mini"):
+            pytest.skip("artifacts not generated")
+        assert (
+            run_main(
+                ["--model", "resnet8_mini", "--method", "data-aware", "--seed", "1"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "data-aware" in out
+        assert "exhaustive network rate" in out
+        assert "layer  0" in out
+
+
+class TestTrainCLI:
+    def test_skips_cached_weights(self, capsys):
+        from repro.cli.train import main as train_main
+        from repro.models import pretrained_path
+
+        if not pretrained_path("resnet8_mini").is_file():
+            pytest.skip("no cached weights to demonstrate the skip path")
+        assert train_main(["--model", "resnet8_mini"]) == 0
+        out = capsys.readouterr().out
+        assert "cached weights found" in out
+
+    def test_trains_tiny_model_from_scratch(self, tmp_path, monkeypatch, capsys):
+        from repro.cli.train import main as train_main
+
+        monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+        assert (
+            train_main(
+                [
+                    "--model",
+                    "resnet8_mini",
+                    "--epochs",
+                    "1",
+                    "--train-size",
+                    "100",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "test accuracy" in out
+        assert (tmp_path / "weights" / "resnet8_mini.npz").is_file()

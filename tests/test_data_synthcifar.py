@@ -1,0 +1,154 @@
+"""Tests for repro.data."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CLASS_NAMES,
+    NUM_CLASSES,
+    SynthCIFAR,
+    generate_images,
+    iterate_batches,
+)
+
+
+class TestGeneration:
+    def test_shapes_and_dtypes(self):
+        images, labels = generate_images(20, seed=0)
+        assert images.shape == (20, 3, 32, 32)
+        assert images.dtype == np.float32
+        assert labels.shape == (20,)
+        assert labels.dtype == np.int64
+
+    def test_value_range(self):
+        images, _ = generate_images(20, seed=0)
+        assert images.min() >= 0.0
+        assert images.max() <= 1.0
+
+    def test_deterministic(self):
+        a, la = generate_images(10, seed=3)
+        b, lb = generate_images(10, seed=3)
+        np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(la, lb)
+
+    def test_seed_changes_data(self):
+        a, _ = generate_images(10, seed=3)
+        b, _ = generate_images(10, seed=4)
+        assert not np.array_equal(a, b)
+
+    def test_class_balance(self):
+        _, labels = generate_images(100, seed=0)
+        counts = np.bincount(labels, minlength=NUM_CLASSES)
+        np.testing.assert_array_equal(counts, 10)
+
+    def test_all_classes_present(self):
+        _, labels = generate_images(NUM_CLASSES, seed=0)
+        assert set(labels.tolist()) == set(range(NUM_CLASSES))
+
+    def test_custom_image_size(self):
+        images, _ = generate_images(5, image_size=16, seed=0)
+        assert images.shape == (5, 3, 16, 16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_images(0)
+        with pytest.raises(ValueError):
+            generate_images(5, image_size=4)
+
+    def test_class_names_count(self):
+        assert len(CLASS_NAMES) == NUM_CLASSES
+
+
+class TestSynthCIFAR:
+    def test_splits_disjoint(self):
+        train = SynthCIFAR("train", size=50, seed=1)
+        test = SynthCIFAR("test", size=50, seed=1)
+        assert not np.array_equal(train.images, test.images)
+
+    def test_normalization(self):
+        raw = SynthCIFAR("train", size=200, seed=1, normalize=False)
+        norm = SynthCIFAR("train", size=200, seed=1, normalize=True)
+        assert raw.images.min() >= 0.0
+        assert norm.images.min() < 0.0
+        np.testing.assert_allclose(
+            norm.images, (raw.images - 0.5) / 0.25, rtol=1e-5, atol=1e-6
+        )
+
+    def test_len(self):
+        assert len(SynthCIFAR("train", size=33, seed=1)) == 33
+
+    def test_subset(self):
+        data = SynthCIFAR("test", size=20, seed=1)
+        images, labels = data.subset(5)
+        assert len(images) == 5 and len(labels) == 5
+        np.testing.assert_array_equal(images, data.images[:5])
+
+    def test_subset_validation(self):
+        data = SynthCIFAR("test", size=20, seed=1)
+        with pytest.raises(ValueError):
+            data.subset(0)
+        with pytest.raises(ValueError):
+            data.subset(21)
+
+    def test_invalid_split(self):
+        with pytest.raises(ValueError, match="split"):
+            SynthCIFAR("validation")
+
+    def test_classes_visually_distinct(self):
+        """Mean per-class images should differ clearly from one another."""
+        data = SynthCIFAR("train", size=500, seed=1, normalize=False)
+        means = np.stack(
+            [data.images[data.labels == c].mean(axis=0) for c in range(NUM_CLASSES)]
+        )
+        for i in range(NUM_CLASSES):
+            for j in range(i + 1, NUM_CLASSES):
+                assert np.abs(means[i] - means[j]).mean() > 0.01
+
+
+class TestBatches:
+    def test_covers_everything(self):
+        images = np.arange(10, dtype=np.float32).reshape(10, 1)
+        labels = np.arange(10)
+        seen = []
+        for bx, by in iterate_batches(images, labels, 3, shuffle=False):
+            seen.extend(by.tolist())
+        assert seen == list(range(10))
+
+    def test_shuffle_deterministic_with_rng(self):
+        images = np.arange(10, dtype=np.float32).reshape(10, 1)
+        labels = np.arange(10)
+        a = [
+            by.tolist()
+            for _, by in iterate_batches(
+                images, labels, 4, rng=np.random.default_rng(0)
+            )
+        ]
+        b = [
+            by.tolist()
+            for _, by in iterate_batches(
+                images, labels, 4, rng=np.random.default_rng(0)
+            )
+        ]
+        assert a == b
+
+    def test_drop_last(self):
+        images = np.zeros((10, 1), dtype=np.float32)
+        labels = np.zeros(10, dtype=np.int64)
+        batches = list(
+            iterate_batches(images, labels, 4, shuffle=False, drop_last=True)
+        )
+        assert len(batches) == 2
+
+    def test_labels_track_images(self):
+        images = np.arange(10, dtype=np.float32).reshape(10, 1)
+        labels = np.arange(10)
+        for bx, by in iterate_batches(
+            images, labels, 3, rng=np.random.default_rng(1)
+        ):
+            np.testing.assert_array_equal(bx[:, 0].astype(np.int64), by)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(iterate_batches(np.zeros((2, 1)), np.zeros(2), 0))
+        with pytest.raises(ValueError):
+            list(iterate_batches(np.zeros((2, 1)), np.zeros(3), 1))

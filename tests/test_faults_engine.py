@@ -1,0 +1,157 @@
+"""Tests for repro.faults.engine: prefix caching and classification."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    Fault,
+    FaultModel,
+    FaultOutcome,
+    InferenceEngine,
+    classify_predictions,
+)
+from repro.models import ResNetCIFAR, mobilenetv2_mini
+
+
+@pytest.fixture(scope="module")
+def engine(tiny_model, tiny_eval_set):
+    images, labels = tiny_eval_set
+    return InferenceEngine(tiny_model, images, labels)
+
+
+class TestClassifyPredictions:
+    def test_accuracy_drop_policy(self):
+        golden = np.array([0, 1, 2, 3])
+        labels = np.array([0, 1, 2, 9])  # last golden prediction is wrong
+        # Faulty flips an already-wrong prediction: no accuracy drop.
+        faulty = np.array([0, 1, 2, 5])
+        assert (
+            classify_predictions(faulty, golden, labels)
+            is FaultOutcome.NON_CRITICAL
+        )
+        # Faulty breaks a correct prediction: critical.
+        faulty = np.array([9, 1, 2, 3])
+        assert (
+            classify_predictions(faulty, golden, labels) is FaultOutcome.CRITICAL
+        )
+
+    def test_any_mismatch_policy(self):
+        golden = np.array([0, 1])
+        labels = np.array([5, 5])  # golden is wrong everywhere
+        faulty = np.array([0, 2])
+        assert (
+            classify_predictions(faulty, golden, labels, policy="any_mismatch")
+            is FaultOutcome.CRITICAL
+        )
+        assert (
+            classify_predictions(golden, golden, labels, policy="any_mismatch")
+            is FaultOutcome.NON_CRITICAL
+        )
+
+    def test_threshold_policy(self):
+        golden = np.arange(10)
+        labels = np.arange(10)
+        faulty = golden.copy()
+        faulty[0] = 9  # 10% accuracy drop
+        assert (
+            classify_predictions(
+                faulty, golden, labels, policy="accuracy_threshold", threshold=0.2
+            )
+            is FaultOutcome.NON_CRITICAL
+        )
+        assert (
+            classify_predictions(
+                faulty, golden, labels, policy="accuracy_threshold", threshold=0.05
+            )
+            is FaultOutcome.CRITICAL
+        )
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            classify_predictions(
+                np.array([0]), np.array([0]), np.array([0]), policy="bogus"
+            )
+
+
+class TestEngine:
+    def test_golden_predictions_match_direct_forward(self, engine, tiny_model, tiny_eval_set):
+        images, _ = tiny_eval_set
+        direct = tiny_model.forward_fast(images).argmax(axis=1)
+        np.testing.assert_array_equal(engine.golden_predictions, direct)
+
+    def test_masked_fault_short_circuits(self, engine):
+        flat = engine.layers[0].flat_weights()
+        flat[0] = 1.0  # bit 30 of 1.0 is 0
+        fault = Fault(layer=0, index=0, bit=30, model=FaultModel.STUCK_AT_0)
+        before = engine.inference_count
+        assert engine.classify(fault) is FaultOutcome.MASKED
+        assert engine.inference_count == before
+
+    @pytest.mark.parametrize("layer_frac", [0.0, 0.5, 1.0])
+    def test_prefix_cache_matches_full_forward(
+        self, tiny_model, tiny_eval_set, layer_frac
+    ):
+        """Injecting via the engine (partial recompute) must produce the
+        same predictions as corrupting the weight and running the whole
+        network."""
+        images, labels = tiny_eval_set
+        engine = InferenceEngine(tiny_model, images, labels)
+        layer_idx = int(layer_frac * (len(engine.layers) - 1))
+        fault = Fault(
+            layer=layer_idx, index=0, bit=30, model=FaultModel.STUCK_AT_1
+        )
+        cached = engine.predictions_with_fault(fault)
+        with engine.injector.inject(fault), np.errstate(all="ignore"):
+            full = tiny_model.forward_fast(images).argmax(axis=1)
+        np.testing.assert_array_equal(cached, full)
+
+    def test_prefix_cache_on_mobilenet(self, tiny_eval_set):
+        images, labels = tiny_eval_set
+        model = mobilenetv2_mini(seed=3).eval()
+        engine = InferenceEngine(model, images, labels)
+        fault = Fault(layer=5, index=3, bit=30, model=FaultModel.STUCK_AT_1)
+        cached = engine.predictions_with_fault(fault)
+        with engine.injector.inject(fault), np.errstate(all="ignore"):
+            full = model.forward_fast(images).argmax(axis=1)
+        np.testing.assert_array_equal(cached, full)
+
+    def test_weights_restored_after_classify(self, engine):
+        before = engine.layers[2].flat_weights().copy()
+        fault = Fault(layer=2, index=1, bit=30, model=FaultModel.STUCK_AT_1)
+        engine.classify(fault)
+        np.testing.assert_array_equal(engine.layers[2].flat_weights(), before)
+
+    def test_huge_corruption_is_critical_for_trained_model(self, tiny_eval_set):
+        """On a model with real predictive structure, exploding a stem
+        weight should break at least one prediction."""
+        from repro.models import pretrained_path, create_model
+
+        if not pretrained_path("resnet8_mini").is_file():
+            pytest.skip("no trained weights")
+        images, labels = tiny_eval_set
+        model = create_model("resnet8_mini", pretrained=True)
+        engine = InferenceEngine(model, images, labels)
+        fault = Fault(layer=0, index=0, bit=30, model=FaultModel.STUCK_AT_1)
+        assert engine.classify(fault) is FaultOutcome.CRITICAL
+
+    def test_classify_many(self, engine):
+        faults = [
+            Fault(layer=0, index=i, bit=30, model=FaultModel.STUCK_AT_1)
+            for i in range(4)
+        ]
+        outcomes = engine.classify_many(faults)
+        assert len(outcomes) == 4
+        assert all(isinstance(o, FaultOutcome) for o in outcomes)
+
+    def test_requires_stage_modules(self, tiny_eval_set):
+        from repro.nn import Linear, Sequential
+
+        images, labels = tiny_eval_set
+        plain = Sequential(Linear(3 * 32 * 32, 10))
+        with pytest.raises(TypeError, match="stage_modules"):
+            InferenceEngine(plain, images, labels)
+
+    def test_mismatched_lengths_rejected(self, tiny_model, tiny_eval_set):
+        images, labels = tiny_eval_set
+        with pytest.raises(ValueError):
+            InferenceEngine(tiny_model, images, labels[:-1])

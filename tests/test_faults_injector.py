@@ -1,0 +1,142 @@
+"""Tests for repro.faults.injector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import Fault, FaultModel, WeightFaultInjector
+from repro.models import ResNetCIFAR
+
+
+@pytest.fixture()
+def injector():
+    model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+    return WeightFaultInjector(model)
+
+
+class TestFaultyValue:
+    def test_sign_stuck_at_1_negates(self, injector):
+        flat = injector.layers[0].flat_weights()
+        flat[0] = 0.75
+        fault = Fault(layer=0, index=0, bit=31, model=FaultModel.STUCK_AT_1)
+        golden, faulty = injector.faulty_value(fault)
+        assert golden == 0.75
+        assert faulty == -0.75
+
+    def test_masked_when_bit_already_stuck(self, injector):
+        flat = injector.layers[0].flat_weights()
+        flat[1] = 1.0  # bit 30 of 1.0 is 0
+        fault = Fault(layer=0, index=1, bit=30, model=FaultModel.STUCK_AT_0)
+        assert injector.is_masked(fault)
+        golden, faulty = injector.faulty_value(fault)
+        assert golden == faulty
+
+    def test_bit_flip_never_masked(self, injector):
+        fault = Fault(layer=0, index=0, bit=12, model=FaultModel.BIT_FLIP)
+        assert not injector.is_masked(fault)
+
+    def test_exponent_msb_explodes_weight(self, injector):
+        flat = injector.layers[0].flat_weights()
+        flat[2] = 0.5
+        fault = Fault(layer=0, index=2, bit=30, model=FaultModel.STUCK_AT_1)
+        _, faulty = injector.faulty_value(fault)
+        assert abs(faulty) > 1e30
+
+
+class TestInjectionContext:
+    def test_applies_and_restores(self, injector):
+        flat = injector.layers[0].flat_weights()
+        golden = flat[3]
+        fault = Fault(layer=0, index=3, bit=31, model=FaultModel.BIT_FLIP)
+        with injector.inject(fault) as faulty:
+            assert flat[3] == np.float32(faulty)
+            assert flat[3] != golden
+        assert flat[3] == golden
+
+    def test_restores_on_exception(self, injector):
+        flat = injector.layers[0].flat_weights()
+        golden = flat[0]
+        fault = Fault(layer=0, index=0, bit=31, model=FaultModel.BIT_FLIP)
+        with pytest.raises(RuntimeError):
+            with injector.inject(fault):
+                raise RuntimeError("boom")
+        assert flat[0] == golden
+
+    def test_restores_exact_bits(self, injector):
+        """Restoration must be bit-exact even for denormal weights."""
+        flat = injector.layers[0].flat_weights()
+        flat[4] = np.float32(1e-42)  # denormal
+        golden_bits = flat[4:5].view(np.uint32)[0]
+        fault = Fault(layer=0, index=4, bit=20, model=FaultModel.BIT_FLIP)
+        with injector.inject(fault):
+            pass
+        assert flat[4:5].view(np.uint32)[0] == golden_bits
+
+    def test_nested_faults_in_different_layers(self, injector):
+        f1 = Fault(layer=0, index=0, bit=31, model=FaultModel.BIT_FLIP)
+        f2 = Fault(layer=1, index=0, bit=31, model=FaultModel.BIT_FLIP)
+        flat0 = injector.layers[0].flat_weights()
+        flat1 = injector.layers[1].flat_weights()
+        g0, g1 = flat0[0], flat1[0]
+        with injector.inject(f1), injector.inject(f2):
+            assert flat0[0] != g0 and flat1[0] != g1
+        assert flat0[0] == g0 and flat1[0] == g1
+
+
+class TestValidation:
+    def test_layer_out_of_range(self, injector):
+        fault = Fault(layer=99, index=0, bit=0, model=FaultModel.BIT_FLIP)
+        with pytest.raises(ValueError, match="layer"):
+            injector.faulty_value(fault)
+
+    def test_index_out_of_range(self, injector):
+        fault = Fault(
+            layer=0, index=10**9, bit=0, model=FaultModel.BIT_FLIP
+        )
+        with pytest.raises(ValueError, match="index"):
+            injector.faulty_value(fault)
+
+    def test_bit_out_of_range(self, injector):
+        fault = Fault(layer=0, index=0, bit=32, model=FaultModel.BIT_FLIP)
+        with pytest.raises(ValueError, match="bit"):
+            injector.faulty_value(fault)
+
+
+class TestProperties:
+    @given(
+        bit=st.integers(0, 31),
+        index=st.integers(0, 107),
+        model=st.sampled_from(list(FaultModel)),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_inject_restore_identity(self, bit, index, model):
+        net = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+        injector = WeightFaultInjector(net)
+        flat = injector.layers[0].flat_weights()
+        before = flat.copy()
+        fault = Fault(layer=0, index=index, bit=bit, model=model)
+        masked = injector.is_masked(fault)  # judged against golden weights
+        with injector.inject(fault):
+            changed = not np.array_equal(flat, before)
+            assert changed == (not masked)
+        np.testing.assert_array_equal(flat, before)
+
+    @given(bit=st.integers(0, 31), index=st.integers(0, 79))
+    @settings(max_examples=100, deadline=None)
+    def test_property_stuck_at_pair_covers_flip(self, bit, index):
+        """For any weight bit, exactly one stuck-at matches the flip and
+        the other is masked."""
+        net = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+        injector = WeightFaultInjector(net)
+        layer = len(injector.layers) - 1  # linear layer, 80 weights
+        flip = Fault(layer=layer, index=index, bit=bit, model=FaultModel.BIT_FLIP)
+        sa0 = Fault(layer=layer, index=index, bit=bit, model=FaultModel.STUCK_AT_0)
+        sa1 = Fault(layer=layer, index=index, bit=bit, model=FaultModel.STUCK_AT_1)
+        _, flipped = injector.faulty_value(flip)
+        masked = [injector.is_masked(f) for f in (sa0, sa1)]
+        assert sum(masked) == 1
+        active = sa1 if masked[0] else sa0
+        _, stuck = injector.faulty_value(active)
+        if not (np.isnan(stuck) and np.isnan(flipped)):
+            assert stuck == flipped

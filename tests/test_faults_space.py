@@ -1,0 +1,148 @@
+"""Tests for repro.faults: fault model, targets, fault space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import (
+    Fault,
+    FaultModel,
+    FaultSpace,
+    STUCK_AT_MODELS,
+    enumerate_weight_layers,
+)
+from repro.ieee754 import FLOAT16
+from repro.models import ResNetCIFAR
+
+
+@pytest.fixture(scope="module")
+def space():
+    model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+    return FaultSpace(model)
+
+
+class TestFaultModel:
+    def test_stuck_values(self):
+        assert FaultModel.STUCK_AT_0.stuck_value == 0
+        assert FaultModel.STUCK_AT_1.stuck_value == 1
+        assert FaultModel.BIT_FLIP.stuck_value is None
+
+    def test_canonical_pair(self):
+        assert STUCK_AT_MODELS == (FaultModel.STUCK_AT_0, FaultModel.STUCK_AT_1)
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            Fault(layer=-1, index=0, bit=0, model=FaultModel.STUCK_AT_0)
+        with pytest.raises(ValueError):
+            Fault(layer=0, index=-1, bit=0, model=FaultModel.STUCK_AT_0)
+        with pytest.raises(ValueError):
+            Fault(layer=0, index=0, bit=-1, model=FaultModel.STUCK_AT_0)
+
+    def test_fault_ordering(self):
+        a = Fault(layer=0, index=0, bit=0, model=FaultModel.STUCK_AT_0)
+        b = Fault(layer=1, index=0, bit=0, model=FaultModel.STUCK_AT_0)
+        assert a < b
+
+
+class TestWeightLayers:
+    def test_enumeration_order_and_indices(self, space):
+        layers = space.layers
+        assert [l.index for l in layers] == list(range(len(layers)))
+        assert layers[0].module.in_channels == 3  # stem first
+        assert layers[-1].name.endswith("fc")  # classifier last
+
+    def test_flat_weights_share_memory(self, space):
+        layer = space.layers[0]
+        flat = layer.flat_weights()
+        original = flat[0]
+        flat[0] = 123.0
+        assert layer.weight.data.reshape(-1)[0] == 123.0
+        flat[0] = original
+
+    def test_empty_model_rejected(self):
+        from repro.nn import Module, ReLU, Sequential
+
+        with pytest.raises(ValueError):
+            enumerate_weight_layers(Sequential(ReLU()))
+
+
+class TestPopulations:
+    def test_population_arithmetic(self, space):
+        weights = sum(l.size for l in space.layers)
+        assert space.total_population == weights * 32 * 2
+        assert space.cell_population(0) == space.layers[0].size * 2
+        assert space.layer_population(0) == space.layers[0].size * 64
+
+    def test_float16_population(self):
+        model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+        space16 = FaultSpace(model, fmt=FLOAT16)
+        weights = sum(l.size for l in space16.layers)
+        assert space16.total_population == weights * 16 * 2
+
+    def test_bitflip_population(self):
+        model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+        flip_space = FaultSpace(model, fault_models=(FaultModel.BIT_FLIP,))
+        weights = sum(l.size for l in flip_space.layers)
+        assert flip_space.total_population == weights * 32
+
+    def test_validation(self):
+        model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+        with pytest.raises(ValueError):
+            FaultSpace(model, fault_models=())
+
+
+class TestIdMapping:
+    def test_cell_fault_layout(self, space):
+        f0 = space.cell_fault(0, 5, 0)
+        assert (f0.layer, f0.index, f0.bit, f0.model) == (
+            0, 0, 5, FaultModel.STUCK_AT_0,
+        )
+        f1 = space.cell_fault(0, 5, 1)
+        assert f1.model is FaultModel.STUCK_AT_1
+        f2 = space.cell_fault(0, 5, 2)
+        assert f2.index == 1
+
+    def test_layer_fault_layout(self, space):
+        cell = space.cell_population(0)
+        fault = space.layer_fault(0, cell * 3 + 7)
+        assert fault.bit == 3
+        assert fault.index == 3
+        assert fault.model is FaultModel.STUCK_AT_1
+
+    def test_range_validation(self, space):
+        with pytest.raises(ValueError):
+            space.cell_fault(0, 0, space.cell_population(0))
+        with pytest.raises(ValueError):
+            space.cell_fault(0, 32, 0)
+        with pytest.raises(ValueError):
+            space.layer_fault(0, space.layer_population(0))
+        with pytest.raises(ValueError):
+            space.network_fault(space.total_population)
+        with pytest.raises(ValueError):
+            space.network_fault(-1)
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_property_global_id_round_trip(self, data):
+        model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+        space = FaultSpace(model)
+        global_id = data.draw(
+            st.integers(0, space.total_population - 1), label="global_id"
+        )
+        fault = space.network_fault(global_id)
+        assert space.fault_global_id(fault) == global_id
+
+    def test_iter_cell_count(self, space):
+        faults = list(space.iter_cell(0, 31))
+        assert len(faults) == space.cell_population(0)
+        assert all(f.bit == 31 and f.layer == 0 for f in faults)
+
+    def test_iter_layer_covers_all_bits(self, space):
+        bits = {f.bit for f in space.iter_layer(1)}
+        assert bits == set(range(32))
+
+    def test_iter_all_matches_population_on_small_layer(self, space):
+        last = len(space.layers) - 1
+        count = sum(1 for _ in space.iter_layer(last))
+        assert count == space.layer_population(last)

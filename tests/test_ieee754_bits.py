@@ -1,0 +1,121 @@
+"""Tests for repro.ieee754.bits (incl. property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ieee754 import (
+    FLOAT16,
+    FLOAT32,
+    apply_stuck_at,
+    clear_bit,
+    corrupt_value,
+    flip_bit,
+    get_bit,
+    set_bit,
+)
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+class TestBasics:
+    def test_get_bit_of_one(self):
+        bits = FLOAT32.encode(np.array([1.0]))  # 0x3F800000
+        assert get_bit(FLOAT32, bits, 31)[0] == 0
+        assert get_bit(FLOAT32, bits, 30)[0] == 0
+        for bit in range(23, 30):
+            assert get_bit(FLOAT32, bits, bit)[0] == 1
+        for bit in range(0, 23):
+            assert get_bit(FLOAT32, bits, bit)[0] == 0
+
+    def test_set_clear_flip_sign(self):
+        bits = FLOAT32.encode(np.array([2.5]))
+        negated = set_bit(FLOAT32, bits, 31)
+        assert FLOAT32.decode(negated)[0] == -2.5
+        assert FLOAT32.decode(clear_bit(FLOAT32, negated, 31))[0] == 2.5
+        assert FLOAT32.decode(flip_bit(FLOAT32, bits, 31))[0] == -2.5
+
+    def test_stuck_at(self):
+        bits = FLOAT32.encode(np.array([1.0]))
+        sa1 = apply_stuck_at(FLOAT32, bits, 30, 1)
+        assert FLOAT32.decode(sa1)[0] > 1e30  # exponent explodes
+        sa0 = apply_stuck_at(FLOAT32, bits, 30, 0)
+        assert sa0[0] == bits[0]  # bit already 0 -> masked
+
+    def test_stuck_value_validation(self):
+        bits = FLOAT32.encode(np.array([1.0]))
+        with pytest.raises(ValueError, match="stuck_value"):
+            apply_stuck_at(FLOAT32, bits, 0, 2)
+
+    def test_bit_range_validation(self):
+        bits = FLOAT32.encode(np.array([1.0]))
+        with pytest.raises(ValueError):
+            flip_bit(FLOAT32, bits, 32)
+        with pytest.raises(ValueError):
+            get_bit(FLOAT32, bits, -1)
+
+    def test_vectorised_over_words_and_bits(self):
+        bits = FLOAT32.encode(np.array([1.0, 2.0, 3.0, 4.0]))
+        flipped = flip_bit(FLOAT32, bits, np.array([0, 1, 2, 3]))
+        assert flipped.shape == (4,)
+        assert all(flipped != bits)
+
+    def test_float16_operations(self):
+        bits = FLOAT16.encode(np.array([1.0]))
+        assert FLOAT16.decode(flip_bit(FLOAT16, bits, 15))[0] == -1.0
+
+    def test_corrupt_value_scalar(self):
+        assert corrupt_value(FLOAT32, 1.0, 31, stuck_value=1) == -1.0
+        assert corrupt_value(FLOAT32, 1.0, 31, stuck_value=0) == 1.0
+        assert corrupt_value(FLOAT32, -1.0, 31) == 1.0  # transient flip
+
+    def test_corrupt_value_mantissa_lsb_is_tiny(self):
+        faulty = corrupt_value(FLOAT32, 1.0, 0, stuck_value=1)
+        assert faulty != 1.0
+        assert abs(faulty - 1.0) < 1e-6
+
+
+class TestProperties:
+    @given(value=finite_floats, bit=st.integers(0, 31))
+    @settings(max_examples=200, deadline=None)
+    def test_flip_is_involution(self, value, bit):
+        bits = FLOAT32.encode(np.array([value]))
+        twice = flip_bit(FLOAT32, flip_bit(FLOAT32, bits, bit), bit)
+        assert twice[0] == bits[0]
+
+    @given(value=finite_floats, bit=st.integers(0, 31), stuck=st.integers(0, 1))
+    @settings(max_examples=200, deadline=None)
+    def test_stuck_at_is_idempotent(self, value, bit, stuck):
+        bits = FLOAT32.encode(np.array([value]))
+        once = apply_stuck_at(FLOAT32, bits, bit, stuck)
+        twice = apply_stuck_at(FLOAT32, once, bit, stuck)
+        assert once[0] == twice[0]
+        assert get_bit(FLOAT32, once, bit)[0] == stuck
+
+    @given(value=finite_floats, bit=st.integers(0, 31))
+    @settings(max_examples=200, deadline=None)
+    def test_flip_changes_exactly_one_bit(self, value, bit):
+        bits = FLOAT32.encode(np.array([value]))
+        flipped = flip_bit(FLOAT32, bits, bit)
+        xor = int(bits[0]) ^ int(flipped[0])
+        assert xor == 1 << bit
+
+    @given(value=finite_floats, bit=st.integers(0, 31))
+    @settings(max_examples=200, deadline=None)
+    def test_exactly_one_stuck_at_is_masked(self, value, bit):
+        bits = FLOAT32.encode(np.array([value]))
+        sa0 = apply_stuck_at(FLOAT32, bits, bit, 0)
+        sa1 = apply_stuck_at(FLOAT32, bits, bit, 1)
+        masked = (sa0[0] == bits[0]) + (sa1[0] == bits[0])
+        assert masked == 1
+
+    @given(value=finite_floats, bit=st.integers(0, 30))
+    @settings(max_examples=200, deadline=None)
+    def test_flip_preserves_sign_for_non_sign_bits(self, value, bit):
+        bits = FLOAT32.encode(np.array([value]))
+        flipped = flip_bit(FLOAT32, bits, bit)
+        original = FLOAT32.decode(bits)[0]
+        corrupted = FLOAT32.decode(flipped)[0]
+        if not np.isnan(corrupted) and original != 0.0 and corrupted != 0.0:
+            assert np.sign(corrupted) == np.sign(original)

@@ -1,0 +1,80 @@
+"""Tests for repro.ieee754.distance (paper Fig. 2 arithmetic)."""
+
+import numpy as np
+import pytest
+
+from repro.ieee754 import FLOAT32, bit_flip_distances
+
+
+class TestBitFlipDistances:
+    def test_sign_flip_distance_is_twice_magnitude(self):
+        values = np.array([1.5, -2.0])
+        dists = bit_flip_distances(FLOAT32, values)
+        # Sign flip moves w to -w: distance 2|w|.  1.5 has sign 0 (0->1),
+        # -2.0 has sign 1 (1->0).
+        assert dists.d01[31] == pytest.approx(3.0)
+        assert dists.d10[31] == pytest.approx(4.0)
+
+    def test_mantissa_lsb_distance_is_tiny(self):
+        values = np.array([1.0])
+        dists = bit_flip_distances(FLOAT32, values)
+        assert 0 < dists.d01[0] < 1e-6
+
+    def test_paper_fig2_bit28_example(self):
+        # The paper's Fig. 2 illustrates the distance a bit-flip on bit 28
+        # introduces.  For w=1.0 the exponent is 127 (0b01111111), so bit 28
+        # is 1: the 1->0 flip divides the exponent by 2^32, collapsing the
+        # weight to 2^-32 — a distance of essentially |w|.
+        values = np.array([1.0])
+        dists = bit_flip_distances(FLOAT32, values)
+        assert dists.d01[28] == 0.0  # no weight has bit 28 at 0 here
+        assert dists.d10[28] == pytest.approx(1.0 - 2.0**-32)
+
+    def test_exponent_msb_is_huge(self):
+        values = np.array([0.5, 1.0, 0.25])
+        dists = bit_flip_distances(FLOAT32, values)
+        assert dists.d01[30] > 1e30
+
+    def test_direction_with_no_members_is_zero(self):
+        # For 1.0 the sign bit is 0 everywhere: no 1->0 flips exist.
+        values = np.array([1.0, 2.0])
+        dists = bit_flip_distances(FLOAT32, values)
+        assert dists.d10[31] == 0.0
+
+    def test_nonfinite_policy_max(self):
+        # Flipping the exponent MSB of 2.0 (exponent 128, bit30=1 -> 0 is
+        # fine) — construct an overflow instead: exponent 254 value, flip
+        # bit 23 to reach 255 (inf).
+        value = np.float32(2.0**127 * 1.5)  # exponent 254
+        dists = bit_flip_distances(FLOAT32, np.array([value]), nonfinite="max")
+        assert np.isfinite(dists.d01[23])
+        assert dists.d01[23] == pytest.approx(FLOAT32.max_finite)
+
+    def test_nonfinite_policy_inf(self):
+        value = np.float32(2.0**127 * 1.5)
+        dists = bit_flip_distances(FLOAT32, np.array([value]), nonfinite="inf")
+        assert np.isinf(dists.d01[23])
+
+    def test_nonfinite_policy_drop(self):
+        value = np.float32(2.0**127 * 1.5)
+        dists = bit_flip_distances(FLOAT32, np.array([value]), nonfinite="drop")
+        assert dists.d01[23] == 0.0  # the only member was dropped
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="nonfinite"):
+            bit_flip_distances(FLOAT32, np.array([1.0]), nonfinite="bogus")
+
+    def test_distances_nonnegative(self):
+        rng = np.random.default_rng(3)
+        dists = bit_flip_distances(FLOAT32, rng.normal(size=200))
+        assert (dists.d01 >= 0).all()
+        assert (dists.d10 >= 0).all()
+
+    def test_exponent_dominates_mantissa(self):
+        """Average exponent-bit distance exceeds mantissa-bit distance."""
+        rng = np.random.default_rng(4)
+        weights = rng.normal(0, 0.1, size=500)
+        dists = bit_flip_distances(FLOAT32, weights)
+        mantissa_peak = max(dists.d01[i] for i in range(0, 23))
+        exponent_peak = max(dists.d01[i] for i in range(23, 31))
+        assert exponent_peak > mantissa_peak * 1e3

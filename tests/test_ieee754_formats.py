@@ -1,0 +1,112 @@
+"""Tests for repro.ieee754.formats."""
+
+import numpy as np
+import pytest
+
+from repro.ieee754 import BFLOAT16, FLOAT16, FLOAT32, BitRole, FloatFormat, format_by_name
+
+
+class TestLayout:
+    def test_float32_layout(self):
+        assert FLOAT32.total_bits == 32
+        assert FLOAT32.sign_bit == 31
+        assert list(FLOAT32.exponent_slice) == list(range(23, 31))
+        assert list(FLOAT32.mantissa_slice) == list(range(0, 23))
+        assert FLOAT32.bias == 127
+
+    def test_float16_layout(self):
+        assert FLOAT16.total_bits == 16
+        assert FLOAT16.sign_bit == 15
+        assert FLOAT16.bias == 15
+        assert len(list(FLOAT16.exponent_slice)) == 5
+
+    def test_bfloat16_layout(self):
+        assert BFLOAT16.total_bits == 16
+        assert BFLOAT16.bias == 127  # same exponent range as float32
+        assert len(list(BFLOAT16.exponent_slice)) == 8
+
+    def test_inconsistent_layout_rejected(self):
+        with pytest.raises(ValueError):
+            FloatFormat(name="bad", total_bits=32, exponent_bits=8, mantissa_bits=22)
+
+    def test_bit_roles(self):
+        assert FLOAT32.bit_role(31) is BitRole.SIGN
+        assert FLOAT32.bit_role(30) is BitRole.EXPONENT
+        assert FLOAT32.bit_role(23) is BitRole.EXPONENT
+        assert FLOAT32.bit_role(22) is BitRole.MANTISSA
+        assert FLOAT32.bit_role(0) is BitRole.MANTISSA
+
+    def test_bit_role_out_of_range(self):
+        with pytest.raises(ValueError):
+            FLOAT32.bit_role(32)
+        with pytest.raises(ValueError):
+            FLOAT32.bit_role(-1)
+
+    def test_max_finite(self):
+        assert FLOAT32.max_finite == pytest.approx(3.4028235e38, rel=1e-6)
+        assert FLOAT16.max_finite == pytest.approx(65504.0)
+
+    def test_uint_dtype(self):
+        assert FLOAT32.uint_dtype == np.dtype("uint32")
+        assert FLOAT16.uint_dtype == np.dtype("uint16")
+        assert BFLOAT16.uint_dtype == np.dtype("uint16")
+
+
+class TestCodec:
+    @pytest.mark.parametrize("fmt", [FLOAT32, FLOAT16, BFLOAT16])
+    def test_roundtrip_simple_values(self, fmt):
+        values = np.array([0.0, 1.0, -1.0, 0.5, -2.0, 1024.0])
+        decoded = fmt.decode(fmt.encode(values))
+        np.testing.assert_array_equal(decoded, values)
+
+    def test_float32_bit_pattern_of_one(self):
+        bits = FLOAT32.encode(np.array([1.0]))
+        assert bits[0] == 0x3F800000
+
+    def test_float16_bit_pattern_of_one(self):
+        bits = FLOAT16.encode(np.array([1.0]))
+        assert bits[0] == 0x3C00
+
+    def test_bfloat16_bit_pattern_of_one(self):
+        bits = BFLOAT16.encode(np.array([1.0]))
+        assert bits[0] == 0x3F80
+
+    def test_bfloat16_round_to_nearest_even(self):
+        # 1.0 + 2^-8 is exactly halfway between two bfloat16 values; RNE
+        # rounds to the even mantissa (i.e. back down to 1.0).
+        value = np.array([1.0 + 2.0**-8])
+        assert BFLOAT16.decode(BFLOAT16.encode(value))[0] == 1.0
+        # Slightly above the midpoint rounds up.
+        value = np.array([1.0 + 2.0**-8 + 2.0**-12])
+        assert BFLOAT16.decode(BFLOAT16.encode(value))[0] == pytest.approx(
+            1.0078125
+        )
+
+    def test_decode_preserves_shape(self):
+        values = np.ones((2, 3, 4), dtype=np.float32)
+        assert FLOAT32.encode(values).shape == (2, 3, 4)
+        assert FLOAT32.decode(FLOAT32.encode(values)).shape == (2, 3, 4)
+
+    def test_decode_native_dtypes(self):
+        bits32 = FLOAT32.encode(np.array([1.5]))
+        assert FLOAT32.decode_native(bits32).dtype == np.float32
+        bits16 = FLOAT16.encode(np.array([1.5]))
+        assert FLOAT16.decode_native(bits16).dtype == np.float16
+        bitsbf = BFLOAT16.encode(np.array([1.5]))
+        assert BFLOAT16.decode_native(bitsbf).dtype == np.float32
+
+    def test_nan_and_inf_decode(self):
+        inf_bits = np.array([0x7F800000], dtype=np.uint32)
+        assert np.isinf(FLOAT32.decode(inf_bits)[0])
+        nan_bits = np.array([0x7FC00000], dtype=np.uint32)
+        assert np.isnan(FLOAT32.decode(nan_bits)[0])
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert format_by_name("float32") is FLOAT32
+        assert format_by_name("bfloat16") is BFLOAT16
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown float format"):
+            format_by_name("float8")

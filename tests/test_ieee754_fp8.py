@@ -1,0 +1,122 @@
+"""Tests for the generic (table-based) codec and the FP8 formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ieee754 import (
+    FLOAT8_E4M3,
+    FLOAT8_E5M2,
+    bit_frequencies,
+    flip_bit,
+    make_format,
+)
+
+
+class TestLayout:
+    def test_e4m3_layout(self):
+        assert FLOAT8_E4M3.total_bits == 8
+        assert FLOAT8_E4M3.bias == 7
+        assert FLOAT8_E4M3.max_finite == 240.0
+
+    def test_e5m2_layout(self):
+        assert FLOAT8_E5M2.bias == 15
+        assert FLOAT8_E5M2.max_finite == 57344.0
+
+    def test_uint_dtype(self):
+        assert FLOAT8_E4M3.uint_dtype == np.dtype("uint8")
+
+
+class TestGenericCodec:
+    @pytest.mark.parametrize("fmt", [FLOAT8_E4M3, FLOAT8_E5M2])
+    def test_exact_roundtrip_for_representable(self, fmt):
+        values = np.array([0.0, 1.0, -1.0, 0.5, 0.25, 2.0, -4.0, 1.5])
+        decoded = fmt.decode(fmt.encode(values))
+        np.testing.assert_array_equal(decoded, values)
+
+    def test_all_patterns_decode(self):
+        bits = np.arange(256, dtype=np.uint8)
+        values = FLOAT8_E4M3.decode(bits)
+        assert values.shape == (256,)
+        finite = values[np.isfinite(values)]
+        assert finite.max() == 240.0
+        assert finite.min() == -240.0
+
+    def test_inf_and_nan_patterns(self):
+        # Exponent all ones (bits 3..6), mantissa 0 -> inf.
+        inf_bits = np.array([0b0_1111_000], dtype=np.uint8)
+        assert np.isinf(FLOAT8_E4M3.decode(inf_bits))[0]
+        nan_bits = np.array([0b0_1111_100], dtype=np.uint8)
+        assert np.isnan(FLOAT8_E4M3.decode(nan_bits))[0]
+
+    def test_subnormals(self):
+        # Smallest subnormal of e4m3: 2^-6 / 8 = 2^-9.
+        bits = np.array([1], dtype=np.uint8)
+        assert FLOAT8_E4M3.decode(bits)[0] == 2.0**-9
+
+    def test_overflow_saturates_to_inf(self):
+        bits = FLOAT8_E4M3.encode(np.array([1e10, -1e10]))
+        decoded = FLOAT8_E4M3.decode(bits)
+        assert np.isinf(decoded[0]) and decoded[0] > 0
+        assert np.isinf(decoded[1]) and decoded[1] < 0
+
+    def test_nan_encodes_to_nan(self):
+        bits = FLOAT8_E4M3.encode(np.array([np.nan]))
+        assert np.isnan(FLOAT8_E4M3.decode(bits))[0]
+
+    def test_round_to_nearest_even(self):
+        # 1.0625 is the midpoint of [1.0, 1.125] in e4m3; RNE picks the
+        # even mantissa (1.0).  1.1875 is the midpoint of [1.125, 1.25]
+        # and rounds up to the even 1.25.
+        fmt = FLOAT8_E4M3
+        assert fmt.decode(fmt.encode(np.array([1.0625])))[0] == 1.0
+        assert fmt.decode(fmt.encode(np.array([1.1875])))[0] == 1.25
+
+    def test_decode_native_is_float32(self):
+        bits = FLOAT8_E4M3.encode(np.array([1.5]))
+        native = FLOAT8_E4M3.decode_native(bits)
+        assert native.dtype == np.float32
+        assert native[0] == 1.5
+
+    @given(
+        st.lists(
+            st.floats(-200.0, 200.0, allow_nan=False), min_size=1, max_size=30
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_quantisation_is_nearest(self, values):
+        fmt = FLOAT8_E4M3
+        array = np.array(values)
+        decoded = fmt.decode(fmt.encode(array))
+        table = fmt.decode(np.arange(256, dtype=np.uint8))
+        finite = table[np.isfinite(table)]
+        for original, quantised in zip(array, decoded):
+            best = np.min(np.abs(finite - original))
+            assert abs(quantised - original) == pytest.approx(best, abs=1e-12)
+
+    @given(st.integers(0, 255), st.integers(0, 7))
+    @settings(max_examples=150, deadline=None)
+    def test_property_bit_ops_work_on_fp8(self, pattern, bit):
+        bits = np.array([pattern], dtype=np.uint8)
+        flipped = flip_bit(FLOAT8_E4M3, bits, bit)
+        assert (int(bits[0]) ^ int(flipped[0])) == (1 << bit)
+
+
+class TestCustomFormats:
+    def test_make_format(self):
+        fmt = make_format("float8_e3m4", 3, 4)
+        assert fmt.total_bits == 8
+        assert fmt.bias == 3
+        assert fmt.decode(fmt.encode(np.array([1.5])))[0] == 1.5
+
+    def test_make_format_width_limit(self):
+        with pytest.raises(ValueError, match="16 bits"):
+            make_format("float24", 8, 15)
+
+    def test_frequency_analysis_on_fp8(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(0, 0.1, size=500)
+        freqs = bit_frequencies(FLOAT8_E4M3, weights)
+        assert freqs.total == 500
+        assert len(freqs.f0) == 8

@@ -1,0 +1,72 @@
+"""Tests for repro.ieee754.frequency."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ieee754 import FLOAT16, FLOAT32, bit_frequencies
+
+
+class TestBitFrequencies:
+    def test_all_zeros(self):
+        freqs = bit_frequencies(FLOAT32, np.zeros(10))
+        assert freqs.total == 10
+        np.testing.assert_array_equal(freqs.f1, 0)
+        np.testing.assert_array_equal(freqs.f0, 10)
+
+    def test_known_pattern_for_one(self):
+        freqs = bit_frequencies(FLOAT32, np.ones(4))
+        # 1.0 = 0x3F800000: bits 23..29 set.
+        for bit in range(23, 30):
+            assert freqs.f1[bit] == 4
+        assert freqs.f1[30] == 0
+        assert freqs.f1[31] == 0
+        assert freqs.f1[0] == 0
+
+    def test_counts_sum_to_total(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=100)
+        freqs = bit_frequencies(FLOAT32, values)
+        np.testing.assert_array_equal(freqs.f0 + freqs.f1, 100)
+
+    def test_sign_bit_counts_negatives(self):
+        values = np.array([1.0, -1.0, -2.0, 3.0, -4.0])
+        freqs = bit_frequencies(FLOAT32, values)
+        assert freqs.f1[31] == 3
+
+    def test_flattens_input(self):
+        freqs = bit_frequencies(FLOAT32, np.ones((2, 3)))
+        assert freqs.total == 6
+
+    def test_fraction_ones(self):
+        values = np.array([1.0, -1.0])
+        freqs = bit_frequencies(FLOAT32, values)
+        fractions = freqs.fraction_ones()
+        assert fractions[31] == 0.5
+        assert fractions[23] == 1.0
+
+    def test_as_rows_msb_first(self):
+        freqs = bit_frequencies(FLOAT32, np.ones(1))
+        rows = freqs.as_rows()
+        assert rows[0][0] == 31
+        assert rows[-1][0] == 0
+        assert len(rows) == 32
+
+    def test_float16_width(self):
+        freqs = bit_frequencies(FLOAT16, np.ones(3))
+        assert len(freqs.f0) == 16
+
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_counts_consistent(self, values):
+        array = np.array(values, dtype=np.float32)
+        freqs = bit_frequencies(FLOAT32, array)
+        assert freqs.total == len(values)
+        assert (freqs.f0 >= 0).all() and (freqs.f1 >= 0).all()
+        np.testing.assert_array_equal(freqs.f0 + freqs.f1, len(values))

@@ -1,0 +1,167 @@
+"""End-to-end integration tests on cached exhaustive ground truth.
+
+These reproduce the paper's evaluation protocol in miniature: exhaustive
+ground truth for a pretrained mini model, the four statistical campaigns
+replayed against it, and the paper's qualitative claims checked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import InferenceOracle, TableOracle
+from repro.models import pretrained_path
+from repro.sfi import (
+    CampaignRunner,
+    DataAwareSFI,
+    DataUnawareSFI,
+    LayerWiseSFI,
+    NetworkWiseSFI,
+    validate_campaign,
+)
+from repro.sfi.artifacts import exhaustive_table_path, load_or_run_exhaustive
+from repro.stats import chi_square_homogeneity
+
+
+def artifacts_ready(model: str) -> bool:
+    return (
+        pretrained_path(model).is_file()
+        and exhaustive_table_path(model).is_file()
+    )
+
+
+requires_resnet = pytest.mark.skipif(
+    not artifacts_ready("resnet8_mini"), reason="resnet8_mini artifacts missing"
+)
+requires_mobilenet = pytest.mark.skipif(
+    not artifacts_ready("mobilenetv2_mini"),
+    reason="mobilenetv2_mini artifacts missing",
+)
+
+
+@pytest.fixture(scope="module")
+def resnet_truth():
+    return load_or_run_exhaustive("resnet8_mini")
+
+
+@pytest.fixture(scope="module")
+def mobilenet_truth():
+    return load_or_run_exhaustive("mobilenetv2_mini")
+
+
+@requires_resnet
+class TestExhaustiveGroundTruth:
+    def test_plausible_critical_rate(self, resnet_truth):
+        table, _, _ = resnet_truth
+        rate = table.total_rate()
+        # The paper's CNNs land in the same few-percent band.
+        assert 0.001 < rate < 0.10
+
+    def test_half_of_stuck_at_faults_masked(self, resnet_truth):
+        table, _, _ = resnet_truth
+        assert table.masked_fraction() == pytest.approx(0.5, abs=0.01)
+
+    def test_exponent_msb_is_most_critical_bit(self, resnet_truth):
+        from repro.analysis import most_critical_bit
+
+        table, _, _ = resnet_truth
+        assert most_critical_bit(table).bit == 30
+
+    def test_mantissa_lsbs_never_critical(self, resnet_truth):
+        table, _, _ = resnet_truth
+        for layer in range(table.num_layers):
+            for bit in range(8):
+                assert table.cell_rate(layer, bit) == 0.0
+
+    def test_layers_have_heterogeneous_criticality(self, resnet_truth):
+        """The paper's motivation: p differs across layers, violating the
+        4th Bernoulli assumption for network-wise sampling."""
+        table, _, _ = resnet_truth
+        trials, successes = [], []
+        for layer in range(table.num_layers):
+            criticals, population = table.layer_counts(layer)
+            trials.append(population)
+            successes.append(criticals)
+        result = chi_square_homogeneity(trials, successes)
+        assert result.rejects_homogeneity(alpha=0.001)
+
+
+@requires_resnet
+class TestStatisticalVsExhaustive:
+    @pytest.fixture(scope="class")
+    def reports(self, resnet_truth):
+        table, space, _ = resnet_truth
+        runner = CampaignRunner(TableOracle(table, space), space)
+        out = {}
+        for planner in (
+            NetworkWiseSFI(),
+            LayerWiseSFI(),
+            DataUnawareSFI(),
+            DataAwareSFI(),
+        ):
+            plan = planner.plan(space)
+            result = runner.run(plan, seed=0)
+            out[plan.method] = validate_campaign(result, table)
+        return out
+
+    def test_all_methods_estimate_network_rate(self, reports, resnet_truth):
+        table, _, _ = resnet_truth
+        for method, report in reports.items():
+            est = report.network.estimate
+            assert est.p_hat == pytest.approx(table.total_rate(), abs=0.01), method
+
+    def test_margin_ordering_matches_paper(self, reports):
+        """Table III ordering: network-wise has the worst average layer
+        margin; data-unaware the best; data-aware close to data-unaware."""
+        margins = {m: r.average_margin for m, r in reports.items()}
+        assert margins["network-wise"] > margins["layer-wise"]
+        assert margins["layer-wise"] > margins["data-unaware"]
+        assert margins["data-aware"] < margins["layer-wise"]
+
+    def test_data_aware_is_cheaper_than_layer_wise(self, reports):
+        assert (
+            reports["data-aware"].total_injections
+            < reports["layer-wise"].total_injections
+        )
+
+    def test_fine_methods_contain_exhaustive_everywhere(self, reports):
+        assert reports["data-unaware"].contained_fraction == 1.0
+        assert reports["data-aware"].contained_fraction >= 0.8
+
+    def test_live_injection_agrees_with_replay(self, resnet_truth):
+        """Really injecting sampled faults gives identical outcomes to the
+        recorded exhaustive table (determinism of the whole stack)."""
+        table, space, engine = resnet_truth
+        plan = DataAwareSFI(error_margin=0.2).plan(space)
+        replay = CampaignRunner(TableOracle(table, space), space).run(plan, seed=4)
+        live = CampaignRunner(InferenceOracle(engine), space).run(plan, seed=4)
+        assert replay.cell_tallies == live.cell_tallies
+
+
+@requires_mobilenet
+class TestMobileNet:
+    def test_ground_truth_rate(self, mobilenet_truth):
+        table, _, _ = mobilenet_truth
+        assert 0.001 < table.total_rate() < 0.10
+
+    def test_data_aware_valid_on_mobilenet(self, mobilenet_truth):
+        table, space, _ = mobilenet_truth
+        runner = CampaignRunner(TableOracle(table, space), space)
+        result = runner.run(DataAwareSFI().plan(space), seed=0)
+        report = validate_campaign(result, table)
+        assert report.contained_fraction >= 0.8
+        assert report.average_margin < 0.01
+
+    def test_depthwise_layers_covered(self, mobilenet_truth):
+        """Faults in depthwise conv layers are exercised and classified."""
+        table, space, _ = mobilenet_truth
+        from repro.nn import Conv2d
+
+        depthwise_layers = [
+            l.index
+            for l in space.layers
+            if isinstance(l.module, Conv2d) and l.module.groups > 1
+        ]
+        assert depthwise_layers
+        for layer in depthwise_layers:
+            criticals, population = table.layer_counts(layer)
+            assert population == space.layer_population(layer)

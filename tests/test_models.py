@@ -1,0 +1,168 @@
+"""Tests for repro.models: topology, parameter counts, stages, registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import SynthCIFAR
+from repro.faults import enumerate_weight_layers
+from repro.models import (
+    MODELS,
+    create_model,
+    mobilenetv2,
+    mobilenetv2_mini,
+    resnet8_mini,
+    resnet20,
+    resnet20_mini,
+)
+from repro.paperdata import (
+    MOBILENETV2_TOTALS,
+    RESNET20_STANDARD_LAYER_PARAMS,
+)
+from repro.tensor import Tensor
+
+rng = np.random.default_rng(11)
+
+
+class TestResNet20:
+    def test_weight_layer_count_matches_paper(self):
+        layers = enumerate_weight_layers(resnet20())
+        assert len(layers) == 20
+
+    def test_per_layer_params_match_standard_topology(self):
+        layers = enumerate_weight_layers(resnet20())
+        sizes = tuple(layer.size for layer in layers)
+        assert sizes == RESNET20_STANDARD_LAYER_PARAMS
+
+    def test_total_weights(self):
+        layers = enumerate_weight_layers(resnet20())
+        assert sum(layer.size for layer in layers) == 268_336
+
+    def test_forward_shape(self):
+        model = resnet20().eval()
+        x = rng.normal(size=(2, 3, 32, 32)).astype(np.float32)
+        assert model.forward_fast(x).shape == (2, 10)
+
+    def test_option_a_shortcut_rejects_odd_increase(self):
+        from repro.models import ResNetCIFAR
+
+        with pytest.raises(ValueError, match="even channel increase"):
+            ResNetCIFAR(blocks_per_stage=1, widths=(4, 7, 8))
+
+
+class TestMobileNetV2:
+    def test_weight_layer_count_matches_paper(self):
+        layers = enumerate_weight_layers(mobilenetv2())
+        assert len(layers) == MOBILENETV2_TOTALS["layers"] == 54
+
+    def test_total_weights_match_paper_exactly(self):
+        layers = enumerate_weight_layers(mobilenetv2())
+        total = sum(layer.size for layer in layers)
+        assert total == MOBILENETV2_TOTALS["parameters"] == 2_203_584
+
+    def test_exhaustive_population_matches_paper(self):
+        layers = enumerate_weight_layers(mobilenetv2())
+        assert (
+            sum(layer.size for layer in layers) * 64
+            == MOBILENETV2_TOTALS["exhaustive"]
+        )
+
+    def test_forward_shape(self):
+        model = mobilenetv2_mini().eval()
+        x = rng.normal(size=(2, 3, 32, 32)).astype(np.float32)
+        assert model.forward_fast(x).shape == (2, 10)
+
+    def test_depthwise_blocks_present(self):
+        from repro.nn import Conv2d
+
+        model = mobilenetv2_mini()
+        depthwise = [
+            m
+            for m in model.modules()
+            if isinstance(m, Conv2d) and m.groups > 1
+        ]
+        assert len(depthwise) == 3  # one per inverted residual block
+
+    def test_residual_only_when_shape_kept(self):
+        from repro.models import InvertedResidual
+
+        model = mobilenetv2()
+        blocks = [m for m in model.modules() if isinstance(m, InvertedResidual)]
+        assert len(blocks) == 17
+        for block in blocks:
+            expected = block.stride == 1 and block.in_channels == block.out_channels
+            assert block.use_residual == expected
+        assert any(block.use_residual for block in blocks)
+
+
+class TestStages:
+    @pytest.mark.parametrize("factory", [resnet8_mini, mobilenetv2_mini])
+    def test_stage_composition_equals_forward(self, factory):
+        model = factory().eval()
+        x = rng.normal(size=(2, 3, 32, 32)).astype(np.float32)
+        full = model.forward_fast(x)
+        staged = x
+        for stage in model.stage_modules():
+            staged = stage.forward_fast(staged)
+        np.testing.assert_allclose(staged, full, rtol=1e-5, atol=1e-6)
+
+    @pytest.mark.parametrize("factory", [resnet8_mini, mobilenetv2_mini])
+    def test_stages_cover_all_weight_layers(self, factory):
+        model = factory()
+        stage_module_ids = set()
+        for stage in model.stage_modules():
+            stage_module_ids.update(id(m) for m in stage.modules())
+        for layer in enumerate_weight_layers(model):
+            assert id(layer.module) in stage_module_ids
+
+    @pytest.mark.parametrize("factory", [resnet8_mini, mobilenetv2_mini])
+    def test_autograd_forward_matches_fast(self, factory):
+        model = factory().eval()
+        x = rng.normal(size=(2, 3, 32, 32)).astype(np.float32)
+        slow = model(Tensor(x)).data
+        fast = model.forward_fast(x)
+        np.testing.assert_allclose(fast, slow, rtol=1e-4, atol=1e-5)
+
+
+class TestRegistry:
+    def test_all_models_constructible(self):
+        for name in MODELS:
+            model = create_model(name)
+            assert len(enumerate_weight_layers(model)) > 0
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            create_model("vgg16")
+
+    def test_pretrained_missing_weights_message(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+        with pytest.raises(FileNotFoundError, match="train_models"):
+            create_model("resnet8_mini", pretrained=True)
+
+    def test_deterministic_init(self):
+        a = resnet8_mini(seed=5)
+        b = resnet8_mini(seed=5)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_seeds_differ(self):
+        a = resnet8_mini(seed=1)
+        b = resnet8_mini(seed=2)
+        wa = next(iter(a.parameters())).data
+        wb = next(iter(b.parameters())).data
+        assert not np.array_equal(wa, wb)
+
+
+class TestTrainedAccuracy:
+    def test_pretrained_minis_accurate(self):
+        """Pretrained minis must classify well for FI results to mean
+        anything (the paper's nets were at 91.7% / 92.01%)."""
+        from repro.models import pretrained_path
+
+        data = SynthCIFAR("test", size=256, seed=1234)
+        for name in ("resnet8_mini", "mobilenetv2_mini"):
+            if not pretrained_path(name).is_file():
+                pytest.skip(f"no trained weights for {name}")
+            model = create_model(name, pretrained=True)
+            predictions = model.forward_fast(data.images).argmax(axis=1)
+            accuracy = (predictions == data.labels).mean()
+            assert accuracy > 0.9

@@ -1,0 +1,84 @@
+"""Tests for the plain-CNN (VGG-style) zoo member."""
+
+import numpy as np
+import pytest
+
+from repro.data import SynthCIFAR
+from repro.faults import FaultSpace, InferenceEngine, enumerate_weight_layers
+from repro.models import VGGCIFAR, create_model, vgg_mini
+from repro.sfi import DataAwareSFI, DataUnawareSFI
+from repro.tensor import Tensor
+
+rng = np.random.default_rng(21)
+
+
+class TestTopology:
+    def test_weight_layer_count(self):
+        layers = enumerate_weight_layers(vgg_mini())
+        assert len(layers) == 5  # 4 conv blocks + classifier
+
+    def test_forward_shape(self):
+        model = vgg_mini().eval()
+        x = rng.normal(size=(2, 3, 32, 32)).astype(np.float32)
+        assert model.forward_fast(x).shape == (2, 10)
+
+    def test_autograd_matches_fast(self):
+        model = vgg_mini().eval()
+        x = rng.normal(size=(2, 3, 32, 32)).astype(np.float32)
+        np.testing.assert_allclose(
+            model.forward_fast(x), model(Tensor(x)).data, rtol=1e-4, atol=1e-5
+        )
+
+    def test_stage_composition(self):
+        model = vgg_mini().eval()
+        x = rng.normal(size=(2, 3, 32, 32)).astype(np.float32)
+        staged = x
+        for stage in model.stage_modules():
+            staged = stage.forward_fast(staged)
+        np.testing.assert_allclose(
+            staged, model.forward_fast(x), rtol=1e-5, atol=1e-6
+        )
+
+    def test_registry(self):
+        model = create_model("vgg_mini")
+        assert isinstance(model, VGGCIFAR)
+
+    def test_empty_widths_rejected(self):
+        with pytest.raises(ValueError):
+            VGGCIFAR(widths=())
+
+    def test_no_residual_paths(self):
+        """Plain stack: no module adds its input back (structural check —
+        corrupting a mid-stage activation to zero changes all downstream
+        activations only through the stack)."""
+        model = vgg_mini().eval()
+        stages = model.stage_modules()
+        x = rng.normal(size=(1, 3, 32, 32)).astype(np.float32)
+        a = stages[0].forward_fast(x)
+        downstream = stages[1].forward_fast(a)
+        zeroed = stages[1].forward_fast(np.zeros_like(a))
+        assert not np.allclose(downstream, zeroed)
+
+
+class TestFaultCampaignsOnVGG:
+    def test_fault_space(self):
+        space = FaultSpace(vgg_mini())
+        assert space.total_population == 4410 * 64
+
+    def test_planners_cover_plain_topology(self):
+        space = FaultSpace(vgg_mini())
+        unaware = DataUnawareSFI().plan(space)
+        aware = DataAwareSFI().plan(space)
+        assert aware.total_injections < unaware.total_injections
+
+    def test_engine_classifies_faults(self):
+        from repro.faults import Fault, FaultModel
+
+        model = vgg_mini().eval()
+        data = SynthCIFAR("test", size=8, seed=3)
+        engine = InferenceEngine(model, data.images, data.labels)
+        fault = Fault(layer=2, index=0, bit=30, model=FaultModel.STUCK_AT_1)
+        cached = engine.predictions_with_fault(fault)
+        with engine.injector.inject(fault), np.errstate(all="ignore"):
+            full = model.forward_fast(data.images).argmax(axis=1)
+        np.testing.assert_array_equal(cached, full)

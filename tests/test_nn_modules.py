@@ -1,0 +1,184 @@
+"""Tests for repro.nn: module registry, layers, state dicts, fast paths."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    ReLU,
+    ReLU6,
+    Sequential,
+    load_state,
+    save_state,
+)
+from repro.tensor import Tensor
+
+rng = np.random.default_rng(5)
+
+
+def small_net(seed: int = 0) -> Sequential:
+    gen = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(3, 4, 3, padding=1, rng=gen),
+        BatchNorm2d(4),
+        ReLU(),
+        GlobalAvgPool2d(),
+        Linear(4, 10, rng=gen),
+    )
+
+
+class TestRegistry:
+    def test_named_parameters(self):
+        net = small_net()
+        names = [name for name, _ in net.named_parameters()]
+        assert "0.weight" in names
+        assert "1.weight" in names and "1.bias" in names
+        assert "4.weight" in names and "4.bias" in names
+
+    def test_named_buffers(self):
+        net = small_net()
+        names = [name for name, _ in net.named_buffers()]
+        assert "1.running_mean" in names and "1.running_var" in names
+
+    def test_modules_iteration(self):
+        net = small_net()
+        kinds = [type(m).__name__ for m in net.modules()]
+        assert "Conv2d" in kinds and "Linear" in kinds
+
+    def test_train_eval_recursive(self):
+        net = small_net()
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self):
+        net = small_net()
+        for p in net.parameters():
+            p.grad = np.zeros_like(p.data)
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        net1 = small_net(seed=1)
+        net2 = small_net(seed=2)
+        net2.load_state_dict(net1.state_dict())
+        for (n1, p1), (n2, p2) in zip(
+            net1.named_parameters(), net2.named_parameters()
+        ):
+            assert n1 == n2
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_missing_key_rejected(self):
+        net = small_net()
+        state = net.state_dict()
+        state.pop("0.weight")
+        with pytest.raises(KeyError, match="mismatch"):
+            net.load_state_dict(state)
+
+    def test_extra_key_rejected(self):
+        net = small_net()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_rejected(self):
+        net = small_net()
+        state = net.state_dict()
+        state["0.weight"] = np.zeros((1, 1, 1, 1))
+        with pytest.raises(ValueError, match="shape"):
+            net.load_state_dict(state)
+
+    def test_buffers_round_trip(self):
+        net1 = small_net()
+        net1.train()
+        net1(Tensor(rng.normal(size=(4, 3, 8, 8)).astype(np.float32)))
+        net2 = small_net(seed=9)
+        net2.load_state_dict(net1.state_dict())
+        bn1 = net1[1]
+        bn2 = net2[1]
+        np.testing.assert_array_equal(bn1.running_mean, bn2.running_mean)
+
+    def test_save_load_npz(self, tmp_path):
+        net1 = small_net(seed=3)
+        path = tmp_path / "weights.npz"
+        save_state(net1, path)
+        net2 = small_net(seed=4)
+        load_state(net2, path)
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        net1.eval()
+        net2.eval()
+        np.testing.assert_allclose(net1.forward_fast(x), net2.forward_fast(x))
+
+
+class TestForwardFastConsistency:
+    """forward_fast (inference kernels) must match the autograd forward."""
+
+    @pytest.mark.parametrize(
+        "layer,shape",
+        [
+            (Conv2d(3, 5, 3, padding=1, rng=np.random.default_rng(0)), (2, 3, 8, 8)),
+            (
+                Conv2d(3, 6, 3, stride=2, padding=1, rng=np.random.default_rng(0)),
+                (2, 3, 8, 8),
+            ),
+            (
+                Conv2d(4, 4, 3, padding=1, groups=4, rng=np.random.default_rng(0)),
+                (2, 4, 8, 8),
+            ),
+            (Conv2d(4, 8, 1, rng=np.random.default_rng(0)), (2, 4, 8, 8)),
+            (
+                Conv2d(4, 8, 1, bias=True, rng=np.random.default_rng(0)),
+                (2, 4, 8, 8),
+            ),
+            (Linear(6, 4, rng=np.random.default_rng(0)), (3, 6)),
+            (ReLU(), (2, 5)),
+            (ReLU6(), (2, 5)),
+            (AvgPool2d(2), (2, 3, 8, 8)),
+            (GlobalAvgPool2d(), (2, 3, 8, 8)),
+            (Flatten(), (2, 3, 4, 4)),
+        ],
+    )
+    def test_layer_consistency(self, layer, shape):
+        layer.eval()
+        x = rng.normal(size=shape).astype(np.float32)
+        slow = layer(Tensor(x)).data
+        fast = layer.forward_fast(x)
+        np.testing.assert_allclose(fast, slow, rtol=1e-5, atol=1e-6)
+
+    def test_batchnorm_eval_consistency(self):
+        bn = BatchNorm2d(4)
+        bn.running_mean[...] = rng.normal(size=4)
+        bn.running_var[...] = np.abs(rng.normal(size=4)) + 0.5
+        bn.eval()
+        x = rng.normal(size=(2, 4, 5, 5)).astype(np.float32)
+        np.testing.assert_allclose(
+            bn.forward_fast(x), bn(Tensor(x)).data, rtol=1e-4, atol=1e-5
+        )
+
+
+class TestLayerValidation:
+    def test_conv_group_divisibility(self):
+        with pytest.raises(ValueError):
+            Conv2d(3, 4, 3, groups=2)
+
+    def test_sequential_indexing(self):
+        net = small_net()
+        assert isinstance(net[0], Conv2d)
+        assert len(net) == 5
+        assert isinstance(list(net)[-1], Linear)
+
+    def test_module_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward(Tensor(np.zeros(1)))
+        with pytest.raises(NotImplementedError):
+            Module().forward_fast(np.zeros(1))

@@ -1,0 +1,88 @@
+"""Consistency tests for the published reference numbers in paperdata."""
+
+from repro.paperdata import (
+    CAMPAIGN_CONFIG,
+    HEADLINE,
+    MOBILENETV2_TOTALS,
+    RESNET20_DATA_AWARE,
+    RESNET20_DATA_UNAWARE,
+    RESNET20_EXHAUSTIVE,
+    RESNET20_LAYER_WISE,
+    RESNET20_NETWORK_WISE,
+    RESNET20_PAPER_LAYER_PARAMS,
+    RESNET20_STANDARD_LAYER_PARAMS,
+    RESNET20_TOTALS,
+    TABLE3_MOBILENETV2,
+    TABLE3_RESNET20,
+)
+
+
+class TestInternalConsistency:
+    def test_paper_params_sum(self):
+        assert sum(RESNET20_PAPER_LAYER_PARAMS) == RESNET20_TOTALS["parameters"]
+
+    def test_standard_params_differ_by_anomaly(self):
+        assert (
+            sum(RESNET20_PAPER_LAYER_PARAMS)
+            - sum(RESNET20_STANDARD_LAYER_PARAMS)
+            == 10
+        )
+
+    def test_exhaustive_is_64x_params(self):
+        assert (
+            sum(RESNET20_EXHAUSTIVE)
+            == RESNET20_TOTALS["exhaustive"]
+            == RESNET20_TOTALS["parameters"] * 64
+        )
+
+    def test_column_lengths(self):
+        for column in (
+            RESNET20_NETWORK_WISE,
+            RESNET20_LAYER_WISE,
+            RESNET20_DATA_UNAWARE,
+            RESNET20_DATA_AWARE,
+        ):
+            assert len(column) == 20
+
+    def test_column_totals(self):
+        assert sum(RESNET20_LAYER_WISE) == RESNET20_TOTALS["layer-wise"]
+        assert sum(RESNET20_DATA_UNAWARE) == RESNET20_TOTALS["data-unaware"]
+        assert sum(RESNET20_DATA_AWARE) == RESNET20_TOTALS["data-aware"]
+        # The per-layer network-wise column is independently rounded and
+        # overshoots the Eq. 1 total slightly (16,628 vs 16,625).
+        assert sum(RESNET20_NETWORK_WISE) == RESNET20_TOTALS["network-wise"] + 3
+
+    def test_mobilenet_population(self):
+        assert (
+            MOBILENETV2_TOTALS["exhaustive"]
+            == MOBILENETV2_TOTALS["parameters"] * 64
+        )
+
+    def test_table3_injected_percentages(self):
+        n, pct, _ = TABLE3_RESNET20["data-aware"]
+        assert pct == HEADLINE["resnet20_injected_percent"]
+        assert round(n / RESNET20_TOTALS["exhaustive"] * 100, 2) == pct
+        n, pct, _ = TABLE3_MOBILENETV2["data-aware"]
+        assert pct == HEADLINE["mobilenetv2_injected_percent"]
+        assert round(n / MOBILENETV2_TOTALS["exhaustive"] * 100, 2) == pct
+
+    def test_table3_margin_ordering(self):
+        """In both published tables: network-wise breaks the 1% target,
+        every finer method respects it."""
+        for table in (TABLE3_RESNET20, TABLE3_MOBILENETV2):
+            assert table["network-wise"][2] > 1.0
+            for method in ("layer-wise", "data-unaware", "data-aware"):
+                assert table[method][2] < 1.0
+
+    def test_campaign_config(self):
+        assert CAMPAIGN_CONFIG["t"] == 2.58
+        assert CAMPAIGN_CONFIG["error_margin"] == 0.01
+
+    def test_headline_claim_band(self):
+        """'about 1.50% of the possible faults' averages the two nets."""
+        average = (
+            HEADLINE["resnet20_injected_percent"]
+            + HEADLINE["mobilenetv2_injected_percent"]
+        ) / 2
+        assert abs(average - 0.88) < 0.01  # the 1.50% in the abstract refers
+        # to the larger (layer-wise-inclusive) figure; data-aware is lower.

@@ -1,0 +1,123 @@
+"""Tests for repro.sfi.dataaware (paper Eq. 4-5)."""
+
+import numpy as np
+import pytest
+
+from repro.ieee754 import BFLOAT16, FLOAT16, FLOAT32
+from repro.models import resnet8_mini
+from repro.sfi import bit_criticality, data_aware_p, model_weight_vector
+
+
+@pytest.fixture(scope="module")
+def gaussian_weights():
+    return np.random.default_rng(0).normal(0.0, 0.05, size=20_000)
+
+
+@pytest.fixture(scope="module")
+def profile(gaussian_weights):
+    return bit_criticality(gaussian_weights)
+
+
+class TestEq4:
+    def test_d_avg_combines_directions_with_frequencies(self, profile):
+        total = profile.frequencies.total
+        f0 = profile.frequencies.f0 / total
+        f1 = profile.frequencies.f1 / total
+        expected = profile.distances.d01 * f0 + profile.distances.d10 * f1
+        np.testing.assert_allclose(profile.d_avg, expected)
+
+    def test_d_avg_nonnegative(self, profile):
+        assert (profile.d_avg >= 0).all()
+
+    def test_exponent_msb_dominates(self, profile):
+        assert profile.d_avg[30] == profile.d_avg.max()
+
+    def test_mantissa_lsb_negligible(self, profile):
+        assert profile.d_avg[0] < profile.d_avg[30] * 1e-10
+
+
+class TestEq5:
+    def test_p_range(self, profile):
+        assert (profile.p >= 0.0).all()
+        assert (profile.p <= 0.5).all()
+
+    def test_outliers_pinned_at_half(self, profile):
+        assert profile.outliers.any()
+        np.testing.assert_array_equal(profile.p[profile.outliers], 0.5)
+
+    def test_exponent_msb_is_outlier(self, profile):
+        assert profile.outliers[30]
+
+    def test_mantissa_priors_near_zero(self, profile):
+        assert profile.p[:10].max() < 0.05
+
+    def test_min_bit_gets_zero(self, profile):
+        inner = profile.p[~profile.outliers]
+        assert inner.min() == pytest.approx(0.0)
+
+    def test_monotone_mantissa_trend(self, profile):
+        """Higher mantissa bits flip larger amounts -> larger priors."""
+        mantissa = profile.p[:23]
+        assert mantissa[22] >= mantissa[10] >= mantissa[0]
+
+
+class TestOutlierPolicies:
+    def test_percentile_policy(self, gaussian_weights):
+        prof = bit_criticality(
+            gaussian_weights, outlier_policy="percentile", outlier_percentile=90.0
+        )
+        # ~10% of 32 bits above the 90th percentile.
+        assert 1 <= prof.outliers.sum() <= 6
+
+    def test_none_policy(self, gaussian_weights):
+        prof = bit_criticality(gaussian_weights, outlier_policy="none")
+        assert not prof.outliers.any()
+        # Without outlier handling the max bit still gets exactly 0.5.
+        assert prof.p.max() == pytest.approx(0.5)
+
+    def test_unknown_policy(self, gaussian_weights):
+        with pytest.raises(ValueError, match="outlier_policy"):
+            bit_criticality(gaussian_weights, outlier_policy="bogus")
+
+    def test_policies_agree_on_high_bits(self, gaussian_weights):
+        """All policies assign the exponent MSB the maximum criticality."""
+        for policy in ("iqr", "percentile", "none"):
+            prof = bit_criticality(gaussian_weights, outlier_policy=policy)
+            assert prof.p[30] == pytest.approx(0.5)
+
+
+class TestOtherFormats:
+    @pytest.mark.parametrize("fmt", [FLOAT16, BFLOAT16])
+    def test_reduced_precision_profiles(self, gaussian_weights, fmt):
+        prof = bit_criticality(gaussian_weights, fmt=fmt)
+        assert prof.p.shape == (16,)
+        assert (prof.p <= 0.5).all()
+        # Exponent MSB is the most critical bit in every format.
+        msb = fmt.mantissa_bits + fmt.exponent_bits - 1
+        assert prof.p[msb] == pytest.approx(0.5)
+
+    def test_format_consistency_of_total_bits(self, gaussian_weights):
+        prof32 = bit_criticality(gaussian_weights, fmt=FLOAT32)
+        assert prof32.p.shape == (32,)
+
+
+class TestModelHelpers:
+    def test_model_weight_vector_length(self):
+        model = resnet8_mini(seed=0)
+        vector = model_weight_vector(model)
+        assert vector.shape == (2024,)
+
+    def test_data_aware_p_wrapper(self):
+        model = resnet8_mini(seed=0)
+        p = data_aware_p(model)
+        assert p.shape == (32,)
+        assert p[30] == pytest.approx(0.5)
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            bit_criticality(np.array([]))
+
+    def test_deterministic(self, gaussian_weights):
+        a = bit_criticality(gaussian_weights).p
+        b = bit_criticality(gaussian_weights).p
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,58 @@
+"""Tests for repro.sfi.granularity."""
+
+import pytest
+
+from repro.faults import FaultSpace
+from repro.models import ResNetCIFAR
+from repro.sfi import (
+    Granularity,
+    cell_subpopulations,
+    layer_subpopulations,
+    network_subpopulation,
+)
+
+
+@pytest.fixture(scope="module")
+def space():
+    model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+    return FaultSpace(model)
+
+
+class TestPartitioning:
+    def test_network_covers_everything(self, space):
+        subpop = network_subpopulation(space)
+        assert subpop.population == space.total_population
+        assert subpop.granularity is Granularity.NETWORK
+        assert subpop.layer is None and subpop.bit is None
+
+    def test_layers_partition_population(self, space):
+        subpops = layer_subpopulations(space)
+        assert len(subpops) == len(space.layers)
+        assert sum(s.population for s in subpops) == space.total_population
+
+    def test_cells_partition_population(self, space):
+        subpops = cell_subpopulations(space)
+        assert len(subpops) == len(space.layers) * 32
+        assert sum(s.population for s in subpops) == space.total_population
+
+    def test_cell_keys_unique(self, space):
+        subpops = cell_subpopulations(space)
+        keys = {s.key for s in subpops}
+        assert len(keys) == len(subpops)
+
+    def test_fault_decoding_respects_stratum(self, space):
+        cell = cell_subpopulations(space)[40]  # layer 1, bit 8
+        assert cell.layer == 1 and cell.bit == 8
+        fault = cell.fault(5)
+        assert fault.layer == 1 and fault.bit == 8
+
+    def test_layer_fault_decoding(self, space):
+        layer_pop = layer_subpopulations(space)[2]
+        fault = layer_pop.fault(layer_pop.population - 1)
+        assert fault.layer == 2
+        assert fault.bit == 31
+
+    def test_network_fault_decoding(self, space):
+        net = network_subpopulation(space)
+        fault = net.fault(net.population - 1)
+        assert fault.layer == len(space.layers) - 1

@@ -1,0 +1,196 @@
+"""Tests for repro.sfi.runner and repro.sfi.results on synthetic truth."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultOutcome, FaultSpace, OutcomeTable, TableOracle
+from repro.models import ResNetCIFAR
+from repro.sfi import (
+    CampaignRunner,
+    DataAwareSFI,
+    DataUnawareSFI,
+    Granularity,
+    LayerWiseSFI,
+    NetworkWiseSFI,
+)
+
+
+@pytest.fixture(scope="module")
+def space():
+    model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+    return FaultSpace(model)
+
+
+@pytest.fixture(scope="module")
+def synthetic_truth(space):
+    """A deterministic OutcomeTable: a fault is critical iff it is the
+    stuck-at-1 of bit 30 or 29 — giving exact per-cell rates of 0.5 in
+    those cells (SA1 half of the cell) and 0 elsewhere."""
+    outcomes = []
+    for layer in space.layers:
+        arr = np.full(
+            (layer.size, space.bits, 2), FaultOutcome.NON_CRITICAL, dtype=np.uint8
+        )
+        arr[:, 30, 1] = FaultOutcome.CRITICAL
+        arr[:, 29, 1] = FaultOutcome.CRITICAL
+        outcomes.append(arr)
+    return OutcomeTable(outcomes)
+
+
+@pytest.fixture(scope="module")
+def oracle(synthetic_truth, space):
+    return TableOracle(synthetic_truth, space)
+
+
+TRUE_RATE = 2.0 / 64.0  # two critical faults per weight out of 64
+
+
+class TestRunner:
+    def test_exhaustive_replay_recovers_exact_rate(self, oracle, space):
+        """Sampling 100% of every cell reproduces the true rate exactly."""
+        plan = DataUnawareSFI(error_margin=0.0001).plan(space)
+        # With a 0.01% margin on tiny cells, the plan is a census.
+        assert all(
+            i.sample_size == i.subpopulation.population for i in plan.items
+        )
+        result = CampaignRunner(oracle, space).run(plan, seed=0)
+        net = result.network_estimate()
+        assert net.p_hat == pytest.approx(TRUE_RATE)
+        assert net.margin == pytest.approx(0.0)
+
+    def test_determinism_across_runs(self, oracle, space):
+        runner = CampaignRunner(oracle, space)
+        plan = LayerWiseSFI().plan(space)
+        a = runner.run(plan, seed=5)
+        b = runner.run(plan, seed=5)
+        assert a.cell_tallies == b.cell_tallies
+
+    def test_seeds_vary_samples(self, oracle, space):
+        runner = CampaignRunner(oracle, space)
+        plan = NetworkWiseSFI().plan(space)
+        a = runner.run(plan, seed=1)
+        b = runner.run(plan, seed=2)
+        assert a.cell_tallies != b.cell_tallies
+
+    def test_run_many(self, oracle, space):
+        runner = CampaignRunner(oracle, space)
+        plan = NetworkWiseSFI().plan(space)
+        results = runner.run_many(plan, seeds=[0, 1, 2])
+        assert len(results) == 3
+        assert results[0].seed == 0
+
+    def test_total_injections_matches_plan(self, oracle, space):
+        for planner in (NetworkWiseSFI(), LayerWiseSFI(), DataUnawareSFI()):
+            plan = planner.plan(space)
+            result = CampaignRunner(oracle, space).run(plan, seed=0)
+            assert result.total_injections == plan.total_injections
+
+    def test_assumed_p_recorded_for_skipped_cells(self, oracle, space):
+        p = np.zeros(32)
+        p[30] = 0.5
+        plan = DataAwareSFI(p=p).plan(space)
+        result = CampaignRunner(oracle, space).run(plan, seed=0)
+        assert result.assumed_p[(0, 0)] == 0.0
+        assert (0, 30) not in result.assumed_p
+
+
+class TestEstimates:
+    def test_network_estimates_near_truth(self, oracle, space):
+        for planner in (NetworkWiseSFI(), LayerWiseSFI(), DataUnawareSFI()):
+            plan = planner.plan(space)
+            result = CampaignRunner(oracle, space).run(plan, seed=3)
+            net = result.network_estimate()
+            assert net.p_hat == pytest.approx(TRUE_RATE, abs=0.01)
+            # 99%-confidence margins occasionally miss on a single seed;
+            # require containment within a slightly widened interval.
+            assert abs(net.p_hat - TRUE_RATE) <= 1.5 * net.margin
+
+    def test_layer_estimates_contain_truth(self, oracle, space):
+        """At 99% confidence, the vast majority of (seed, layer) pairs
+        must contain the truth; Wald margins at small p undercover
+        slightly, so demand >=90% across 5 seeds x 8 layers."""
+        plan = LayerWiseSFI().plan(space)
+        runner = CampaignRunner(oracle, space)
+        contained = 0
+        total = 0
+        for seed in range(5):
+            result = runner.run(plan, seed=seed)
+            for layer in range(len(space.layers)):
+                contained += result.layer_estimate(layer).contains(TRUE_RATE)
+                total += 1
+        assert contained / total >= 0.9
+
+    def test_cell_estimates_exact_when_censused(self, oracle, space):
+        plan = DataUnawareSFI(error_margin=0.001).plan(space)
+        result = CampaignRunner(oracle, space).run(plan, seed=0)
+        assert result.cell_estimate(0, 30).p_hat == pytest.approx(0.5)
+        assert result.cell_estimate(0, 29).p_hat == pytest.approx(0.5)
+        assert result.cell_estimate(0, 5).p_hat == pytest.approx(0.0)
+
+    def test_stratified_layer_estimate_combines_cells(self, oracle, space):
+        plan = DataUnawareSFI().plan(space)
+        result = CampaignRunner(oracle, space).run(plan, seed=0)
+        est = result.layer_estimate(1)
+        assert est.key == ("layer", 1)
+        assert est.p_hat == pytest.approx(TRUE_RATE, abs=0.02)
+        assert est.margin is not None and est.margin < 0.05
+
+    def test_data_aware_uses_assumed_p_for_skipped_cells(self, oracle, space):
+        p = np.zeros(32)
+        p[30] = 0.5
+        p[29] = 0.5
+        plan = DataAwareSFI(p=p).plan(space)
+        result = CampaignRunner(oracle, space).run(plan, seed=0)
+        net = result.network_estimate()
+        # Unsampled cells contribute their assumed p (0): the estimate is
+        # driven by the censused bit-30/29 cells.
+        assert net.p_hat == pytest.approx(TRUE_RATE, abs=0.005)
+
+    def test_empty_layer_estimate_has_no_margin(self, space, synthetic_truth):
+        oracle = TableOracle(synthetic_truth, space)
+        result = CampaignRunner(oracle, space).run(
+            NetworkWiseSFI(error_margin=0.25).plan(space), seed=0
+        )
+        # A coarse campaign may leave small layers unsampled.
+        injected_layers = {l for (l, _) in result.cell_tallies}
+        for layer in range(len(space.layers)):
+            est = result.layer_estimate(layer)
+            if layer not in injected_layers:
+                assert est.margin is None
+                assert est.injections == 0
+                assert not est.contains(TRUE_RATE)
+
+    def test_estimate_interval(self, oracle, space):
+        plan = LayerWiseSFI().plan(space)
+        result = CampaignRunner(oracle, space).run(plan, seed=0)
+        est = result.layer_estimate(0)
+        low, high = est.interval()
+        assert 0.0 <= low <= est.p_hat <= high <= 1.0
+
+    def test_interval_requires_margin(self, space, synthetic_truth):
+        from repro.sfi.results import Estimate
+
+        est = Estimate(
+            key=("layer", 0),
+            population=10,
+            injections=0,
+            criticals=0,
+            p_hat=0.0,
+            margin=None,
+        )
+        with pytest.raises(ValueError):
+            est.interval()
+
+    def test_masked_counted_as_trials(self, oracle, space):
+        plan = LayerWiseSFI().plan(space)
+        result = CampaignRunner(oracle, space).run(plan, seed=0)
+        # Our synthetic truth has no MASKED entries; inject some by hand.
+        result.record(0, 0, critical=False, masked=True)
+        assert result.total_masked == 1
+        assert result.total_injections == plan.total_injections + 1
+
+    def test_summary_text(self, oracle, space):
+        plan = NetworkWiseSFI().plan(space)
+        result = CampaignRunner(oracle, space).run(plan, seed=0)
+        text = result.summary()
+        assert "network-wise" in text and "injections" in text

@@ -1,0 +1,88 @@
+"""Tests for repro.sfi.sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultSpace
+from repro.models import ResNetCIFAR
+from repro.sfi import cell_subpopulations, sample_subpopulation
+from repro.sfi.sampler import sample_without_replacement
+
+
+class TestSampleWithoutReplacement:
+    def test_distinct(self):
+        rng = np.random.default_rng(0)
+        ids = sample_without_replacement(1000, 100, rng)
+        assert len(set(ids.tolist())) == 100
+
+    def test_full_census(self):
+        rng = np.random.default_rng(0)
+        ids = sample_without_replacement(10, 10, rng)
+        assert sorted(ids.tolist()) == list(range(10))
+
+    def test_empty(self):
+        rng = np.random.default_rng(0)
+        assert len(sample_without_replacement(10, 0, rng)) == 0
+
+    def test_sparse_path(self):
+        """n << N triggers rejection sampling; results stay distinct."""
+        rng = np.random.default_rng(1)
+        ids = sample_without_replacement(10_000_000, 500, rng)
+        assert len(set(ids.tolist())) == 500
+        assert ids.max() < 10_000_000
+
+    def test_dense_path(self):
+        rng = np.random.default_rng(1)
+        ids = sample_without_replacement(100, 60, rng)
+        assert len(set(ids.tolist())) == 60
+
+    def test_deterministic_for_seed(self):
+        a = sample_without_replacement(10_000, 50, np.random.default_rng(7))
+        b = sample_without_replacement(10_000, 50, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_without_replacement(10, 11, rng)
+        with pytest.raises(ValueError):
+            sample_without_replacement(10, -1, rng)
+
+    @given(
+        population=st.integers(1, 100_000),
+        frac=st.floats(0.0, 1.0),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_distinct_and_in_range(self, population, frac, seed):
+        n = int(population * frac)
+        rng = np.random.default_rng(seed)
+        ids = sample_without_replacement(population, n, rng)
+        assert len(ids) == n
+        assert len(set(ids.tolist())) == n
+        if n:
+            assert 0 <= ids.min() and ids.max() < population
+
+
+class TestSampleSubpopulation:
+    def test_faults_stay_in_stratum(self):
+        model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+        space = FaultSpace(model)
+        cell = cell_subpopulations(space)[70]
+        rng = np.random.default_rng(0)
+        faults = sample_subpopulation(cell, 50, rng)
+        assert len(faults) == 50
+        assert all(f.layer == cell.layer and f.bit == cell.bit for f in faults)
+        assert len({(f.index, f.model) for f in faults}) == 50
+
+    def test_uniformity_over_models(self):
+        """Both stuck-at polarities should appear in a large sample."""
+        model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+        space = FaultSpace(model)
+        cell = cell_subpopulations(space)[0]
+        rng = np.random.default_rng(0)
+        faults = sample_subpopulation(cell, cell.population // 2, rng)
+        models = {f.model for f in faults}
+        assert len(models) == 2

@@ -1,0 +1,132 @@
+"""Tests for repro.sfi.twostage."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultOutcome, FaultSpace, OutcomeTable, TableOracle
+from repro.models import ResNetCIFAR
+from repro.sfi import (
+    CampaignRunner,
+    DataUnawareSFI,
+    Granularity,
+    LayerWiseSFI,
+    NetworkWiseSFI,
+    TwoStageSFI,
+    merge_results,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+    space = FaultSpace(model)
+    outcomes = []
+    for layer in space.layers:
+        arr = np.full(
+            (layer.size, space.bits, 2), FaultOutcome.NON_CRITICAL, dtype=np.uint8
+        )
+        arr[:, 30, 1] = FaultOutcome.CRITICAL
+        outcomes.append(arr)
+    table = OutcomeTable(outcomes)
+    return space, table, TableOracle(table, space)
+
+
+class TestMergeResults:
+    def test_tallies_add(self, setup):
+        space, _, oracle = setup
+        runner = CampaignRunner(oracle, space)
+        plan = LayerWiseSFI(error_margin=0.05).plan(space)
+        a = runner.run(plan, seed=0)
+        b = runner.run(plan, seed=1)
+        merged = merge_results(a, b, method="merged")
+        assert merged.total_injections == a.total_injections + b.total_injections
+        assert merged.total_criticals == a.total_criticals + b.total_criticals
+        assert merged.method == "merged"
+
+    def test_rejects_mixed_granularity(self, setup):
+        space, _, oracle = setup
+        runner = CampaignRunner(oracle, space)
+        a = runner.run(LayerWiseSFI(error_margin=0.05).plan(space), seed=0)
+        b = runner.run(NetworkWiseSFI(error_margin=0.05).plan(space), seed=0)
+        with pytest.raises(ValueError, match="granularity"):
+            merge_results(a, b, method="merged")
+
+
+class TestTwoStagePlanning:
+    def test_pilot_covers_every_cell(self, setup):
+        space, _, _ = setup
+        planner = TwoStageSFI(pilot_per_cell=10)
+        pilot = planner.plan_pilot(space)
+        assert len(pilot.items) == len(space.layers) * space.bits
+        assert all(
+            0 < i.sample_size <= min(10, i.subpopulation.population)
+            for i in pilot.items
+        )
+
+    def test_measured_priors_reflect_pilot(self, setup):
+        space, _, oracle = setup
+        planner = TwoStageSFI(pilot_per_cell=40)
+        runner = CampaignRunner(oracle, space)
+        pilot = runner.run(planner.plan_pilot(space), seed=0)
+        priors = planner.measured_priors(space, pilot)
+        # Bit 30 cells contain all criticals -> clearly elevated prior.
+        assert priors[(0, 30)] > priors[(0, 5)]
+        # Unseen-critical cells get the Laplace floor, never exactly 0.
+        assert priors[(0, 5)] > 0.0
+        # And priors are capped at the variance maximum.
+        assert all(p <= 0.5 for p in priors.values())
+
+    def test_main_plan_credits_pilot(self, setup):
+        space, _, oracle = setup
+        planner = TwoStageSFI(pilot_per_cell=30)
+        runner = CampaignRunner(oracle, space)
+        pilot = runner.run(planner.plan_pilot(space), seed=0)
+        main = planner.plan_main(space, pilot)
+        for item in main.items:
+            key = (item.subpopulation.layer, item.subpopulation.bit)
+            already = pilot.cell_tallies.get(key, (0, 0, 0))[0]
+            assert item.sample_size + already <= item.subpopulation.population
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoStageSFI(error_margin=0.0)
+        with pytest.raises(ValueError):
+            TwoStageSFI(pilot_per_cell=0)
+        with pytest.raises(ValueError):
+            TwoStageSFI(p_cap=0.6)
+
+
+class TestTwoStageEndToEnd:
+    def test_run_produces_valid_estimates(self, setup):
+        space, table, oracle = setup
+        result = TwoStageSFI(pilot_per_cell=20).run(oracle, space, seed=3)
+        assert result.method == "two-stage"
+        assert result.granularity is Granularity.BIT_LAYER
+        true_rate = table.total_rate()
+        net = result.network_estimate()
+        assert net.p_hat == pytest.approx(true_rate, abs=0.01)
+
+    def test_cheaper_than_data_unaware(self, setup):
+        space, _, oracle = setup
+        two_stage = TwoStageSFI(pilot_per_cell=20).run(oracle, space, seed=0)
+        unaware_plan = DataUnawareSFI().plan(space)
+        assert two_stage.total_injections < unaware_plan.total_injections
+
+    def test_deterministic_per_seed(self, setup):
+        space, _, oracle = setup
+        a = TwoStageSFI(pilot_per_cell=15).run(oracle, space, seed=9)
+        b = TwoStageSFI(pilot_per_cell=15).run(oracle, space, seed=9)
+        assert a.cell_tallies == b.cell_tallies
+
+    def test_concentrates_samples_on_critical_bits(self, setup):
+        space, _, oracle = setup
+        result = TwoStageSFI(pilot_per_cell=25).run(oracle, space, seed=0)
+        # All criticals live on bit 30; its cells should end up with more
+        # injections than an equally-sized silent bit's cells.
+        bit30 = sum(
+            t[0] for (l, b), t in result.cell_tallies.items() if b == 30
+        )
+        bit5 = sum(
+            t[0] for (l, b), t in result.cell_tallies.items() if b == 5
+        )
+        assert bit30 > bit5

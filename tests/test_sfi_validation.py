@@ -1,0 +1,133 @@
+"""Tests for repro.sfi.validation."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultOutcome, FaultSpace, OutcomeTable, TableOracle
+from repro.models import ResNetCIFAR
+from repro.sfi import (
+    CampaignRunner,
+    DataUnawareSFI,
+    LayerWiseSFI,
+    NetworkWiseSFI,
+    validate_campaign,
+)
+from repro.sfi.validation import MethodComparison, average_reports
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 6, 8), seed=7)
+    space = FaultSpace(model)
+    outcomes = []
+    for layer in space.layers:
+        arr = np.full(
+            (layer.size, space.bits, 2), FaultOutcome.NON_CRITICAL, dtype=np.uint8
+        )
+        arr[:, 30, 1] = FaultOutcome.CRITICAL
+        outcomes.append(arr)
+    table = OutcomeTable(outcomes)
+    oracle = TableOracle(table, space)
+    return space, table, oracle
+
+
+class TestValidateCampaign:
+    def test_layer_rows_cover_all_layers(self, setup):
+        space, table, oracle = setup
+        result = CampaignRunner(oracle, space).run(
+            LayerWiseSFI().plan(space), seed=0
+        )
+        report = validate_campaign(result, table)
+        assert len(report.layers) == len(space.layers)
+        assert report.method == "layer-wise"
+
+    def test_exhaustive_rates_contained(self, setup):
+        space, table, oracle = setup
+        result = CampaignRunner(oracle, space).run(
+            LayerWiseSFI().plan(space), seed=0
+        )
+        report = validate_campaign(result, table)
+        assert report.contained_fraction == 1.0
+        assert report.network.contained
+
+    def test_average_margin_below_target_for_fine_methods(self, setup):
+        space, table, oracle = setup
+        result = CampaignRunner(oracle, space).run(
+            DataUnawareSFI().plan(space), seed=0
+        )
+        report = validate_campaign(result, table)
+        assert report.meets_margin_target(0.01)
+
+    def test_injected_fraction(self, setup):
+        space, table, oracle = setup
+        plan = NetworkWiseSFI().plan(space)
+        result = CampaignRunner(oracle, space).run(plan, seed=0)
+        report = validate_campaign(result, table)
+        assert report.injected_fraction == pytest.approx(
+            plan.total_injections / space.total_population
+        )
+
+    def test_absolute_error_small_for_census(self, setup):
+        space, table, oracle = setup
+        plan = DataUnawareSFI(error_margin=0.0001).plan(space)
+        result = CampaignRunner(oracle, space).run(plan, seed=0)
+        report = validate_campaign(result, table)
+        assert report.average_absolute_error == pytest.approx(0.0, abs=1e-12)
+
+    def test_layer_count_mismatch_rejected(self, setup):
+        space, table, oracle = setup
+        result = CampaignRunner(oracle, space).run(
+            NetworkWiseSFI().plan(space), seed=0
+        )
+        truncated = OutcomeTable(table.outcomes[:-1])
+        with pytest.raises(ValueError, match="layers"):
+            validate_campaign(result, truncated)
+
+    def test_unsampled_layer_counts_as_full_margin(self, setup):
+        space, table, oracle = setup
+        result = CampaignRunner(oracle, space).run(
+            NetworkWiseSFI(error_margin=0.3).plan(space), seed=0
+        )
+        report = validate_campaign(result, table)
+        if any(lv.estimate.margin is None for lv in report.layers):
+            assert report.average_margin > 0.1
+
+
+class TestMethodComparison:
+    def test_from_report(self, setup):
+        space, table, oracle = setup
+        result = CampaignRunner(oracle, space).run(
+            LayerWiseSFI().plan(space), seed=0
+        )
+        report = validate_campaign(result, table)
+        comp = MethodComparison.from_report(report)
+        assert comp.method == "layer-wise"
+        assert comp.injections == report.total_injections
+        assert comp.injected_percent == pytest.approx(
+            report.injected_fraction * 100
+        )
+
+    def test_average_reports(self, setup):
+        space, table, oracle = setup
+        runner = CampaignRunner(oracle, space)
+        plan = LayerWiseSFI().plan(space)
+        reports = [
+            validate_campaign(runner.run(plan, seed=s), table) for s in range(3)
+        ]
+        comp = average_reports(reports)
+        assert comp.method == "layer-wise"
+        assert comp.injections == plan.total_injections
+
+    def test_average_reports_rejects_mixed_methods(self, setup):
+        space, table, oracle = setup
+        runner = CampaignRunner(oracle, space)
+        r1 = validate_campaign(runner.run(LayerWiseSFI().plan(space), seed=0), table)
+        r2 = validate_campaign(
+            runner.run(NetworkWiseSFI().plan(space), seed=0), table
+        )
+        with pytest.raises(ValueError, match="mix"):
+            average_reports([r1, r2])
+
+    def test_average_reports_empty(self):
+        with pytest.raises(ValueError):
+            average_reports([])

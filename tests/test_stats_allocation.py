@@ -1,0 +1,117 @@
+"""Tests for repro.stats.allocation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paperdata import RESNET20_NETWORK_WISE, RESNET20_PAPER_LAYER_PARAMS
+from repro.stats import neyman_allocation, proportional_allocation
+
+
+class TestProportional:
+    def test_sums_to_total(self):
+        parts = proportional_allocation(100, [10, 20, 70])
+        assert sum(parts) == 100
+
+    def test_proportionality(self):
+        parts = proportional_allocation(100, [100, 300, 600])
+        assert parts == [10, 30, 60]
+
+    def test_rounding_assigns_remainders(self):
+        parts = proportional_allocation(10, [4, 4, 4])
+        assert sum(parts) == 10
+        assert max(parts) - min(parts) <= 1
+
+    def test_respects_capacity(self):
+        parts = proportional_allocation(5, [1, 1, 100])
+        assert sum(parts) == 5
+        assert parts[0] <= 1 and parts[1] <= 1
+
+    def test_zero_total(self):
+        assert proportional_allocation(0, [5, 5]) == [0, 0]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            proportional_allocation(11, [5, 5])
+
+    def test_empty_strata_with_positive_total_rejected(self):
+        with pytest.raises(ValueError):
+            proportional_allocation(1, [0, 0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            proportional_allocation(-1, [5])
+        with pytest.raises(ValueError):
+            proportional_allocation(1, [-5])
+
+    def test_paper_network_wise_per_layer_shares(self):
+        """The paper's Table I network-wise column is each layer's
+        proportional share of n=16,625, rounded independently."""
+        populations = [p * 64 for p in RESNET20_PAPER_LAYER_PARAMS]
+        total_pop = sum(populations)
+        for population, expected in zip(populations, RESNET20_NETWORK_WISE):
+            share = round(16_625 * population / total_pop)
+            assert share == expected
+
+    @given(
+        total_frac=st.floats(0.0, 1.0),
+        sizes=st.lists(st.integers(0, 1000), min_size=1, max_size=20),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_exact_sum_and_capacity(self, total_frac, sizes):
+        population = sum(sizes)
+        total = int(population * total_frac)
+        parts = proportional_allocation(total, sizes)
+        assert sum(parts) == total
+        assert all(0 <= part <= size for part, size in zip(parts, sizes))
+
+
+class TestNeyman:
+    def test_zero_variance_stratum_gets_nothing(self):
+        parts = neyman_allocation(10, [100, 100], [0.0, 1.0])
+        assert parts == [0, 10]
+
+    def test_degrades_to_proportional_when_all_zero(self):
+        parts = neyman_allocation(10, [100, 300], [0.0, 0.0])
+        assert sum(parts) == 10
+        assert parts[1] > parts[0]
+
+    def test_weights_by_size_times_std(self):
+        parts = neyman_allocation(100, [100, 100], [1.0, 3.0])
+        assert sum(parts) == 100
+        assert parts[1] == pytest.approx(75, abs=1)
+
+    def test_capacity_spill(self):
+        # Stratum 1 can only take 5; excess must spill to stratum 0.
+        parts = neyman_allocation(20, [100, 5], [0.0, 1.0])
+        assert parts[1] == 5
+        assert sum(parts) == 20
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            neyman_allocation(10, [1, 2], [0.5])
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError):
+            neyman_allocation(10, [10, 10], [0.5, -0.1])
+
+    def test_total_exceeding_population_rejected(self):
+        with pytest.raises(ValueError):
+            neyman_allocation(100, [10, 10], [1.0, 1.0])
+
+    @given(
+        total_frac=st.floats(0.0, 1.0),
+        strata=st.lists(
+            st.tuples(st.integers(1, 500), st.floats(0.0, 5.0)),
+            min_size=1,
+            max_size=10,
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_sum_and_capacity(self, total_frac, strata):
+        sizes = [s for s, _ in strata]
+        stds = [d for _, d in strata]
+        total = int(sum(sizes) * total_frac)
+        parts = neyman_allocation(total, sizes, stds)
+        assert sum(parts) == total
+        assert all(0 <= part <= size for part, size in zip(parts, sizes))

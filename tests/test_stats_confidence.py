@@ -1,0 +1,48 @@
+"""Tests for repro.stats.confidence."""
+
+import pytest
+
+from repro.stats import PAPER_T_VALUES, confidence_to_t
+
+
+class TestConfidenceToT:
+    def test_paper_constant_for_99(self):
+        assert confidence_to_t(0.99) == 2.58
+
+    def test_paper_constant_for_95(self):
+        assert confidence_to_t(0.95) == 1.96
+
+    def test_exact_mode_99(self):
+        exact = confidence_to_t(0.99, mode="exact")
+        assert exact == pytest.approx(2.5758293, abs=1e-6)
+        assert exact != 2.58
+
+    def test_exact_mode_95(self):
+        assert confidence_to_t(0.95, mode="exact") == pytest.approx(
+            1.959964, abs=1e-5
+        )
+
+    def test_paper_mode_falls_back_for_unusual_levels(self):
+        # 0.97 is not a textbook level; both modes agree.
+        assert confidence_to_t(0.97, mode="paper") == pytest.approx(
+            confidence_to_t(0.97, mode="exact")
+        )
+
+    def test_monotone_in_confidence(self):
+        levels = [0.80, 0.90, 0.95, 0.99, 0.999]
+        ts = [confidence_to_t(c, mode="exact") for c in levels]
+        assert ts == sorted(ts)
+
+    def test_table_is_consistent_with_exact(self):
+        for level, t in PAPER_T_VALUES.items():
+            exact = confidence_to_t(level, mode="exact")
+            assert t == pytest.approx(exact, abs=6e-3)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 1.5])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            confidence_to_t(bad)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            confidence_to_t(0.99, mode="bayesian")

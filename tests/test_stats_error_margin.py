@@ -1,0 +1,84 @@
+"""Tests for repro.stats.error_margin."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import confidence_to_t, error_margin, margin_contains, sample_size
+
+T99 = confidence_to_t(0.99)
+
+
+class TestErrorMargin:
+    def test_exhaustive_sample_has_zero_margin(self):
+        assert error_margin(1000, 1000, 0.3, T99) == 0.0
+
+    def test_classic_formula_without_fpc_effect(self):
+        # Huge population: FPC ~ 1, margin ~ t*sqrt(p(1-p)/n).
+        margin = error_margin(10_000, 10**9, 0.5, T99)
+        assert margin == pytest.approx(T99 * math.sqrt(0.25 / 10_000), rel=1e-3)
+
+    def test_margin_shrinks_with_sample_size(self):
+        small = error_margin(100, 100_000, 0.5, T99)
+        large = error_margin(10_000, 100_000, 0.5, T99)
+        assert large < small
+
+    def test_margin_shrinks_away_from_half(self):
+        at_half = error_margin(1000, 100_000, 0.5, T99)
+        skewed = error_margin(1000, 100_000, 0.02, T99)
+        assert skewed < at_half
+
+    def test_degenerate_population_of_one(self):
+        assert error_margin(1, 1, 1.0, T99) == 0.0
+
+    def test_zero_p_hat_gives_zero_margin(self):
+        # A limitation of the Wald margin the paper inherits.
+        assert error_margin(100, 10_000, 0.0, T99) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            error_margin(0, 100, 0.5, T99)
+        with pytest.raises(ValueError):
+            error_margin(200, 100, 0.5, T99)
+        with pytest.raises(ValueError):
+            error_margin(10, 100, 1.5, T99)
+        with pytest.raises(ValueError):
+            error_margin(10, 100, 0.5, -1.0)
+
+    def test_round_trip_with_sample_size(self):
+        """Sampling at the Eq. 1 size achieves the target margin at p=0.5."""
+        population = 500_000
+        n = sample_size(population, 0.01, T99)
+        achieved = error_margin(n, population, 0.5, T99)
+        assert achieved == pytest.approx(0.01, rel=1e-3)
+
+    @given(
+        population=st.integers(2, 10**7),
+        frac=st.floats(0.001, 1.0),
+        p_hat=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_margin_bounds(self, population, frac, p_hat):
+        n = max(1, min(population, int(population * frac)))
+        margin = error_margin(n, population, p_hat, T99)
+        assert 0.0 <= margin <= T99 * 0.5
+
+
+class TestMarginContains:
+    def test_contains_inside(self):
+        assert margin_contains(0.5, 0.01, 0.505)
+
+    def test_excludes_outside(self):
+        assert not margin_contains(0.5, 0.01, 0.52)
+
+    def test_boundary_inclusive(self):
+        assert margin_contains(0.5, 0.01, 0.51)
+
+    def test_slack(self):
+        assert margin_contains(0.5, 0.01, 0.515, slack=0.005)
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            margin_contains(0.5, -0.01, 0.5)

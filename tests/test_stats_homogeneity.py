@@ -1,0 +1,65 @@
+"""Tests for repro.stats.homogeneity (the 4th-Bernoulli-assumption check)."""
+
+import numpy as np
+import pytest
+
+from repro.stats import chi_square_homogeneity
+
+
+class TestChiSquareHomogeneity:
+    def test_identical_rates_not_rejected(self):
+        result = chi_square_homogeneity([1000, 1000], [100, 100])
+        assert result.p_value > 0.9
+        assert not result.rejects_homogeneity()
+
+    def test_wildly_different_rates_rejected(self):
+        result = chi_square_homogeneity([1000, 1000], [10, 500])
+        assert result.p_value < 1e-6
+        assert result.rejects_homogeneity()
+
+    def test_pooled_rate(self):
+        result = chi_square_homogeneity([100, 300], [10, 30])
+        assert result.pooled_rate == pytest.approx(0.1)
+
+    def test_degrees_of_freedom(self):
+        result = chi_square_homogeneity([50, 50, 50, 50], [5, 6, 4, 5])
+        assert result.dof == 3
+
+    def test_degenerate_all_success(self):
+        result = chi_square_homogeneity([10, 10], [10, 10])
+        assert result.p_value == 1.0
+        assert result.statistic == 0.0
+
+    def test_degenerate_no_success(self):
+        result = chi_square_homogeneity([10, 10], [0, 0])
+        assert result.p_value == 1.0
+
+    def test_sampled_homogeneous_groups_usually_pass(self):
+        rng = np.random.default_rng(0)
+        trials = [2000] * 5
+        successes = [int(rng.binomial(2000, 0.05)) for _ in range(5)]
+        result = chi_square_homogeneity(trials, successes)
+        assert not result.rejects_homogeneity(alpha=0.001)
+
+    def test_layer_like_heterogeneity_is_detected(self):
+        """Mimics the paper's motivation: per-layer criticality differs,
+        so pooled (network-wise) Bernoulli sampling is invalid."""
+        trials = [5000, 5000, 5000]
+        successes = [50, 150, 300]  # 1%, 3%, 6%
+        result = chi_square_homogeneity(trials, successes)
+        assert result.rejects_homogeneity(alpha=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_homogeneity([100], [10])
+        with pytest.raises(ValueError):
+            chi_square_homogeneity([100, 0], [10, 0])
+        with pytest.raises(ValueError):
+            chi_square_homogeneity([100, 100], [10, 200])
+        with pytest.raises(ValueError):
+            chi_square_homogeneity([100, 100], [10, -1])
+
+    def test_alpha_validation(self):
+        result = chi_square_homogeneity([100, 100], [10, 12])
+        with pytest.raises(ValueError):
+            result.rejects_homogeneity(alpha=0.0)

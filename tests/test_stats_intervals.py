@@ -1,0 +1,83 @@
+"""Tests for repro.stats.intervals."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import confidence_to_t, normal_interval, wilson_interval
+
+T99 = confidence_to_t(0.99)
+T95 = confidence_to_t(0.95)
+
+
+class TestNormalInterval:
+    def test_centered_on_p_hat(self):
+        ci = normal_interval(100, 50, T95)
+        assert (ci.low + ci.high) / 2 == pytest.approx(0.5)
+
+    def test_clamped_to_unit_interval(self):
+        ci = normal_interval(10, 0, T99)
+        assert ci.low == 0.0
+        ci = normal_interval(10, 10, T99)
+        assert ci.high == 1.0
+
+    def test_fpc_narrows(self):
+        plain = normal_interval(100, 30, T95)
+        corrected = normal_interval(100, 30, T95, population=150)
+        assert corrected.width < plain.width
+
+    def test_census_has_zero_width(self):
+        ci = normal_interval(100, 30, T95, population=100)
+        assert ci.width == pytest.approx(0.0)
+
+    def test_population_smaller_than_sample_rejected(self):
+        with pytest.raises(ValueError):
+            normal_interval(100, 30, T95, population=50)
+
+    def test_contains(self):
+        ci = normal_interval(1000, 100, T95)
+        assert ci.contains(0.1)
+        assert not ci.contains(0.5)
+
+
+class TestWilsonInterval:
+    def test_never_degenerate_at_zero(self):
+        # Unlike Wald, Wilson has positive width even with 0 successes.
+        ci = wilson_interval(100, 0, T95)
+        assert ci.width > 0.0
+        assert ci.low == 0.0
+
+    def test_contains_p_hat(self):
+        ci = wilson_interval(50, 10, T95)
+        assert ci.contains(0.2)
+
+    def test_narrower_with_more_data(self):
+        wide = wilson_interval(20, 4, T95)
+        narrow = wilson_interval(2000, 400, T95)
+        assert narrow.width < wide.width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(0, 0, T95)
+        with pytest.raises(ValueError):
+            wilson_interval(10, 11, T95)
+        with pytest.raises(ValueError):
+            wilson_interval(10, 5, 0.0)
+
+    @given(
+        n=st.integers(1, 10_000),
+        frac=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_wilson_within_unit(self, n, frac):
+        successes = min(n, int(n * frac))
+        ci = wilson_interval(n, successes, T99)
+        assert 0.0 <= ci.low <= ci.high <= 1.0
+        assert ci.contains(successes / n)
+
+    @given(n=st.integers(2, 5000), frac=st.floats(0.0, 1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_property_both_cover_point_estimate(self, n, frac):
+        successes = min(n, int(n * frac))
+        wald = normal_interval(n, successes, T95)
+        assert wald.contains(successes / n)

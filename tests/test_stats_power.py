@@ -1,0 +1,151 @@
+"""Tests for repro.stats.power and the Clopper-Pearson interval."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    clopper_pearson_interval,
+    resolvable_difference,
+    two_proportion_sample_size,
+    two_proportion_z_test,
+)
+
+
+class TestClopperPearson:
+    def test_zero_successes_lower_bound_is_zero(self):
+        ci = clopper_pearson_interval(50, 0, 0.99)
+        assert ci.low == 0.0
+        assert ci.high > 0.0
+
+    def test_all_successes_upper_bound_is_one(self):
+        ci = clopper_pearson_interval(50, 50, 0.99)
+        assert ci.high == 1.0
+
+    def test_contains_point_estimate(self):
+        ci = clopper_pearson_interval(200, 13, 0.95)
+        assert ci.contains(13 / 200)
+
+    def test_wider_than_wilson_typically(self):
+        from repro.stats import confidence_to_t, wilson_interval
+
+        cp = clopper_pearson_interval(100, 10, 0.95)
+        wilson = wilson_interval(100, 10, confidence_to_t(0.95, mode="exact"))
+        assert cp.width >= wilson.width * 0.95  # exact is conservative
+
+    def test_known_rule_of_three(self):
+        """With 0/n successes at 95%, the upper bound is ~3/n."""
+        ci = clopper_pearson_interval(1000, 0, 0.95)
+        assert ci.high == pytest.approx(3.0 / 1000, rel=0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clopper_pearson_interval(0, 0, 0.95)
+        with pytest.raises(ValueError):
+            clopper_pearson_interval(10, 11, 0.95)
+        with pytest.raises(ValueError):
+            clopper_pearson_interval(10, 5, 1.0)
+
+    @given(n=st.integers(1, 2000), frac=st.floats(0.0, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_property_bounds_and_coverage_of_estimate(self, n, frac):
+        successes = min(n, int(n * frac))
+        ci = clopper_pearson_interval(n, successes, 0.99)
+        assert 0.0 <= ci.low <= ci.high <= 1.0
+        assert ci.contains(successes / n)
+
+
+class TestTwoProportionSampleSize:
+    def test_textbook_value(self):
+        # Detecting 1% vs 2% at alpha=1%, power=90% needs ~4.4k per group.
+        n = two_proportion_sample_size(0.01, 0.02)
+        assert 4000 < n < 5000
+
+    def test_symmetric(self):
+        assert two_proportion_sample_size(0.01, 0.03) == two_proportion_sample_size(
+            0.03, 0.01
+        )
+
+    def test_smaller_difference_needs_more(self):
+        assert two_proportion_sample_size(0.01, 0.015) > two_proportion_sample_size(
+            0.01, 0.03
+        )
+
+    def test_higher_power_needs_more(self):
+        assert two_proportion_sample_size(
+            0.01, 0.02, power=0.95
+        ) > two_proportion_sample_size(0.01, 0.02, power=0.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_proportion_sample_size(0.01, 0.01)
+        with pytest.raises(ValueError):
+            two_proportion_sample_size(-0.1, 0.2)
+        with pytest.raises(ValueError):
+            two_proportion_sample_size(0.1, 0.2, alpha=0.0)
+        with pytest.raises(ValueError):
+            two_proportion_sample_size(0.1, 0.2, power=1.0)
+
+
+class TestTwoProportionZTest:
+    def test_clear_difference_detected(self):
+        z, p = two_proportion_z_test(10_000, 100, 10_000, 300)
+        assert p < 1e-6
+        assert z < 0
+
+    def test_identical_rates_not_significant(self):
+        z, p = two_proportion_z_test(1000, 20, 1000, 20)
+        assert z == 0.0
+        assert p == 1.0
+
+    def test_small_samples_inconclusive(self):
+        _, p = two_proportion_z_test(30, 1, 30, 2)
+        assert p > 0.05
+
+    def test_degenerate_zero_rate(self):
+        z, p = two_proportion_z_test(100, 0, 100, 0)
+        assert p == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_proportion_z_test(0, 0, 10, 1)
+        with pytest.raises(ValueError):
+            two_proportion_z_test(10, 11, 10, 1)
+
+    def test_consistency_with_sample_size(self):
+        """At the planned per-group n, the design difference is detected
+        in the majority of simulated campaigns (the power guarantee)."""
+        rng = np.random.default_rng(0)
+        n = two_proportion_sample_size(0.02, 0.04, alpha=0.01, power=0.9)
+        detections = 0
+        for _ in range(50):
+            s1 = rng.binomial(n, 0.02)
+            s2 = rng.binomial(n, 0.04)
+            _, p = two_proportion_z_test(n, s1, n, s2)
+            detections += p < 0.01
+        assert detections >= 38  # ~90% power with simulation noise
+
+
+class TestResolvableDifference:
+    def test_inverts_sample_size(self):
+        delta = resolvable_difference(5000, 0.01)
+        needed = two_proportion_sample_size(0.01, 0.01 + delta)
+        assert needed <= 5000
+        # And a slightly smaller difference would not be resolvable.
+        needed_smaller = two_proportion_sample_size(0.01, 0.01 + delta * 0.8)
+        assert needed_smaller > 5000
+
+    def test_more_samples_resolve_finer(self):
+        coarse = resolvable_difference(1000, 0.02)
+        fine = resolvable_difference(100_000, 0.02)
+        assert fine < coarse
+
+    def test_tiny_sample_returns_max(self):
+        assert resolvable_difference(2, 0.5) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            resolvable_difference(0, 0.1)
+        with pytest.raises(ValueError):
+            resolvable_difference(10, 1.0)

@@ -1,0 +1,118 @@
+"""Tests for repro.stats.sample_size — including digit-exact reproduction
+of the paper's Tables I and II sample sizes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paperdata import (
+    MOBILENETV2_TOTALS,
+    RESNET20_DATA_UNAWARE,
+    RESNET20_LAYER_WISE,
+    RESNET20_PAPER_LAYER_PARAMS,
+    RESNET20_TOTALS,
+)
+from repro.stats import confidence_to_t, sample_size, sample_size_exact, sample_size_infinite
+
+T99 = confidence_to_t(0.99)  # 2.58, the paper's constant
+
+
+class TestFormula:
+    def test_infinite_population(self):
+        # Classic n = t^2 p(1-p) / e^2 at p=0.5, e=1%, t=2.58 -> 16641.
+        assert sample_size_infinite(0.01, T99) == pytest.approx(16641.0)
+
+    def test_fpc_reduces_sample(self):
+        unlimited = sample_size_infinite(0.01, T99)
+        corrected = sample_size_exact(100_000, 0.01, T99)
+        assert corrected < unlimited
+
+    def test_small_population_approaches_census(self):
+        # With N comparable to the unlimited n, almost everything is needed.
+        n = sample_size(1000, 0.01, T99)
+        assert n > 900
+
+    def test_p_zero_or_one_needs_no_samples(self):
+        assert sample_size(10_000, 0.01, T99, p=0.0) == 0
+        assert sample_size(10_000, 0.01, T99, p=1.0) == 0
+
+    def test_p_half_maximises_sample(self):
+        at_half = sample_size(1_000_000, 0.01, T99, p=0.5)
+        for p in (0.1, 0.3, 0.45, 0.6, 0.9):
+            assert sample_size(1_000_000, 0.01, T99, p=p) < at_half
+
+    def test_min_samples_clamp(self):
+        assert sample_size(10_000, 0.01, T99, p=0.0, min_samples=5) == 5
+
+    def test_min_samples_never_exceeds_population(self):
+        assert sample_size(3, 0.01, T99, p=0.0, min_samples=10) == 3
+
+    def test_zero_population(self):
+        assert sample_size(0, 0.01, T99) == 0
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError):
+            sample_size(100, -0.01, T99)
+        with pytest.raises(ValueError):
+            sample_size(100, 0.01, 0.0)
+        with pytest.raises(ValueError):
+            sample_size(100, 0.01, T99, p=1.5)
+        with pytest.raises(ValueError):
+            sample_size(-1, 0.01, T99)
+        with pytest.raises(ValueError):
+            sample_size(100, 0.01, T99, min_samples=-1)
+
+    @given(
+        population=st.integers(1, 10_000_000),
+        e=st.floats(0.001, 0.2),
+        p=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_property_bounds(self, population, e, p):
+        n = sample_size(population, e, T99, p=p)
+        assert 0 <= n <= population
+
+    @given(population=st.integers(2, 1_000_000))
+    @settings(max_examples=100, deadline=None)
+    def test_property_monotone_in_margin(self, population):
+        loose = sample_size(population, 0.05, T99)
+        tight = sample_size(population, 0.01, T99)
+        assert tight >= loose
+
+
+class TestPaperTableI:
+    """Digit-exact reproduction of the paper's published sample sizes."""
+
+    def test_network_wise_total(self):
+        n = sample_size(RESNET20_TOTALS["exhaustive"], 0.01, T99)
+        assert n == RESNET20_TOTALS["network-wise"] == 16_625
+
+    def test_layer_wise_column(self):
+        for params, expected in zip(
+            RESNET20_PAPER_LAYER_PARAMS, RESNET20_LAYER_WISE
+        ):
+            assert sample_size(params * 64, 0.01, T99) == expected
+
+    def test_layer_wise_total(self):
+        total = sum(
+            sample_size(p * 64, 0.01, T99) for p in RESNET20_PAPER_LAYER_PARAMS
+        )
+        assert total == RESNET20_TOTALS["layer-wise"] == 307_650
+
+    def test_data_unaware_column(self):
+        for params, expected in zip(
+            RESNET20_PAPER_LAYER_PARAMS, RESNET20_DATA_UNAWARE
+        ):
+            per_bit = sample_size(params * 2, 0.01, T99)
+            assert per_bit * 32 == expected
+
+    def test_data_unaware_total(self):
+        total = sum(
+            sample_size(p * 2, 0.01, T99) * 32
+            for p in RESNET20_PAPER_LAYER_PARAMS
+        )
+        assert total == RESNET20_TOTALS["data-unaware"] == 4_885_760
+
+    def test_mobilenet_network_wise(self):
+        n = sample_size(MOBILENETV2_TOTALS["exhaustive"], 0.01, T99)
+        assert n == MOBILENETV2_TOTALS["network-wise"] == 16_639

@@ -1,0 +1,307 @@
+"""Numeric gradient checks for every autograd op."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, ops
+from tests.helpers import check_gradient
+
+rng = np.random.default_rng(42)
+
+
+class TestTensorBasics:
+    def test_scalar_backward(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = ops.add(x, x)
+        y.backward(np.array([1.0], dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [2.0])
+
+    def test_backward_requires_scalar_without_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError, match="scalar"):
+            ops.relu(x).backward()
+
+    def test_grad_accumulates(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        for _ in range(3):
+            loss = ops.cross_entropy(
+                ops.linear(
+                    Tensor(np.ones((1, 1))), Tensor(np.ones((2, 1))), None
+                ),
+                np.array([0]),
+            )
+        y = ops.add(x, x)
+        y.backward(np.ones(1, dtype=np.float32))
+        y2 = ops.add(x, x)
+        y2.backward(np.ones(1, dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        with no_grad():
+            y = ops.add(x, x)
+        assert y._parents == ()
+        y2 = ops.add(x, x)
+        assert y2._parents != ()
+
+    def test_detach(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        d = x.detach()
+        assert not d.requires_grad
+        assert d.data is x.data
+
+    def test_diamond_graph_gradients(self):
+        # y = relu(x) + relu(x): grad should be 2 where x > 0.
+        x = Tensor(np.array([1.0, -1.0]), requires_grad=True)
+        y = ops.add(ops.relu(x), ops.relu(x))
+        y.backward(np.ones(2, dtype=np.float32))
+        np.testing.assert_allclose(x.grad, [2.0, 0.0])
+
+    def test_float32_coercion(self):
+        x = Tensor(np.ones(3, dtype=np.float64))
+        assert x.dtype == np.float32
+
+    def test_item_and_repr(self):
+        x = Tensor(np.array([2.5]), requires_grad=True, name="w")
+        assert x.item() == 2.5
+        assert "w" in repr(x)
+        with pytest.raises(ValueError):
+            Tensor(np.ones(3)).item()
+
+
+class TestGradients:
+    def test_add_broadcast(self):
+        check_gradient(
+            lambda t: ops.cross_entropy(
+                ops.reshape(ops.add(t["a"], t["b"]), (2, 6)), np.array([0, 3])
+            ),
+            {
+                "a": rng.normal(size=(2, 6)).astype(np.float32),
+                "b": rng.normal(size=(6,)).astype(np.float32),
+            },
+        )
+
+    def test_relu(self):
+        check_gradient(
+            lambda t: ops.cross_entropy(ops.relu(t["x"]), np.array([1, 2])),
+            {"x": rng.normal(size=(2, 4)).astype(np.float32) + 0.1},
+        )
+
+    def test_relu6(self):
+        x = rng.normal(size=(2, 4)).astype(np.float32) * 4
+        # Keep values away from the kinks at 0 and 6.
+        x = np.where(np.abs(x) < 0.2, 0.5, x)
+        x = np.where(np.abs(x - 6) < 0.2, 5.0, x)
+        check_gradient(
+            lambda t: ops.cross_entropy(ops.relu6(t["x"]), np.array([1, 2])),
+            {"x": x},
+        )
+
+    def test_linear(self):
+        check_gradient(
+            lambda t: ops.cross_entropy(
+                ops.linear(t["x"], t["w"], t["b"]), np.array([0, 2])
+            ),
+            {
+                "x": rng.normal(size=(2, 5)).astype(np.float32),
+                "w": rng.normal(size=(3, 5)).astype(np.float32),
+                "b": rng.normal(size=(3,)).astype(np.float32),
+            },
+        )
+
+    def test_conv2d_basic(self):
+        check_gradient(
+            lambda t: ops.cross_entropy(
+                ops.reshape(
+                    ops.conv2d(t["x"], t["w"], t["b"], stride=1, padding=1),
+                    (1, -1),
+                ),
+                np.array([5]),
+            ),
+            {
+                "x": rng.normal(size=(1, 2, 4, 4)).astype(np.float32),
+                "w": rng.normal(size=(2, 2, 3, 3)).astype(np.float32) * 0.5,
+                "b": rng.normal(size=(2,)).astype(np.float32),
+            },
+        )
+
+    def test_conv2d_strided(self):
+        check_gradient(
+            lambda t: ops.cross_entropy(
+                ops.reshape(
+                    ops.conv2d(t["x"], t["w"], None, stride=2, padding=1),
+                    (1, -1),
+                ),
+                np.array([3]),
+            ),
+            {
+                "x": rng.normal(size=(1, 2, 6, 6)).astype(np.float32),
+                "w": rng.normal(size=(2, 2, 3, 3)).astype(np.float32) * 0.5,
+            },
+        )
+
+    def test_conv2d_grouped(self):
+        check_gradient(
+            lambda t: ops.cross_entropy(
+                ops.reshape(
+                    ops.conv2d(t["x"], t["w"], None, stride=1, padding=1, groups=2),
+                    (1, -1),
+                ),
+                np.array([1]),
+            ),
+            {
+                "x": rng.normal(size=(1, 4, 3, 3)).astype(np.float32),
+                "w": rng.normal(size=(4, 2, 3, 3)).astype(np.float32) * 0.5,
+            },
+        )
+
+    def test_conv2d_depthwise(self):
+        check_gradient(
+            lambda t: ops.cross_entropy(
+                ops.reshape(
+                    ops.conv2d(t["x"], t["w"], None, stride=1, padding=1, groups=3),
+                    (1, -1),
+                ),
+                np.array([2]),
+            ),
+            {
+                "x": rng.normal(size=(1, 3, 3, 3)).astype(np.float32),
+                "w": rng.normal(size=(3, 1, 3, 3)).astype(np.float32) * 0.5,
+            },
+        )
+
+    def test_batchnorm_training(self):
+        def loss(t):
+            out = ops.batchnorm2d(
+                t["x"],
+                t["gamma"],
+                t["beta"],
+                np.zeros(2, dtype=np.float32),
+                np.ones(2, dtype=np.float32),
+                training=True,
+            )
+            return ops.cross_entropy(ops.reshape(out, (2, -1)), np.array([0, 5]))
+
+        check_gradient(
+            loss,
+            {
+                "x": rng.normal(size=(2, 2, 2, 2)).astype(np.float32),
+                "gamma": np.array([1.2, 0.8], dtype=np.float32),
+                "beta": np.array([0.1, -0.2], dtype=np.float32),
+            },
+            atol=5e-2,
+        )
+
+    def test_batchnorm_eval(self):
+        running_mean = np.array([0.3, -0.1], dtype=np.float32)
+        running_var = np.array([1.5, 0.7], dtype=np.float32)
+
+        def loss(t):
+            out = ops.batchnorm2d(
+                t["x"],
+                t["gamma"],
+                t["beta"],
+                running_mean.copy(),
+                running_var.copy(),
+                training=False,
+            )
+            return ops.cross_entropy(ops.reshape(out, (2, -1)), np.array([0, 5]))
+
+        check_gradient(
+            loss,
+            {
+                "x": rng.normal(size=(2, 2, 2, 2)).astype(np.float32),
+                "gamma": np.array([1.2, 0.8], dtype=np.float32),
+                "beta": np.array([0.1, -0.2], dtype=np.float32),
+            },
+        )
+
+    def test_avg_pool(self):
+        check_gradient(
+            lambda t: ops.cross_entropy(
+                ops.reshape(ops.avg_pool2d(t["x"], 2), (1, -1)), np.array([1])
+            ),
+            {"x": rng.normal(size=(1, 2, 4, 4)).astype(np.float32)},
+        )
+
+    def test_global_avg_pool(self):
+        check_gradient(
+            lambda t: ops.cross_entropy(
+                ops.global_avg_pool2d(t["x"]), np.array([1])
+            ),
+            {"x": rng.normal(size=(1, 3, 4, 4)).astype(np.float32)},
+        )
+
+    def test_subsample(self):
+        check_gradient(
+            lambda t: ops.cross_entropy(
+                ops.reshape(ops.subsample2d(t["x"], 2), (1, -1)), np.array([2])
+            ),
+            {"x": rng.normal(size=(1, 2, 4, 4)).astype(np.float32)},
+        )
+
+    def test_pad_channels(self):
+        check_gradient(
+            lambda t: ops.cross_entropy(
+                ops.reshape(ops.pad_channels(t["x"], 1, 1), (1, -1)),
+                np.array([0]),
+            ),
+            {"x": rng.normal(size=(1, 2, 2, 2)).astype(np.float32)},
+        )
+
+    def test_cross_entropy_gradient(self):
+        check_gradient(
+            lambda t: ops.cross_entropy(t["logits"], np.array([0, 1, 2])),
+            {"logits": rng.normal(size=(3, 4)).astype(np.float32)},
+        )
+
+    def test_cross_entropy_validation(self):
+        logits = Tensor(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            ops.cross_entropy(logits, np.array([0]))
+        with pytest.raises(ValueError):
+            ops.cross_entropy(logits, np.array([0, 3]))
+
+
+class TestOpSemantics:
+    def test_batchnorm_updates_running_stats_in_training(self):
+        running_mean = np.zeros(2, dtype=np.float32)
+        running_var = np.ones(2, dtype=np.float32)
+        x = Tensor(rng.normal(2.0, 1.0, size=(8, 2, 4, 4)).astype(np.float32))
+        ops.batchnorm2d(
+            x,
+            Tensor(np.ones(2, dtype=np.float32)),
+            Tensor(np.zeros(2, dtype=np.float32)),
+            running_mean,
+            running_var,
+            training=True,
+        )
+        assert running_mean[0] != 0.0
+
+    def test_batchnorm_eval_keeps_running_stats(self):
+        running_mean = np.zeros(2, dtype=np.float32)
+        running_var = np.ones(2, dtype=np.float32)
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)).astype(np.float32))
+        ops.batchnorm2d(
+            x,
+            Tensor(np.ones(2, dtype=np.float32)),
+            Tensor(np.zeros(2, dtype=np.float32)),
+            running_mean,
+            running_var,
+            training=False,
+        )
+        np.testing.assert_array_equal(running_mean, 0.0)
+
+    def test_relu6_clips(self):
+        x = Tensor(np.array([-1.0, 3.0, 8.0]))
+        np.testing.assert_allclose(ops.relu6(x).data, [0.0, 3.0, 6.0])
+
+    def test_conv_shape_validation(self):
+        x = Tensor(np.zeros((1, 4, 4, 4)))
+        w = Tensor(np.zeros((4, 3, 3, 3)))
+        with pytest.raises(ValueError):
+            ops.conv2d(x, w)
+
+    def test_avg_pool_divisibility(self):
+        with pytest.raises(ValueError):
+            ops.avg_pool2d(Tensor(np.zeros((1, 1, 5, 5))), 2)

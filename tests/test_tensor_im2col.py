@@ -1,0 +1,87 @@
+"""Tests for repro.tensor.im2col."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import col2im, conv_output_size, im2col
+
+
+class TestConvOutputSize:
+    def test_same_padding(self):
+        assert conv_output_size(32, 3, 1, 1) == 32
+
+    def test_stride_two(self):
+        assert conv_output_size(32, 3, 2, 1) == 16
+
+    def test_no_padding(self):
+        assert conv_output_size(5, 3, 1, 0) == 3
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_shape(self):
+        x = np.arange(2 * 3 * 8 * 8, dtype=np.float32).reshape(2, 3, 8, 8)
+        cols = im2col(x, 3, 3, 1, 1)
+        assert cols.shape == (2, 3 * 9, 64)
+
+    def test_1x1_kernel_is_reshape(self):
+        x = np.random.default_rng(0).normal(size=(1, 4, 5, 5)).astype(np.float32)
+        cols = im2col(x, 1, 1, 1, 0)
+        np.testing.assert_array_equal(cols, x.reshape(1, 4, 25))
+
+    def test_values_match_naive(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        cols = im2col(x, 3, 3, 2, 1)
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        out = 0
+        for oy in range(3):
+            for ox in range(3):
+                patch = padded[0, :, oy * 2 : oy * 2 + 3, ox * 2 : ox * 2 + 3]
+                np.testing.assert_allclose(
+                    cols[0, :, oy * 3 + ox], patch.reshape(-1)
+                )
+                out += 1
+        assert out == 9
+
+    def test_conv_via_matmul_matches_naive(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        cols = im2col(x, 3, 3, 1, 1)
+        out = np.matmul(w.reshape(4, -1), cols).reshape(2, 4, 6, 6)
+        naive = np.zeros_like(out)
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        for n in range(2):
+            for oc in range(4):
+                for i in range(6):
+                    for j in range(6):
+                        naive[n, oc, i, j] = np.sum(
+                            padded[n, :, i : i + 3, j : j + 3] * w[oc]
+                        )
+        np.testing.assert_allclose(out, naive, rtol=1e-4, atol=1e-5)
+
+
+class TestCol2Im:
+    def test_adjoint_property(self):
+        """<im2col(x), c> == <x, col2im(c)> — col2im is im2col's adjoint."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 3, 7, 7)).astype(np.float64)
+        for stride, padding, k in [(1, 1, 3), (2, 1, 3), (1, 0, 2), (3, 2, 3)]:
+            cols_shape = im2col(x, k, k, stride, padding).shape
+            c = rng.normal(size=cols_shape)
+            lhs = np.sum(im2col(x, k, k, stride, padding) * c)
+            rhs = np.sum(x * col2im(c, x.shape, k, k, stride, padding))
+            assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_overlap_accumulates(self):
+        x_shape = (1, 1, 3, 3)
+        cols = np.ones((1, 9, 9))  # 3x3 kernel, stride 1, padding 1
+        back = col2im(cols, x_shape, 3, 3, 1, 1)
+        # The centre pixel is covered by all 9 kernel positions.
+        assert back[0, 0, 1, 1] == 9.0
+        # A corner pixel is covered by only 4.
+        assert back[0, 0, 0, 0] == 4.0

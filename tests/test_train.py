@@ -1,0 +1,163 @@
+"""Tests for repro.train."""
+
+import numpy as np
+import pytest
+
+from repro.data import SynthCIFAR
+from repro.models import ResNetCIFAR
+from repro.nn import Linear, Sequential
+from repro.tensor import Tensor, ops
+from repro.train import SGD, TrainConfig, Trainer, cosine_lr, evaluate_accuracy, step_lr
+from repro.train.optim import SGD as SGDDirect
+
+
+class TestSGD:
+    def test_plain_gradient_step(self):
+        net = Sequential(Linear(2, 2, rng=np.random.default_rng(0)))
+        opt = SGD(net.parameters(), lr=0.1, momentum=0.0)
+        w = net[0].weight
+        w.grad = np.ones_like(w.data)
+        before = w.data.copy()
+        opt.step()
+        np.testing.assert_allclose(w.data, before - 0.1, rtol=1e-6)
+
+    def test_momentum_accumulates(self):
+        net = Sequential(Linear(1, 1, rng=np.random.default_rng(0)))
+        opt = SGD(net.parameters(), lr=1.0, momentum=0.5)
+        w = net[0].weight
+        w.grad = np.ones_like(w.data)
+        start = w.data.copy()
+        opt.step()
+        first_step = start - w.data
+        w.grad = np.ones_like(w.data)
+        mid = w.data.copy()
+        opt.step()
+        second_step = mid - w.data
+        assert second_step[0, 0] == pytest.approx(first_step[0, 0] * 1.5)
+
+    def test_weight_decay_shrinks(self):
+        net = Sequential(Linear(1, 1, rng=np.random.default_rng(0)))
+        opt = SGD(net.parameters(), lr=0.1, momentum=0.0, weight_decay=0.1)
+        w = net[0].weight
+        w.data[...] = 10.0
+        w.grad = np.zeros_like(w.data)
+        opt.step()
+        assert abs(w.data[0, 0]) < 10.0
+
+    def test_skips_parameters_without_grad(self):
+        net = Sequential(Linear(1, 1, rng=np.random.default_rng(0)))
+        opt = SGD(net.parameters(), lr=0.1)
+        before = net[0].weight.data.copy()
+        opt.step()
+        np.testing.assert_array_equal(net[0].weight.data, before)
+
+    def test_zero_grad(self):
+        net = Sequential(Linear(1, 1, rng=np.random.default_rng(0)))
+        opt = SGD(net.parameters(), lr=0.1)
+        net[0].weight.grad = np.ones_like(net[0].weight.data)
+        opt.zero_grad()
+        assert net[0].weight.grad is None
+
+    def test_validation(self):
+        net = Sequential(Linear(1, 1))
+        with pytest.raises(ValueError):
+            SGDDirect(net.parameters(), lr=0.0)
+        with pytest.raises(ValueError):
+            SGDDirect(net.parameters(), lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGDDirect(net.parameters(), lr=0.1, weight_decay=-1.0)
+        with pytest.raises(ValueError):
+            SGDDirect([], lr=0.1)
+
+
+class TestSchedules:
+    def test_step_lr(self):
+        schedule = step_lr(1.0, [10, 20], gamma=0.1)
+        assert schedule(0) == 1.0
+        assert schedule(10) == pytest.approx(0.1)
+        assert schedule(25) == pytest.approx(0.01)
+
+    def test_step_lr_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            step_lr(1.0, [20, 10])
+
+    def test_cosine_endpoints(self):
+        schedule = cosine_lr(1.0, 100)
+        assert schedule(0) == pytest.approx(1.0)
+        assert schedule(100) == pytest.approx(0.0, abs=1e-9)
+        assert schedule(50) == pytest.approx(0.5)
+
+    def test_cosine_min_lr(self):
+        schedule = cosine_lr(1.0, 10, min_lr=0.1)
+        assert schedule(10) == pytest.approx(0.1)
+
+    def test_cosine_monotone_decreasing(self):
+        schedule = cosine_lr(0.5, 30)
+        values = [schedule(e) for e in range(31)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cosine_lr(0.0, 10)
+        with pytest.raises(ValueError):
+            cosine_lr(1.0, 0)
+        with pytest.raises(ValueError):
+            step_lr(-1.0, [])
+
+
+class TestTrainer:
+    def test_loss_decreases_on_tiny_task(self):
+        data = SynthCIFAR("train", size=100, seed=7, image_size=16)
+        model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 4, 4), seed=0)
+        config = TrainConfig(epochs=3, batch_size=25, lr=0.05, seed=0)
+        trainer = Trainer(model, config)
+        history = trainer.fit(data.images, data.labels)
+        assert len(history) == 3
+        assert history[-1]["loss"] < history[0]["loss"]
+
+    def test_validation_accuracy_recorded(self):
+        data = SynthCIFAR("train", size=60, seed=7, image_size=16)
+        model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 4, 4), seed=0)
+        config = TrainConfig(epochs=1, batch_size=30, lr=0.01, seed=0)
+        trainer = Trainer(model, config)
+        history = trainer.fit(
+            data.images,
+            data.labels,
+            val_images=data.images[:20],
+            val_labels=data.labels[:20],
+        )
+        assert "val_accuracy" in history[0]
+        assert 0.0 <= history[0]["val_accuracy"] <= 1.0
+
+    def test_lr_schedule_applied(self):
+        data = SynthCIFAR("train", size=40, seed=7, image_size=16)
+        model = ResNetCIFAR(blocks_per_stage=1, widths=(4, 4, 4), seed=0)
+        config = TrainConfig(
+            epochs=2, batch_size=20, lr=1.0, seed=0, lr_schedule=step_lr(1.0, [1])
+        )
+        trainer = Trainer(model, config)
+        history = trainer.fit(data.images, data.labels)
+        assert history[0]["lr"] == 1.0
+        assert history[1]["lr"] == pytest.approx(0.1)
+
+
+class TestEvaluate:
+    def test_perfect_classifier(self):
+        class Oracle:
+            def eval(self):
+                return self
+
+            def forward_fast(self, x):
+                n = len(x)
+                logits = np.zeros((n, 10), dtype=np.float32)
+                logits[np.arange(n), self.answers[: n]] = 1.0
+                self.answers = self.answers[n:]
+                return logits
+
+        labels = np.array([1, 2, 3, 4])
+        oracle = Oracle()
+        oracle.answers = labels.copy()
+        accuracy = evaluate_accuracy(
+            oracle, np.zeros((4, 3, 8, 8), dtype=np.float32), labels, batch_size=2
+        )
+        assert accuracy == 1.0
