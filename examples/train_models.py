@@ -8,7 +8,8 @@ Run:  python examples/train_models.py [--model NAME] [--epochs N]
 
 import argparse
 
-from repro.models import MODELS
+from repro.models import MODELS, pretrained_path
+from repro.store import load_manifest
 from repro.train import train_reference_model
 
 DEFAULT_MODELS = ("resnet8_mini", "resnet14_mini", "mobilenetv2_mini")
@@ -31,7 +32,12 @@ def main() -> None:
         _, accuracy = train_reference_model(
             name, epochs=args.epochs, seed=args.seed, log_every=5
         )
-        print(f"{name}: test accuracy {accuracy:.2%}\n")
+        print(f"{name}: test accuracy {accuracy:.2%}")
+        path = pretrained_path(name)
+        entry = load_manifest(path.parent).get(path.name)
+        if entry:
+            print(f"{name}: sha256={entry['sha256'][:16]}… recorded in MANIFEST.json")
+        print()
 
 
 if __name__ == "__main__":

@@ -8,12 +8,14 @@ result objects losslessly enough to regenerate every figure offline.
 from __future__ import annotations
 
 import csv
+import io
 import json
 import os
 from typing import Any
 
 from repro.sfi.results import CampaignResult
 from repro.sfi.validation import MethodComparison, ValidationReport
+from repro.store import atomic_write_bytes
 
 
 def campaign_to_dict(result: CampaignResult) -> dict[str, Any]:
@@ -88,13 +90,9 @@ def validation_to_dict(report: ValidationReport) -> dict[str, Any]:
 
 
 def write_json(data: dict | list, path: str | os.PathLike) -> None:
-    """Write *data* as pretty-printed JSON (creating directories)."""
-    directory = os.path.dirname(os.fspath(path))
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Atomically write *data* as pretty-printed JSON (creating directories)."""
+    payload = json.dumps(data, indent=2, sort_keys=True) + "\n"
+    atomic_write_bytes(path, payload.encode("utf-8"))
 
 
 def write_layer_csv(
@@ -102,10 +100,7 @@ def write_layer_csv(
 ) -> None:
     """Per-layer CSV across several validation reports (one row per
     (method, layer) pair) — the format the paper's Figs. 5/7 plot from."""
-    directory = os.path.dirname(os.fspath(path))
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    with open(path, "w", encoding="utf-8", newline="") as handle:
+    with io.StringIO(newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(
             [
@@ -131,16 +126,14 @@ def write_layer_csv(
                         int(row.contained),
                     ]
                 )
+        atomic_write_bytes(path, handle.getvalue().encode("utf-8"))
 
 
 def write_comparison_csv(
     comparisons: list[MethodComparison], path: str | os.PathLike
 ) -> None:
     """Table III as CSV."""
-    directory = os.path.dirname(os.fspath(path))
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    with open(path, "w", encoding="utf-8", newline="") as handle:
+    with io.StringIO(newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(
             [
@@ -161,3 +154,4 @@ def write_comparison_csv(
                     f"{comp.contained_fraction:.4f}",
                 ]
             )
+        atomic_write_bytes(path, handle.getvalue().encode("utf-8"))

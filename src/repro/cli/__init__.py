@@ -6,6 +6,9 @@
   pretrained mini model and print the resulting estimates.
 - ``repro-analyze`` — criticality analyses over cached exhaustive results:
   most critical layer/bit, per-bit rates, data-aware p(i) profile.
+- ``repro-train`` — train reference models and cache their weights.
+- ``repro-verify-artifacts`` — integrity-check every artifact against its
+  ``MANIFEST.json`` checksum and zip structure.
 """
 
-__all__ = ["plan", "run", "analyze"]
+__all__ = ["plan", "run", "analyze", "train", "verify"]

@@ -14,7 +14,10 @@ from repro.sfi import (
     NetworkWiseSFI,
     validate_campaign,
 )
+import sys
+
 from repro.sfi.artifacts import load_or_run_exhaustive
+from repro.store import CorruptArtifactError
 
 _PLANNERS = {
     "network-wise": NetworkWiseSFI,
@@ -56,14 +59,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="really inject each sampled fault instead of replaying the "
         "cached exhaustive outcomes",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes for the exhaustive campaign when the cache is "
+        "cold (default: all CPU cores)",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="do not checkpoint the exhaustive campaign / resume from an "
+        "earlier interrupted one",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    table, space, engine = load_or_run_exhaustive(
-        args.model, eval_size=args.eval_size, progress=True
-    )
+    try:
+        table, space, engine = load_or_run_exhaustive(
+            args.model,
+            eval_size=args.eval_size,
+            workers=args.workers,
+            resume=not args.no_resume,
+            progress=True,
+        )
+    except CorruptArtifactError as exc:
+        print(f"repro-run: error: {exc}", file=sys.stderr)
+        return 2
     planner = _PLANNERS[args.method](args.error_margin, args.confidence)
     plan = planner.plan(space)
     oracle = InferenceOracle(engine) if args.live else TableOracle(table, space)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 
 from repro.models import MODELS, pretrained_path
+from repro.store import load_manifest
 from repro.train import train_reference_model
 
 DEFAULT_MODELS = ("resnet8_mini", "resnet14_mini", "mobilenetv2_mini")
@@ -53,6 +54,10 @@ def main(argv: list[str] | None = None) -> int:
             log_every=0 if args.quiet else 5,
         )
         print(f"{name}: test accuracy {accuracy:.2%}")
+        path = pretrained_path(name)
+        entry = load_manifest(path.parent).get(path.name)
+        if entry:
+            print(f"{name}: recorded sha256={entry['sha256'][:16]}… in MANIFEST.json")
     return 0
 
 

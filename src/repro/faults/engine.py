@@ -17,6 +17,7 @@ here:
 from __future__ import annotations
 
 import enum
+import hashlib
 from collections.abc import Sequence
 
 import numpy as np
@@ -152,6 +153,21 @@ class InferenceEngine:
         for stage in self.stages:
             acts.append(stage.forward_fast(acts[-1]))
         return acts
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the golden weight bits and the eval images.
+
+        Identifies the campaign's inputs: two engines with the same
+        fingerprint (and policy/threshold) classify every fault
+        identically.  Campaign checkpoints store it so progress recorded
+        against different weights (e.g. after retraining) is never
+        resumed.
+        """
+        digest = hashlib.sha256()
+        for layer in self.layers:
+            digest.update(self.injector.fmt.encode(layer.flat_weights()).tobytes())
+        digest.update(self.images.tobytes())
+        return digest.hexdigest()
 
     # -- classification -------------------------------------------------------
 

@@ -15,15 +15,107 @@ An :class:`OutcomeTable` holds the outcome of *every* fault in a
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import time
 from collections.abc import Callable
 
 import numpy as np
 
-from repro.faults.engine import FaultOutcome, InferenceEngine
+from repro.faults.engine import (
+    FaultOutcome,
+    InferenceEngine,
+    classify_predictions,
+)
 from repro.faults.model import Fault
 from repro.faults.space import FaultSpace
+from repro.store import CampaignCheckpoint, load_verified_npz, save_verified_npz
+
+
+def _classify_cell(
+    engine: InferenceEngine, space: FaultSpace, layer_idx: int, bit: int
+) -> np.ndarray:
+    """Outcomes of every fault in one (layer, bit) cell: ``(weights, models)``.
+
+    Masked faults are detected vectorised (no inference); every other
+    fault runs one prefix-cached inference.  Cells are the campaign's unit
+    of parallelism and checkpointing: independent, deterministic, and a
+    few hundred per model.
+    """
+    layer = space.layers[layer_idx]
+    fmt = space.fmt
+    models = space.fault_models
+    size = layer.size
+    cell = np.empty((size, len(models)), dtype=np.uint8)
+    golden_bits = fmt.encode(layer.flat_weights())
+    mask = np.array(1, dtype=fmt.uint_dtype) << np.array(bit, dtype=fmt.uint_dtype)
+    bit_is_one = (golden_bits & mask) != 0
+    for model_idx, fault_model in enumerate(models):
+        stuck = fault_model.stuck_value
+        if stuck == 0:
+            masked = ~bit_is_one
+        elif stuck == 1:
+            masked = bit_is_one
+        else:
+            masked = np.zeros(size, dtype=bool)
+        for index in range(size):
+            if masked[index]:
+                cell[index, model_idx] = FaultOutcome.MASKED
+                continue
+            fault = Fault(
+                layer=layer_idx, index=index, bit=bit, model=fault_model
+            )
+            predictions = engine.predictions_with_fault(fault)
+            cell[index, model_idx] = classify_predictions(
+                predictions,
+                engine.golden_predictions,
+                engine.labels,
+                policy=engine.policy,
+                threshold=engine.threshold,
+            )
+    return cell
+
+
+def _cell_key(layer_idx: int, bit: int) -> str:
+    return f"L{layer_idx:03d}_B{bit:02d}"
+
+
+def _campaign_config(engine: InferenceEngine, space: FaultSpace) -> dict:
+    """Identity of an exhaustive campaign, for checkpoint compatibility.
+
+    Includes the engine fingerprint (golden weight bits + eval images) so
+    a checkpoint taken against different weights (e.g. after retraining)
+    is never resumed.
+    """
+    return {
+        "fmt": space.fmt.name,
+        "fault_models": [m.value for m in space.fault_models],
+        "policy": engine.policy,
+        "threshold": engine.threshold,
+        "eval_images": int(len(engine.images)),
+        "layer_sizes": [layer.size for layer in space.layers],
+        "golden_sha256": engine.fingerprint(),
+    }
+
+
+# Fork-inherited state for pool workers: (engine, space).  The golden
+# weights and eval set are shared copy-on-write with the parent; workers
+# only mutate their private injector scratch space.
+_POOL_STATE: tuple[InferenceEngine, FaultSpace] | None = None
+
+
+def _pool_classify(args: tuple[int, int]) -> tuple[int, int, np.ndarray]:
+    layer_idx, bit = args
+    assert _POOL_STATE is not None, "worker used outside a campaign pool"
+    engine, space = _POOL_STATE
+    return layer_idx, bit, _classify_cell(engine, space, layer_idx, bit)
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker-count request to an achievable pool size."""
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, int(workers))
 
 
 class OutcomeTable:
@@ -52,71 +144,103 @@ class OutcomeTable:
         engine: InferenceEngine,
         space: FaultSpace,
         *,
+        workers: int | None = 1,
+        checkpoint: str | os.PathLike | None = None,
         progress: Callable[[int, int], None] | None = None,
         progress_every: int = 20_000,
     ) -> "OutcomeTable":
         """Classify every fault in *space* using *engine*.
 
-        Masked faults are detected vectorised (no inference); everything
-        else runs one prefix-cached inference.  *progress* is called with
-        ``(done, total)`` every *progress_every* faults.
+        The campaign runs one (layer, bit) cell at a time (see
+        :func:`_classify_cell`); cells are independent, so with
+        ``workers > 1`` they fan out over a fork-based process pool whose
+        children share the golden weights and eval set copy-on-write.
+        With *checkpoint* set, every finished cell is persisted atomically
+        to that directory and a killed campaign resumes from its last
+        persisted cell — outcomes are deterministic, so the resumed table
+        is bit-identical to an uninterrupted run.  *progress* is called
+        with ``(done, total)`` roughly every *progress_every* faults.
         """
-        fmt = space.fmt
-        total = space.total_population
-        done = 0
         start = time.time()
+        total = space.total_population
+        bits = space.bits
+        n_models = len(space.fault_models)
+        workers = resolve_workers(workers)
+
+        store = None
+        if checkpoint is not None:
+            store = CampaignCheckpoint(
+                checkpoint, config=_campaign_config(engine, space)
+            )
+
+        cells: dict[tuple[int, int], np.ndarray] = {}
+        pending: list[tuple[int, int]] = []
+        done = 0
+        reported = 0
+        for layer_idx in range(len(space.layers)):
+            for bit in range(bits):
+                saved = (
+                    store.load(_cell_key(layer_idx, bit))
+                    if store is not None
+                    else None
+                )
+                expected = (space.layers[layer_idx].size, n_models)
+                if saved is not None and saved.shape == expected:
+                    cells[(layer_idx, bit)] = saved
+                    done += saved.size
+                else:
+                    pending.append((layer_idx, bit))
+
+        def finish(layer_idx: int, bit: int, cell: np.ndarray) -> None:
+            nonlocal done, reported
+            cells[(layer_idx, bit)] = cell
+            if store is not None:
+                store.store(_cell_key(layer_idx, bit), cell)
+            done += cell.size
+            if progress and (done - reported >= progress_every or done == total):
+                progress(done, total)
+                reported = done
+
+        if workers > 1 and len(pending) > 1:
+            global _POOL_STATE
+            _POOL_STATE = (engine, space)
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # platform without fork: run serially
+                _POOL_STATE = None
+            else:
+                try:
+                    with ctx.Pool(processes=workers) as pool:
+                        for layer_idx, bit, cell in pool.imap_unordered(
+                            _pool_classify, pending, chunksize=1
+                        ):
+                            finish(layer_idx, bit, cell)
+                finally:
+                    _POOL_STATE = None
+                pending = []
+        for layer_idx, bit in pending:
+            finish(layer_idx, bit, _classify_cell(engine, space, layer_idx, bit))
+
         outcomes: list[np.ndarray] = []
         for layer_idx, layer in enumerate(space.layers):
-            size = layer.size
-            bits = space.bits
-            models = space.fault_models
-            table = np.empty((size, bits, len(models)), dtype=np.uint8)
-            golden_bits = fmt.encode(layer.flat_weights())
+            table = np.empty((layer.size, bits, n_models), dtype=np.uint8)
             for bit in range(bits):
-                mask = np.array(1, dtype=fmt.uint_dtype) << np.array(
-                    bit, dtype=fmt.uint_dtype
-                )
-                bit_is_one = (golden_bits & mask) != 0
-                for model_idx, fault_model in enumerate(models):
-                    stuck = fault_model.stuck_value
-                    if stuck == 0:
-                        masked = ~bit_is_one
-                    elif stuck == 1:
-                        masked = bit_is_one
-                    else:
-                        masked = np.zeros(size, dtype=bool)
-                    for index in range(size):
-                        if masked[index]:
-                            table[index, bit, model_idx] = FaultOutcome.MASKED
-                        else:
-                            fault = Fault(
-                                layer=layer_idx,
-                                index=index,
-                                bit=bit,
-                                model=fault_model,
-                            )
-                            predictions = engine.predictions_with_fault(fault)
-                            from repro.faults.engine import classify_predictions
-
-                            table[index, bit, model_idx] = classify_predictions(
-                                predictions,
-                                engine.golden_predictions,
-                                engine.labels,
-                                policy=engine.policy,
-                                threshold=engine.threshold,
-                            )
-                        done += 1
-                        if progress and done % progress_every == 0:
-                            progress(done, total)
+                table[:, bit, :] = cells[(layer_idx, bit)]
             outcomes.append(table)
+        masked = sum(
+            int((arr == FaultOutcome.MASKED).sum()) for arr in outcomes
+        )
         metadata = {
-            "fmt": fmt.name,
+            "fmt": space.fmt.name,
             "fault_models": [m.value for m in space.fault_models],
             "policy": engine.policy,
             "threshold": engine.threshold,
             "eval_images": int(len(engine.images)),
             "golden_accuracy": engine.golden_accuracy,
-            "inference_count": engine.inference_count,
+            # Inferences the campaign requires (deterministic: population
+            # minus masked), independent of how many were served from a
+            # checkpoint or by pool workers in this particular run.
+            "inference_count": total - masked,
             "elapsed_seconds": time.time() - start,
         }
         return cls(outcomes, metadata=metadata)
@@ -181,24 +305,32 @@ class OutcomeTable:
     # -- persistence --------------------------------------------------------------
 
     def save(self, path: str | os.PathLike) -> None:
-        """Write the table (and metadata) to *path* (.npz)."""
-        directory = os.path.dirname(os.fspath(path))
-        if directory:
-            os.makedirs(directory, exist_ok=True)
+        """Write the table (and metadata) to *path* (.npz).
+
+        Goes through the verified store: the archive is written atomically
+        and recorded in its directory's ``MANIFEST.json``.
+        """
         arrays = {f"layer{i}": arr for i, arr in enumerate(self.outcomes)}
         arrays["metadata"] = np.frombuffer(
             json.dumps(self.metadata).encode("utf-8"), dtype=np.uint8
         )
-        np.savez_compressed(path, **arrays)
+        save_verified_npz(path, arrays)
 
     @classmethod
-    def load(cls, path: str | os.PathLike) -> "OutcomeTable":
-        """Load a table written by :meth:`save`."""
-        with np.load(path) as archive:
-            metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
-            layer_names = sorted(
-                (name for name in archive.files if name.startswith("layer")),
-                key=lambda name: int(name[5:]),
-            )
-            outcomes = [archive[name] for name in layer_names]
+    def load(
+        cls, path: str | os.PathLike, *, regenerate: str | None = None
+    ) -> "OutcomeTable":
+        """Load a table written by :meth:`save`.
+
+        Integrity (manifest checksum + zip structure) is validated first;
+        corruption raises :class:`~repro.store.CorruptArtifactError`
+        naming *path* and the *regenerate* command.
+        """
+        archive = load_verified_npz(path, regenerate=regenerate)
+        metadata = json.loads(bytes(archive["metadata"]).decode("utf-8"))
+        layer_names = sorted(
+            (name for name in archive if name.startswith("layer")),
+            key=lambda name: int(name[5:]),
+        )
+        outcomes = [archive[name] for name in layer_names]
         return cls(outcomes, metadata=metadata)

@@ -54,5 +54,9 @@ def load_pretrained(model: Module, name: str) -> None:
             f"no trained weights at {path}; generate them with "
             f"`python examples/train_models.py --model {name}`"
         )
-    load_state(model, path)
+    load_state(
+        model,
+        path,
+        regenerate=f"python examples/train_models.py --model {name}",
+    )
     model.eval()

@@ -1,25 +1,48 @@
-"""Saving and loading model state as ``.npz`` archives."""
+"""Saving and loading model state as ``.npz`` archives.
+
+Both directions go through :mod:`repro.store`: writes are atomic (a
+killed training run never leaves a truncated archive at the final path)
+and recorded in the directory's ``MANIFEST.json``; loads validate the
+checksum and zip structure first and raise
+:class:`~repro.store.CorruptArtifactError` naming the file and its
+regeneration command instead of leaking a bare ``BadZipFile``.
+"""
 
 from __future__ import annotations
 
 import os
-
-import numpy as np
+from pathlib import Path
 
 from repro.nn.module import Module
+from repro.store import load_verified_npz, save_verified_npz
+
+
+def _default_regenerate(path: str | os.PathLike) -> str:
+    """Best-guess regeneration command for a weights archive.
+
+    Weight archives are named after their registry model, so the stem is
+    the training command's ``--model`` argument.
+    """
+    return f"python examples/train_models.py --model {Path(path).stem}"
 
 
 def save_state(model: Module, path: str | os.PathLike) -> None:
-    """Write the model's state dict to *path* (.npz)."""
-    state = model.state_dict()
-    directory = os.path.dirname(os.fspath(path))
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(path, **state)
+    """Atomically write the model's state dict to *path* (.npz)."""
+    save_verified_npz(path, model.state_dict())
 
 
-def load_state(model: Module, path: str | os.PathLike) -> None:
-    """Load a state dict previously written by :func:`save_state`."""
-    with np.load(path) as archive:
-        state = {name: archive[name] for name in archive.files}
+def load_state(
+    model: Module,
+    path: str | os.PathLike,
+    *,
+    regenerate: str | None = None,
+) -> None:
+    """Load a state dict previously written by :func:`save_state`.
+
+    *regenerate* overrides the command suggested when the archive fails
+    integrity validation.
+    """
+    state = load_verified_npz(
+        path, regenerate=regenerate or _default_regenerate(path)
+    )
     model.load_state_dict(state)

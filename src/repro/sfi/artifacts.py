@@ -9,6 +9,7 @@ benchmark and example replays from the cache.
 
 from __future__ import annotations
 
+import shutil
 from pathlib import Path
 
 from repro.data import SynthCIFAR
@@ -28,20 +29,42 @@ def exhaustive_table_path(
     )
 
 
+def exhaustive_checkpoint_path(
+    model_name: str, *, eval_size: int = 64, policy: str = "accuracy_drop"
+) -> Path:
+    """Checkpoint directory for one exhaustive configuration."""
+    path = exhaustive_table_path(model_name, eval_size=eval_size, policy=policy)
+    return path.with_suffix(".ckpt")
+
+
+def regenerate_command(
+    model_name: str, *, eval_size: int = 64, policy: str = "accuracy_drop"
+) -> str:
+    """Command that rebuilds one cached exhaustive table from scratch."""
+    command = f"repro-run --model {model_name} --eval-size {eval_size}"
+    if policy != "accuracy_drop":
+        command += f"  (policy {policy})"
+    return f"delete the file and run `{command}`"
+
+
 def load_or_run_exhaustive(
     model_name: str,
     *,
     eval_size: int = 64,
     policy: str = "accuracy_drop",
+    workers: int | None = 1,
+    resume: bool = True,
     progress: bool = False,
 ) -> tuple[OutcomeTable, FaultSpace, InferenceEngine]:
     """Return the exhaustive table for a pretrained mini model.
 
     Loads from the artifact cache when present; otherwise runs the full
-    exhaustive campaign (minutes for the mini models) and caches it.
-    Always returns a live ``(table, space, engine)`` triple for the same
-    model/eval configuration, so sampled campaigns can either replay from
-    the table or re-inject through the engine.
+    exhaustive campaign (minutes for the mini models) and caches it,
+    fanning out over *workers* processes and — with *resume* (default) —
+    checkpointing finished cells so a killed campaign picks up where it
+    stopped.  Always returns a live ``(table, space, engine)`` triple for
+    the same model/eval configuration, so sampled campaigns can either
+    replay from the table or re-inject through the engine.
     """
     model = create_model(model_name, pretrained=True)
     data = SynthCIFAR("test", size=eval_size, seed=1234)
@@ -49,7 +72,12 @@ def load_or_run_exhaustive(
     space = FaultSpace(engine.layers)
     path = exhaustive_table_path(model_name, eval_size=eval_size, policy=policy)
     if path.is_file():
-        table = OutcomeTable.load(path)
+        table = OutcomeTable.load(
+            path,
+            regenerate=regenerate_command(
+                model_name, eval_size=eval_size, policy=policy
+            ),
+        )
         if table.num_layers != len(space.layers):
             raise ValueError(
                 f"cached table at {path} does not match model {model_name}"
@@ -59,7 +87,24 @@ def load_or_run_exhaustive(
     if progress:
         def reporter(done: int, total: int) -> None:
             print(f"  exhaustive {model_name}: {done:,}/{total:,}", flush=True)
-    table = OutcomeTable.from_exhaustive(engine, space, progress=reporter)
+    checkpoint = (
+        exhaustive_checkpoint_path(
+            model_name, eval_size=eval_size, policy=policy
+        )
+        if resume
+        else None
+    )
+    table = OutcomeTable.from_exhaustive(
+        engine,
+        space,
+        workers=workers,
+        checkpoint=checkpoint,
+        progress=reporter,
+    )
     table.metadata["model"] = model_name
     table.save(path)
+    if checkpoint is not None and checkpoint.exists():
+        # The finished table is persisted and verified; the checkpoint has
+        # served its purpose.
+        shutil.rmtree(checkpoint, ignore_errors=True)
     return table, space, engine

@@ -76,16 +76,23 @@ def run_exhaustive(
     fault_models: tuple[FaultModel, ...] = STUCK_AT_MODELS,
     policy: str = "accuracy_drop",
     threshold: float = 0.0,
+    workers: int | None = 1,
+    checkpoint=None,
     progress=None,
 ) -> tuple[OutcomeTable, FaultSpace, InferenceEngine]:
     """Run the full exhaustive campaign for *model* over the eval set.
 
     Returns ``(table, space, engine)``; the table is the paper's exhaustive
-    ground truth (every possible fault classified).
+    ground truth (every possible fault classified).  ``workers > 1`` fans
+    the campaign's (layer, bit) cells out over a process pool; with
+    *checkpoint* (a directory path) set, a killed campaign resumes from
+    its last persisted cell.
     """
     engine = InferenceEngine(
         model, images, labels, fmt=fmt, policy=policy, threshold=threshold
     )
     space = FaultSpace(engine.layers, fmt=fmt, fault_models=fault_models)
-    table = OutcomeTable.from_exhaustive(engine, space, progress=progress)
+    table = OutcomeTable.from_exhaustive(
+        engine, space, workers=workers, checkpoint=checkpoint, progress=progress
+    )
     return table, space, engine

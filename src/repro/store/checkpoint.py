@@ -1,0 +1,91 @@
+"""Chunk-level checkpointing for long campaigns.
+
+An exhaustive campaign is a few hundred independent (layer, bit) cells;
+the checkpoint persists each finished cell as one atomically-written
+``.npy`` next to a ``meta.json`` describing the campaign configuration.
+A killed run reopens the directory, keeps every cell whose configuration
+still matches, and recomputes only the rest — producing a bit-identical
+table because cell outcomes are deterministic.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from repro.store.atomic import atomic_write_bytes
+
+_META_NAME = "meta.json"
+
+
+class CampaignCheckpoint:
+    """Resumable store of per-chunk campaign outcomes.
+
+    Parameters
+    ----------
+    directory:
+        Checkpoint directory (created on first write).
+    config:
+        JSON-serialisable description of the campaign (model hash, format,
+        policy, eval size, ...).  A directory holding a different config
+        is wiped rather than resumed — stale chunks must never leak into a
+        new campaign.
+    """
+
+    def __init__(self, directory: str | os.PathLike, *, config: dict) -> None:
+        self.directory = Path(directory)
+        self.config = config
+        if self.directory.exists() and not self._config_matches():
+            shutil.rmtree(self.directory)
+
+    def _config_matches(self) -> bool:
+        try:
+            with open(self.directory / _META_NAME, encoding="utf-8") as stream:
+                return json.load(stream) == self.config
+        except (OSError, json.JSONDecodeError):
+            return False
+
+    def _chunk_path(self, key: str) -> Path:
+        return self.directory / f"{key}.npy"
+
+    # -- persistence -------------------------------------------------------
+
+    def completed(self) -> set[str]:
+        """Keys of every chunk already persisted."""
+        if not self.directory.is_dir():
+            return set()
+        return {path.stem for path in self.directory.glob("*.npy")}
+
+    def load(self, key: str) -> np.ndarray | None:
+        """Persisted outcomes for *key*, or ``None`` (also on damage)."""
+        path = self._chunk_path(key)
+        if not path.is_file():
+            return None
+        try:
+            return np.load(path, allow_pickle=False)
+        except (OSError, ValueError):
+            return None  # half-written chunk from a pre-atomic writer
+
+    def store(self, key: str, outcomes: np.ndarray) -> None:
+        """Atomically persist one chunk."""
+        if not (self.directory / _META_NAME).is_file():
+            self.directory.mkdir(parents=True, exist_ok=True)
+            atomic_write_bytes(
+                self.directory / _META_NAME,
+                (json.dumps(self.config, indent=2, sort_keys=True) + "\n").encode(
+                    "utf-8"
+                ),
+            )
+        buffer = io.BytesIO()
+        np.save(buffer, np.ascontiguousarray(outcomes))
+        atomic_write_bytes(self._chunk_path(key), buffer.getvalue())
+
+    def discard(self) -> None:
+        """Delete the checkpoint (after the final artifact is persisted)."""
+        if self.directory.exists():
+            shutil.rmtree(self.directory, ignore_errors=True)

@@ -1,0 +1,33 @@
+"""Domain errors for the artifact store."""
+
+from __future__ import annotations
+
+import os
+
+
+class ArtifactError(RuntimeError):
+    """Base class for artifact-store failures."""
+
+
+class CorruptArtifactError(ArtifactError):
+    """An artifact failed integrity validation.
+
+    Carries the offending path, what went wrong, and the exact command
+    that regenerates the artifact, so the error a user sees five stack
+    frames up is actionable instead of a bare ``BadZipFile``.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        reason: str,
+        regenerate: str | None = None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.reason = reason
+        self.regenerate = regenerate
+        message = f"artifact {self.path} is corrupt: {reason}"
+        if regenerate:
+            message += f"; regenerate with `{regenerate}`"
+        super().__init__(message)

@@ -1,0 +1,186 @@
+"""Per-directory ``MANIFEST.json`` with SHA-256 checksums.
+
+Each artifact directory (``artifacts/weights``, ``artifacts/exhaustive``)
+carries a manifest mapping file names to their checksum and size.  Writers
+update the manifest atomically after every artifact write; readers verify
+the checksum before trusting an artifact, which catches both truncation
+and silent staleness (an artifact swapped without going through the
+store).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.store.atomic import atomic_write_bytes
+
+MANIFEST_NAME = "MANIFEST.json"
+_MANIFEST_VERSION = 1
+
+
+def sha256_file(path: str | os.PathLike, *, chunk_size: int = 1 << 20) -> str:
+    """Hex SHA-256 digest of a file, streamed."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as stream:
+        while chunk := stream.read(chunk_size):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def manifest_path(directory: str | os.PathLike) -> Path:
+    return Path(directory) / MANIFEST_NAME
+
+
+def load_manifest(directory: str | os.PathLike) -> dict:
+    """Manifest entries for *directory* (``{}`` when absent or unreadable)."""
+    path = manifest_path(directory)
+    try:
+        with open(path, encoding="utf-8") as stream:
+            data = json.load(stream)
+    except (OSError, json.JSONDecodeError):
+        return {}
+    entries = data.get("artifacts")
+    return entries if isinstance(entries, dict) else {}
+
+
+def _save_manifest(directory: Path, entries: dict) -> None:
+    payload = {
+        "version": _MANIFEST_VERSION,
+        "artifacts": {name: entries[name] for name in sorted(entries)},
+    }
+    atomic_write_bytes(
+        manifest_path(directory),
+        (json.dumps(payload, indent=2) + "\n").encode("utf-8"),
+    )
+
+
+def record_artifact(path: str | os.PathLike) -> dict:
+    """Record (or refresh) *path* in its directory's manifest.
+
+    Returns the manifest entry written.  Must be called after the artifact
+    itself has been renamed into place.
+    """
+    path = Path(path)
+    entry = {
+        "sha256": sha256_file(path),
+        "size": path.stat().st_size,
+        "updated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }
+    entries = load_manifest(path.parent)
+    entries[path.name] = entry
+    _save_manifest(path.parent, entries)
+    return entry
+
+
+def forget_artifact(path: str | os.PathLike) -> None:
+    """Drop *path* from its directory's manifest, if listed."""
+    path = Path(path)
+    entries = load_manifest(path.parent)
+    if path.name in entries:
+        del entries[path.name]
+        _save_manifest(path.parent, entries)
+
+
+def write_manifest(
+    directory: str | os.PathLike,
+    *,
+    pattern: str = "*.npz",
+    names: list[str] | None = None,
+) -> dict:
+    """Rebuild the manifest for *directory*.
+
+    Covers every *pattern* file, or exactly *names* when given (so callers
+    can exclude files that failed structural validation).
+    """
+    directory = Path(directory)
+    entries = {}
+    paths = (
+        [directory / name for name in names]
+        if names is not None
+        else sorted(directory.glob(pattern))
+    )
+    for path in paths:
+        entries[path.name] = {
+            "sha256": sha256_file(path),
+            "size": path.stat().st_size,
+            "updated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        }
+    _save_manifest(directory, entries)
+    return entries
+
+
+def verify_artifact(path: str | os.PathLike) -> str | None:
+    """Check *path* against its directory manifest.
+
+    Returns ``None`` when the checksum matches or the file is simply not
+    listed (no manifest yet — legal for hand-placed artifacts), otherwise
+    a human-readable description of the mismatch.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return "file is missing"
+    entry = load_manifest(path.parent).get(path.name)
+    if entry is None:
+        return None
+    size = path.stat().st_size
+    if size != entry.get("size"):
+        return (
+            f"size mismatch (manifest records {entry.get('size')} bytes, "
+            f"file has {size})"
+        )
+    digest = sha256_file(path)
+    if digest != entry.get("sha256"):
+        return (
+            "SHA-256 mismatch (file changed without going through the "
+            "store, or is stale/corrupt)"
+        )
+    return None
+
+
+@dataclass
+class DirectoryReport:
+    """Outcome of verifying one artifact directory."""
+
+    directory: Path
+    ok: list[str] = field(default_factory=list)
+    unlisted: list[str] = field(default_factory=list)
+    #: name -> failure description (checksum/size/zip problems).
+    failed: dict[str, str] = field(default_factory=dict)
+    #: manifest entries whose files are gone.
+    missing: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failed and not self.missing
+
+
+def verify_directory(
+    directory: str | os.PathLike, *, pattern: str = "*.npz"
+) -> DirectoryReport:
+    """Verify every *pattern* file in *directory* against its manifest.
+
+    Zip-structure validation is left to callers (see
+    :func:`repro.store.npz.validate_npz`); this checks existence and
+    checksums only.
+    """
+    directory = Path(directory)
+    report = DirectoryReport(directory=directory)
+    entries = load_manifest(directory)
+    present = {path.name for path in directory.glob(pattern)}
+    for name in sorted(entries):
+        if name not in present:
+            report.missing.append(name)
+    for name in sorted(present):
+        problem = verify_artifact(directory / name)
+        if problem is None and name not in entries:
+            report.unlisted.append(name)
+        elif problem is None:
+            report.ok.append(name)
+        else:
+            report.failed[name] = problem
+    return report

@@ -1,0 +1,124 @@
+"""Best-effort recovery of ``.npz`` members from a damaged zip archive.
+
+``zipfile`` (and therefore ``np.load``) reads a zip through its *central
+directory* at the end of the file; truncation destroys the directory and
+every member becomes unreadable — even the ones whose bytes are fully
+intact.  The zip *local file headers* interleaved with the data survive,
+though: each member is preceded by a ``PK\\x03\\x04`` record carrying its
+name, compression method and sizes.  This module walks those records
+directly and decompresses every member whose data is present and whose
+CRC-32 checks out.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+_LOCAL_HEADER_SIGNATURE = b"PK\x03\x04"
+_LOCAL_HEADER_STRUCT = struct.Struct("<4s5H3I2H")
+_STORED, _DEFLATED = 0, 8
+_ZIP64_EXTRA_ID = 0x0001
+_ZIP64_SENTINEL = 0xFFFFFFFF
+
+
+def _zip64_sizes(
+    extra: bytes, compressed_size: int, uncompressed_size: int
+) -> tuple[int, int]:
+    """Resolve (compressed, uncompressed) sizes through the zip64 extra field.
+
+    numpy writes every member with ``force_zip64``: the 32-bit header
+    fields hold ``0xFFFFFFFF`` and the real sizes live in the extra
+    record — uncompressed first, then compressed, each present only when
+    its header field carries the sentinel.
+    """
+    offset = 0
+    while offset + 4 <= len(extra):
+        field_id, field_size = struct.unpack_from("<HH", extra, offset)
+        payload = extra[offset + 4 : offset + 4 + field_size]
+        offset += 4 + field_size
+        if field_id != _ZIP64_EXTRA_ID:
+            continue
+        cursor = 0
+        if uncompressed_size == _ZIP64_SENTINEL and cursor + 8 <= len(payload):
+            (uncompressed_size,) = struct.unpack_from("<Q", payload, cursor)
+            cursor += 8
+        if compressed_size == _ZIP64_SENTINEL and cursor + 8 <= len(payload):
+            (compressed_size,) = struct.unpack_from("<Q", payload, cursor)
+        break
+    return compressed_size, uncompressed_size
+
+
+def salvage_npz(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Recover whatever arrays survive in a damaged ``.npz`` at *path*.
+
+    Returns a dict of the members that decompressed cleanly, passed their
+    recorded CRC-32, and parsed as ``.npy``; damaged or truncated members
+    are skipped silently.  An archive with an intact central directory is
+    salvaged just the same (the reader never consults the directory), so
+    the result on a healthy file equals ``dict(np.load(path))``.
+    """
+    blob = Path(path).read_bytes()
+    recovered: dict[str, np.ndarray] = {}
+    offset = 0
+    while True:
+        offset = blob.find(_LOCAL_HEADER_SIGNATURE, offset)
+        if offset < 0 or offset + _LOCAL_HEADER_STRUCT.size > len(blob):
+            break
+        (
+            _signature,
+            _version,
+            flags,
+            method,
+            _mtime,
+            _mdate,
+            crc32,
+            compressed_size,
+            uncompressed_size,
+            name_length,
+            extra_length,
+        ) = _LOCAL_HEADER_STRUCT.unpack_from(blob, offset)
+        header_end = offset + _LOCAL_HEADER_STRUCT.size
+        data_start = header_end + name_length + extra_length
+        name = blob[header_end : header_end + name_length].decode(
+            "utf-8", errors="replace"
+        )
+        extra = blob[header_end + name_length : data_start]
+        compressed_size, _ = _zip64_sizes(
+            extra, compressed_size, uncompressed_size
+        )
+        # Flag bit 3 means sizes live in a trailing data descriptor the
+        # writer fills in post-hoc; numpy's seekable writer backpatches the
+        # header (or the zip64 extra) instead, so an unresolved size marks
+        # an unfinished member.
+        if flags & 0x8 or compressed_size in (0, _ZIP64_SENTINEL):
+            offset += len(_LOCAL_HEADER_SIGNATURE)
+            continue
+        payload = blob[data_start : data_start + compressed_size]
+        offset = data_start + compressed_size
+        if len(payload) < compressed_size:
+            continue  # member data itself is truncated
+        try:
+            if method == _DEFLATED:
+                raw = zlib.decompress(payload, wbits=-15)
+            elif method == _STORED:
+                raw = payload
+            else:
+                continue
+        except zlib.error:
+            continue
+        if zlib.crc32(raw) & 0xFFFFFFFF != crc32:
+            continue
+        if not name.endswith(".npy"):
+            continue
+        try:
+            array = np.lib.format.read_array(io.BytesIO(raw), allow_pickle=False)
+        except Exception:
+            continue
+        recovered[name[: -len(".npy")]] = array
+    return recovered

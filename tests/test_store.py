@@ -1,0 +1,229 @@
+"""Tests for the verified artifact store (repro.store)."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    CampaignCheckpoint,
+    CorruptArtifactError,
+    atomic_savez,
+    atomic_write,
+    load_manifest,
+    load_verified_npz,
+    record_artifact,
+    salvage_npz,
+    save_verified_npz,
+    sha256_file,
+    validate_npz,
+    verify_artifact,
+    verify_directory,
+    write_manifest,
+)
+
+
+def _make_npz_bytes(arrays: dict[str, np.ndarray]) -> bytes:
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    return buffer.getvalue()
+
+
+class TestAtomicWrite:
+    def test_writes_bytes_and_cleans_up(self, tmp_path):
+        path = tmp_path / "sub" / "a.bin"
+        with atomic_write(path) as stream:
+            stream.write(b"payload")
+        assert path.read_bytes() == b"payload"
+        leftovers = [p for p in path.parent.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_failure_leaves_no_partial_file(self, tmp_path):
+        path = tmp_path / "a.bin"
+        path.write_bytes(b"original")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as stream:
+                stream.write(b"half-writ")
+                raise RuntimeError("killed mid-write")
+        assert path.read_bytes() == b"original"
+        assert [p.name for p in tmp_path.iterdir()] == ["a.bin"]
+
+    def test_atomic_savez_roundtrip(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        atomic_savez(path, x=np.arange(5), y=np.eye(3))
+        with np.load(path) as archive:
+            assert np.array_equal(archive["x"], np.arange(5))
+            assert np.array_equal(archive["y"], np.eye(3))
+
+
+class TestManifest:
+    def test_record_and_verify(self, tmp_path):
+        path = tmp_path / "a.npz"
+        atomic_savez(path, x=np.arange(4))
+        entry = record_artifact(path)
+        assert entry["sha256"] == sha256_file(path)
+        assert verify_artifact(path) is None
+
+    def test_detects_modification(self, tmp_path):
+        path = tmp_path / "a.npz"
+        atomic_savez(path, x=np.arange(4))
+        record_artifact(path)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # same size, different content
+        path.write_bytes(bytes(data))
+        problem = verify_artifact(path)
+        assert problem is not None and "SHA-256" in problem
+
+    def test_detects_truncation_by_size(self, tmp_path):
+        path = tmp_path / "a.npz"
+        atomic_savez(path, x=np.arange(100))
+        record_artifact(path)
+        path.write_bytes(path.read_bytes()[:50])
+        problem = verify_artifact(path)
+        assert problem is not None and "size mismatch" in problem
+
+    def test_unlisted_file_is_not_an_error(self, tmp_path):
+        path = tmp_path / "handmade.npz"
+        atomic_savez(path, x=np.arange(4))
+        assert verify_artifact(path) is None
+
+    def test_verify_directory_report(self, tmp_path):
+        good = tmp_path / "good.npz"
+        atomic_savez(good, x=np.arange(4))
+        record_artifact(good)
+        bad = tmp_path / "bad.npz"
+        atomic_savez(bad, x=np.arange(64))
+        record_artifact(bad)
+        bad.write_bytes(bad.read_bytes()[:32])
+        gone = tmp_path / "gone.npz"
+        atomic_savez(gone, x=np.arange(4))
+        record_artifact(gone)
+        gone.unlink()
+        unlisted = tmp_path / "unlisted.npz"
+        atomic_savez(unlisted, x=np.arange(4))
+        report = verify_directory(tmp_path)
+        assert report.ok == ["good.npz"]
+        assert list(report.failed) == ["bad.npz"]
+        assert report.missing == ["gone.npz"]
+        assert report.unlisted == ["unlisted.npz"]
+        assert not report.clean
+
+    def test_write_manifest_selected_names(self, tmp_path):
+        for name in ("a.npz", "b.npz"):
+            atomic_savez(tmp_path / name, x=np.arange(3))
+        write_manifest(tmp_path, names=["a.npz"])
+        assert sorted(load_manifest(tmp_path)) == ["a.npz"]
+
+
+class TestVerifiedNpz:
+    def test_save_load_roundtrip_updates_manifest(self, tmp_path):
+        path = tmp_path / "a.npz"
+        save_verified_npz(path, {"x": np.arange(6)})
+        assert "a.npz" in load_manifest(tmp_path)
+        loaded = load_verified_npz(path)
+        assert np.array_equal(loaded["x"], np.arange(6))
+
+    def test_truncation_raises_domain_error_naming_file(self, tmp_path):
+        path = tmp_path / "resnet8_mini.npz"
+        save_verified_npz(path, {"x": np.arange(512)})
+        path.write_bytes(path.read_bytes()[:100])
+        command = "python examples/train_models.py --model resnet8_mini"
+        with pytest.raises(CorruptArtifactError) as excinfo:
+            load_verified_npz(path, regenerate=command)
+        message = str(excinfo.value)
+        assert "resnet8_mini.npz" in message
+        assert command in message
+        # No bare BadZipFile escapes.
+        assert excinfo.value.path == os.fspath(path)
+
+    def test_validate_npz_detects_damage(self, tmp_path):
+        path = tmp_path / "a.npz"
+        atomic_savez(path, x=np.arange(256))
+        assert validate_npz(path) is None
+        path.write_bytes(path.read_bytes()[:64])
+        assert validate_npz(path) is not None
+        assert validate_npz(tmp_path / "absent.npz") == "file is missing"
+
+    def test_missing_file_error(self, tmp_path):
+        with pytest.raises(CorruptArtifactError, match="missing"):
+            load_verified_npz(tmp_path / "never-written.npz")
+
+
+class TestSalvage:
+    def test_recovers_intact_members_from_truncated_archive(self, tmp_path):
+        arrays = {
+            f"arr{i}": np.random.default_rng(i)
+            .normal(size=(40, 40))
+            .astype(np.float32)
+            for i in range(6)
+        }
+        blob = _make_npz_bytes(arrays)
+        path = tmp_path / "damaged.npz"
+        path.write_bytes(blob[: int(len(blob) * 0.6)])
+        assert validate_npz(path) is not None  # np.load would fail
+        recovered = salvage_npz(path)
+        assert 0 < len(recovered) < len(arrays)
+        for name, array in recovered.items():
+            assert np.array_equal(array, arrays[name])
+
+    def test_healthy_archive_salvages_fully(self, tmp_path):
+        arrays = {"x": np.arange(10), "y": np.linspace(0, 1, 7)}
+        path = tmp_path / "healthy.npz"
+        path.write_bytes(_make_npz_bytes(arrays))
+        recovered = salvage_npz(path)
+        assert sorted(recovered) == sorted(arrays)
+        for name, array in arrays.items():
+            assert np.array_equal(recovered[name], array)
+
+    def test_garbage_returns_empty(self, tmp_path):
+        path = tmp_path / "noise.npz"
+        path.write_bytes(os.urandom(2048))
+        assert salvage_npz(path) == {}
+
+
+class TestCampaignCheckpoint:
+    CONFIG = {"model": "tiny", "policy": "accuracy_drop"}
+
+    def test_store_load_roundtrip(self, tmp_path):
+        ckpt = CampaignCheckpoint(tmp_path / "run.ckpt", config=self.CONFIG)
+        assert ckpt.completed() == set()
+        chunk = np.arange(12, dtype=np.uint8).reshape(6, 2)
+        ckpt.store("L000_B00", chunk)
+        assert ckpt.completed() == {"L000_B00"}
+        reopened = CampaignCheckpoint(tmp_path / "run.ckpt", config=self.CONFIG)
+        assert np.array_equal(reopened.load("L000_B00"), chunk)
+
+    def test_config_mismatch_wipes_stale_chunks(self, tmp_path):
+        first = CampaignCheckpoint(tmp_path / "run.ckpt", config=self.CONFIG)
+        first.store("L000_B00", np.zeros((4, 2), dtype=np.uint8))
+        changed = dict(self.CONFIG, policy="any_mismatch")
+        second = CampaignCheckpoint(tmp_path / "run.ckpt", config=changed)
+        assert second.completed() == set()
+        assert second.load("L000_B00") is None
+
+    def test_half_written_chunk_is_ignored(self, tmp_path):
+        ckpt = CampaignCheckpoint(tmp_path / "run.ckpt", config=self.CONFIG)
+        ckpt.store("L000_B00", np.zeros((4, 2), dtype=np.uint8))
+        chunk_path = tmp_path / "run.ckpt" / "L000_B00.npy"
+        chunk_path.write_bytes(chunk_path.read_bytes()[:10])
+        assert ckpt.load("L000_B00") is None
+
+    def test_discard(self, tmp_path):
+        ckpt = CampaignCheckpoint(tmp_path / "run.ckpt", config=self.CONFIG)
+        ckpt.store("L000_B00", np.zeros((4, 2), dtype=np.uint8))
+        ckpt.discard()
+        assert not (tmp_path / "run.ckpt").exists()
+
+
+class TestManifestFormat:
+    def test_manifest_is_sorted_versioned_json(self, tmp_path):
+        save_verified_npz(tmp_path / "b.npz", {"x": np.arange(3)})
+        save_verified_npz(tmp_path / "a.npz", {"x": np.arange(3)})
+        with open(tmp_path / "MANIFEST.json", encoding="utf-8") as stream:
+            payload = json.load(stream)
+        assert payload["version"] == 1
+        assert list(payload["artifacts"]) == ["a.npz", "b.npz"]
