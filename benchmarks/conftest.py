@@ -12,6 +12,7 @@ import pytest
 
 from repro.models import pretrained_path
 from repro.sfi.artifacts import exhaustive_table_path, load_or_run_exhaustive
+from repro.telemetry import Telemetry, progress_printer
 from repro.train import train_reference_model
 
 
@@ -19,7 +20,10 @@ def _ensure_artifacts(model: str):
     """Train + run exhaustive FI for *model* if not already cached."""
     if not pretrained_path(model).is_file():
         train_reference_model(model)
-    return load_or_run_exhaustive(model, progress=True)
+    telemetry = Telemetry(
+        on_event=progress_printer(f"  exhaustive {model}")
+    )
+    return load_or_run_exhaustive(model, telemetry=telemetry)
 
 
 @pytest.fixture(scope="session")

@@ -12,6 +12,7 @@ from repro.faults import TableOracle
 from repro.models import pretrained_path
 from repro.sfi import CampaignRunner, DataAwareSFI, validate_campaign
 from repro.sfi.artifacts import load_or_run_exhaustive
+from repro.telemetry import Telemetry, progress_printer
 from repro.train import train_reference_model
 
 MODEL = "resnet8_mini"
@@ -24,7 +25,9 @@ def main() -> None:
         print(f"  test accuracy: {accuracy:.1%}")
 
     print("loading exhaustive ground truth (computed once, then cached)...")
-    table, space, engine = load_or_run_exhaustive(MODEL, progress=True)
+    table, space, engine = load_or_run_exhaustive(
+        MODEL, telemetry=Telemetry(on_event=progress_printer("  exhaustive"))
+    )
     print(
         f"  population N = {space.total_population:,} faults, "
         f"exhaustive critical rate = {table.total_rate():.3%}"

@@ -31,6 +31,7 @@ from repro.sfi import (
 )
 from repro.sfi.artifacts import load_or_run_exhaustive
 from repro.sfi.validation import average_reports
+from repro.telemetry import Telemetry, progress_printer
 from repro.stats import chi_square_homogeneity
 from repro.train import train_reference_model
 
@@ -45,7 +46,10 @@ def main() -> None:
     if not pretrained_path(args.model).is_file():
         print(f"training {args.model}...")
         train_reference_model(args.model)
-    table, space, _ = load_or_run_exhaustive(args.model, progress=True)
+    table, space, _ = load_or_run_exhaustive(
+        args.model,
+        telemetry=Telemetry(on_event=progress_printer("  exhaustive")),
+    )
     runner = CampaignRunner(TableOracle(table, space), space)
 
     print(

@@ -9,6 +9,11 @@ from repro.analysis import (
     layer_ranking,
     render_bit_frequency_figure,
 )
+from repro.cli import (
+    add_telemetry_arguments,
+    finish_telemetry,
+    telemetry_from_args,
+)
 from repro.models import MODELS, create_model
 from repro.sfi import bit_criticality, model_weight_vector
 from repro.sfi.artifacts import load_or_run_exhaustive
@@ -43,11 +48,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use trained weights for the profile (default for minis)",
     )
+    add_telemetry_arguments(parser)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    telemetry = telemetry_from_args(args)
     is_mini = args.model.endswith("_mini")
     model = create_model(args.model, pretrained=args.pretrained or is_mini)
     profile = bit_criticality(model_weight_vector(model))
@@ -59,14 +66,18 @@ def main(argv: list[str] | None = None) -> int:
         flag = " (outlier -> p=0.5)" if profile.outliers[bit] else ""
         print(f"  bit {bit:2d} [{role:8s}] p={profile.p[bit]:.4f}{flag}")
     if args.profile_only:
+        finish_telemetry(telemetry, args)
         return 0
     if not is_mini:
         print(
             "\n(exhaustive analyses are only cached for mini models; "
             "use --profile-only for full-size topologies)"
         )
+        finish_telemetry(telemetry, args)
         return 0
-    table, _, _ = load_or_run_exhaustive(args.model, eval_size=args.eval_size)
+    table, _, _ = load_or_run_exhaustive(
+        args.model, eval_size=args.eval_size, telemetry=telemetry
+    )
     print("\n== exhaustive criticality ==")
     print("most critical layers:")
     for row in layer_ranking(table)[:5]:
@@ -80,6 +91,7 @@ def main(argv: list[str] | None = None) -> int:
             f"  bit {row.bit:2d}: {row.rate * 100:6.3f}% "
             f"({row.criticals:,}/{row.population:,})"
         )
+    finish_telemetry(telemetry, args)
     return 0
 
 

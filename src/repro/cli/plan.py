@@ -4,9 +4,15 @@ from __future__ import annotations
 
 import argparse
 
+from repro.analysis import render_plan_table
+from repro.cli import (
+    add_telemetry_arguments,
+    finish_telemetry,
+    telemetry_from_args,
+)
 from repro.faults import FaultSpace
 from repro.models import MODELS, create_model
-from repro.analysis import render_plan_table
+from repro.telemetry import resolve_telemetry
 from repro.sfi import (
     DataAwareSFI,
     DataUnawareSFI,
@@ -47,11 +53,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use trained weights for the data-aware profile",
     )
+    add_telemetry_arguments(parser)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    telemetry = telemetry_from_args(args)
+    tele = resolve_telemetry(telemetry)
     model = create_model(args.model, pretrained=args.pretrained)
     space = FaultSpace(model)
     planners = [
@@ -60,7 +69,10 @@ def main(argv: list[str] | None = None) -> int:
         DataUnawareSFI(args.error_margin, args.confidence),
         DataAwareSFI(args.error_margin, args.confidence),
     ]
-    plans = [planner.plan(space) for planner in planners]
+    plans = []
+    for planner in planners:
+        with tele.span("plan.compute", emit=True, method=planner.method):
+            plans.append(planner.plan(space))
     layer_params = [layer.size for layer in space.layers]
     network_allocation = proportional_allocation(
         plans[0].total_injections,
@@ -74,6 +86,7 @@ def main(argv: list[str] | None = None) -> int:
             network_wise_allocation=network_allocation,
         )
     )
+    finish_telemetry(telemetry, args)
     return 0
 
 

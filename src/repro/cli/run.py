@@ -16,8 +16,14 @@ from repro.sfi import (
 )
 import sys
 
+from repro.cli import (
+    add_telemetry_arguments,
+    finish_telemetry,
+    telemetry_from_args,
+)
 from repro.sfi.artifacts import load_or_run_exhaustive
 from repro.store import CorruptArtifactError
+from repro.telemetry import progress_printer
 
 _PLANNERS = {
     "network-wise": NetworkWiseSFI,
@@ -72,18 +78,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not checkpoint the exhaustive campaign / resume from an "
         "earlier interrupted one",
     )
+    add_telemetry_arguments(parser)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    telemetry = telemetry_from_args(
+        args, on_event=progress_printer(f"  exhaustive {args.model}")
+    )
     try:
         table, space, engine = load_or_run_exhaustive(
             args.model,
             eval_size=args.eval_size,
             workers=args.workers,
             resume=not args.no_resume,
-            progress=True,
+            telemetry=telemetry,
         )
     except CorruptArtifactError as exc:
         print(f"repro-run: error: {exc}", file=sys.stderr)
@@ -91,7 +101,7 @@ def main(argv: list[str] | None = None) -> int:
     planner = _PLANNERS[args.method](args.error_margin, args.confidence)
     plan = planner.plan(space)
     oracle = InferenceOracle(engine) if args.live else TableOracle(table, space)
-    runner = CampaignRunner(oracle, space)
+    runner = CampaignRunner(oracle, space, telemetry=telemetry)
     result = runner.run(plan, seed=args.seed)
     report = validate_campaign(result, table)
     print(result.summary())
@@ -109,6 +119,7 @@ def main(argv: list[str] | None = None) -> int:
             f"estimate {est.p_hat * 100:6.3f}% {margin} ({est.injections} FIs) "
             f"{status}"
         )
+    finish_telemetry(telemetry, args)
     return 0
 
 

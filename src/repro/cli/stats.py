@@ -1,0 +1,85 @@
+"""``repro-stats``: summarise a telemetry journal.
+
+Reads the JSONL journal written by ``repro-run --trace`` (or any other
+instrumented entry point) and reconstructs, per campaign: per-phase span
+timings, per-(layer, bit) cell wall times, overall faults/sec and
+inferences/sec, per-worker utilisation, and checkpoint/resume behaviour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.telemetry import format_summary, read_journal, summarize_journal
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stats",
+        description=(
+            "Summarise a telemetry journal (JSONL) into per-phase timing "
+            "tables, throughput and worker utilisation."
+        ),
+    )
+    parser.add_argument("journal", type=Path, help="journal file (.jsonl)")
+    parser.add_argument(
+        "--run",
+        default=None,
+        help="only summarise this run id (default: every run in the journal)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="slowest cells to list per campaign (default: 10)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of tables",
+    )
+    return parser
+
+
+def _to_json(summary) -> dict:
+    record = dataclasses.asdict(summary)
+    record["faults_per_second"] = summary.faults_per_second
+    record["inferences_per_second"] = summary.inferences_per_second
+    record["resume_hit_rate"] = summary.resume_hit_rate
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.journal.is_file():
+        print(f"repro-stats: error: no journal at {args.journal}")
+        return 1
+    events = read_journal(args.journal)
+    if not events:
+        print(f"repro-stats: error: {args.journal} holds no intact events")
+        return 1
+    summaries = summarize_journal(events)
+    if args.run is not None:
+        summaries = [s for s in summaries if s.run_id == args.run]
+        if not summaries:
+            print(f"repro-stats: error: no events for run id {args.run!r}")
+            return 1
+    if args.json:
+        print(json.dumps([_to_json(s) for s in summaries], indent=2))
+        return 0
+    print(
+        f"{args.journal}: {len(events)} events, "
+        f"{len(summaries)} campaign(s)"
+    )
+    for summary in summaries:
+        print()
+        print(format_summary(summary, top_cells=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,11 @@ from __future__ import annotations
 
 import argparse
 
+from repro.cli import (
+    add_telemetry_arguments,
+    finish_telemetry,
+    telemetry_from_args,
+)
 from repro.models import MODELS, pretrained_path
 from repro.store import load_manifest
 from repro.train import train_reference_model
@@ -35,11 +40,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-epoch logging"
     )
+    add_telemetry_arguments(parser)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    telemetry = telemetry_from_args(args)
     names = [args.model] if args.model else list(DEFAULT_MODELS)
     for name in names:
         if not args.force and pretrained_path(name).is_file():
@@ -52,12 +59,14 @@ def main(argv: list[str] | None = None) -> int:
             train_size=args.train_size,
             seed=args.seed,
             log_every=0 if args.quiet else 5,
+            telemetry=telemetry,
         )
         print(f"{name}: test accuracy {accuracy:.2%}")
         path = pretrained_path(name)
         entry = load_manifest(path.parent).get(path.name)
         if entry:
             print(f"{name}: recorded sha256={entry['sha256'][:16]}… in MANIFEST.json")
+    finish_telemetry(telemetry, args)
     return 0
 
 

@@ -27,6 +27,7 @@ from repro.faults.model import Fault
 from repro.faults.targets import WeightLayer, enumerate_weight_layers
 from repro.ieee754 import FLOAT32, FloatFormat
 from repro.nn import Conv2d, Linear, Module
+from repro.telemetry import Telemetry, resolve_telemetry
 
 
 class FaultOutcome(enum.IntEnum):
@@ -94,6 +95,11 @@ class InferenceEngine:
         Floating-point format of the weights.
     policy, threshold:
         Fault classification policy (see :func:`classify_predictions`).
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` sink.  When enabled,
+        per-fault inference times land in the ``span.engine.inference``
+        histogram; the default :class:`~repro.telemetry.NullTelemetry`
+        costs one attribute read per fault.
     """
 
     def __init__(
@@ -105,6 +111,7 @@ class InferenceEngine:
         fmt: FloatFormat = FLOAT32,
         policy: str = "accuracy_drop",
         threshold: float = 0.0,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if not hasattr(model, "stage_modules"):
             raise TypeError(
@@ -118,6 +125,7 @@ class InferenceEngine:
         self.labels = np.asarray(labels)
         self.policy = policy
         self.threshold = threshold
+        self.telemetry = resolve_telemetry(telemetry)
         self.stages: list[Module] = model.stage_modules()
         self.layers: list[WeightLayer] = enumerate_weight_layers(model)
         self.injector = WeightFaultInjector(self.layers, fmt=fmt)
@@ -173,6 +181,12 @@ class InferenceEngine:
 
     def predictions_with_fault(self, fault: Fault) -> np.ndarray:
         """Top-1 predictions of the faulty network (always runs inference)."""
+        if self.telemetry.enabled:
+            with self.telemetry.span("engine.inference"):
+                return self._predictions_with_fault(fault)
+        return self._predictions_with_fault(fault)
+
+    def _predictions_with_fault(self, fault: Fault) -> np.ndarray:
         stage_idx = self._layer_stage[fault.layer]
         # Corrupted weights legitimately push activations to inf/NaN; the
         # classification below only needs argmax, so overflow is expected.
@@ -198,4 +212,11 @@ class InferenceEngine:
 
     def classify_many(self, faults: Sequence[Fault]) -> list[FaultOutcome]:
         """Classify a batch of faults (sequentially)."""
+        if self.telemetry.enabled:
+            with self.telemetry.span(
+                "engine.classify_many", emit=True, faults=len(faults)
+            ):
+                outcomes = [self.classify(fault) for fault in faults]
+            self.telemetry.counter("engine.faults_classified").add(len(faults))
+            return outcomes
         return [self.classify(fault) for fault in faults]

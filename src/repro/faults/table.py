@@ -18,6 +18,7 @@ import json
 import multiprocessing
 import os
 import time
+import warnings
 from collections.abc import Callable
 
 import numpy as np
@@ -30,6 +31,7 @@ from repro.faults.engine import (
 from repro.faults.model import Fault
 from repro.faults.space import FaultSpace
 from repro.store import CampaignCheckpoint, load_verified_npz, save_verified_npz
+from repro.telemetry import Telemetry, resolve_telemetry
 
 
 def _classify_cell(
@@ -98,17 +100,65 @@ def _campaign_config(engine: InferenceEngine, space: FaultSpace) -> dict:
     }
 
 
-# Fork-inherited state for pool workers: (engine, space).  The golden
-# weights and eval set are shared copy-on-write with the parent; workers
-# only mutate their private injector scratch space.
-_POOL_STATE: tuple[InferenceEngine, FaultSpace] | None = None
+# Fork-inherited state for pool workers: (engine, space, telemetry).  The
+# golden weights and eval set are shared copy-on-write with the parent;
+# workers only mutate their private injector scratch space.  The telemetry
+# journal is append-only and fork-safe, so workers write cell events and
+# heartbeats to the same file as the parent.
+_POOL_STATE: tuple[InferenceEngine, FaultSpace, Telemetry] | None = None
+
+# Per-process tally of cells classified, reported in worker heartbeats.
+_WORKER_CELLS = 0
 
 
-def _pool_classify(args: tuple[int, int]) -> tuple[int, int, np.ndarray]:
+def _timed_classify_cell(
+    engine: InferenceEngine,
+    space: FaultSpace,
+    layer_idx: int,
+    bit: int,
+    telemetry: Telemetry,
+) -> tuple[np.ndarray, float, int]:
+    """One cell plus its wall time and inference count.
+
+    Emits ``cell_start``/``cell_done`` journal events when telemetry is
+    enabled; runs the untouched classification loop when it is not.
+    """
+    if not telemetry.enabled:
+        start = time.monotonic()
+        before = engine.inference_count
+        cell = _classify_cell(engine, space, layer_idx, bit)
+        return cell, time.monotonic() - start, engine.inference_count - before
+    telemetry.emit("cell_start", layer=layer_idx, bit=bit)
+    start = time.monotonic()
+    before = engine.inference_count
+    cell = _classify_cell(engine, space, layer_idx, bit)
+    seconds = time.monotonic() - start
+    inferences = engine.inference_count - before
+    telemetry.emit(
+        "cell_done",
+        layer=layer_idx,
+        bit=bit,
+        seconds=seconds,
+        faults=int(cell.size),
+        inferences=inferences,
+    )
+    return cell, seconds, inferences
+
+
+def _pool_classify(
+    args: tuple[int, int]
+) -> tuple[int, int, np.ndarray, float, int]:
+    global _WORKER_CELLS
     layer_idx, bit = args
     assert _POOL_STATE is not None, "worker used outside a campaign pool"
-    engine, space = _POOL_STATE
-    return layer_idx, bit, _classify_cell(engine, space, layer_idx, bit)
+    engine, space, telemetry = _POOL_STATE
+    cell, seconds, inferences = _timed_classify_cell(
+        engine, space, layer_idx, bit, telemetry
+    )
+    _WORKER_CELLS += 1
+    if telemetry.enabled:
+        telemetry.emit("worker_heartbeat", cells_done=_WORKER_CELLS)
+    return layer_idx, bit, cell, seconds, inferences
 
 
 def resolve_workers(workers: int | None) -> int:
@@ -146,6 +196,7 @@ class OutcomeTable:
         *,
         workers: int | None = 1,
         checkpoint: str | os.PathLike | None = None,
+        telemetry: Telemetry | None = None,
         progress: Callable[[int, int], None] | None = None,
         progress_every: int = 20_000,
     ) -> "OutcomeTable":
@@ -158,19 +209,41 @@ class OutcomeTable:
         With *checkpoint* set, every finished cell is persisted atomically
         to that directory and a killed campaign resumes from its last
         persisted cell — outcomes are deterministic, so the resumed table
-        is bit-identical to an uninterrupted run.  *progress* is called
-        with ``(done, total)`` roughly every *progress_every* faults.
+        is bit-identical to an uninterrupted run.
+
+        *telemetry* records the campaign: ``campaign_start``/``_end``,
+        per-cell ``cell_start``/``cell_done`` (wall time, inference
+        count — emitted by the worker that ran the cell), checkpoint
+        writes and resume hits, worker heartbeats, and ``progress``
+        events roughly every *progress_every* faults.  The default
+        :class:`~repro.telemetry.NullTelemetry` adds no measurable cost.
+
+        .. deprecated::
+            *progress* — pass *telemetry* and read its ``progress``
+            events instead; the callback is kept as a shim and still
+            fires with ``(done, total)`` at the same cadence.
         """
+        if progress is not None:
+            warnings.warn(
+                "from_exhaustive(progress=...) is deprecated; pass "
+                "telemetry=Telemetry(...) and read its progress events",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        tele = resolve_telemetry(telemetry)
         start = time.time()
         total = space.total_population
         bits = space.bits
         n_models = len(space.fault_models)
         workers = resolve_workers(workers)
+        cells_total = len(space.layers) * bits
 
         store = None
         if checkpoint is not None:
             store = CampaignCheckpoint(
-                checkpoint, config=_campaign_config(engine, space)
+                checkpoint,
+                config=_campaign_config(engine, space),
+                telemetry=tele,
             )
 
         cells: dict[tuple[int, int], np.ndarray] = {}
@@ -191,19 +264,56 @@ class OutcomeTable:
                 else:
                     pending.append((layer_idx, bit))
 
-        def finish(layer_idx: int, bit: int, cell: np.ndarray) -> None:
+        resumed_cells = len(cells)
+        if tele.enabled:
+            tele.emit(
+                "campaign_start",
+                kind="exhaustive",
+                total=total,
+                cells_total=cells_total,
+                workers=workers,
+                fmt=space.fmt.name,
+                eval_images=int(len(engine.images)),
+                policy=engine.policy,
+                checkpointed=store is not None,
+            )
+            if resumed_cells:
+                tele.emit(
+                    "checkpoint_resume",
+                    cells_resumed=resumed_cells,
+                    cells_total=cells_total,
+                    faults_resumed=done,
+                )
+            tele.counter("campaign.cells_resumed").add(resumed_cells)
+            tele.gauge("campaign.workers").set(workers)
+
+        def finish(
+            layer_idx: int,
+            bit: int,
+            cell: np.ndarray,
+            seconds: float,
+            inferences: int,
+        ) -> None:
             nonlocal done, reported
             cells[(layer_idx, bit)] = cell
             if store is not None:
                 store.store(_cell_key(layer_idx, bit), cell)
             done += cell.size
-            if progress and (done - reported >= progress_every or done == total):
-                progress(done, total)
+            if tele.enabled:
+                tele.timer("campaign.cell_seconds").observe(seconds)
+                tele.counter("campaign.cells_computed").add(1)
+                tele.counter("campaign.faults_classified").add(int(cell.size))
+                tele.counter("campaign.inferences").add(inferences)
+            if done - reported >= progress_every or done == total:
+                if tele.enabled:
+                    tele.emit("progress", done=done, total=total)
+                if progress:
+                    progress(done, total)
                 reported = done
 
         if workers > 1 and len(pending) > 1:
             global _POOL_STATE
-            _POOL_STATE = (engine, space)
+            _POOL_STATE = (engine, space, tele)
             try:
                 ctx = multiprocessing.get_context("fork")
             except ValueError:  # platform without fork: run serially
@@ -211,15 +321,18 @@ class OutcomeTable:
             else:
                 try:
                     with ctx.Pool(processes=workers) as pool:
-                        for layer_idx, bit, cell in pool.imap_unordered(
+                        for result in pool.imap_unordered(
                             _pool_classify, pending, chunksize=1
                         ):
-                            finish(layer_idx, bit, cell)
+                            finish(*result)
                 finally:
                     _POOL_STATE = None
                 pending = []
         for layer_idx, bit in pending:
-            finish(layer_idx, bit, _classify_cell(engine, space, layer_idx, bit))
+            cell, seconds, inferences = _timed_classify_cell(
+                engine, space, layer_idx, bit, tele
+            )
+            finish(layer_idx, bit, cell, seconds, inferences)
 
         outcomes: list[np.ndarray] = []
         for layer_idx, layer in enumerate(space.layers):
@@ -243,6 +356,18 @@ class OutcomeTable:
             "inference_count": total - masked,
             "elapsed_seconds": time.time() - start,
         }
+        if tele.enabled:
+            tele.emit(
+                "campaign_end",
+                elapsed_seconds=metadata["elapsed_seconds"],
+                faults=total,
+                masked=masked,
+                cells_resumed=resumed_cells,
+                cells_computed=cells_total - resumed_cells,
+            )
+            tele.gauge("campaign.elapsed_seconds").set(
+                metadata["elapsed_seconds"]
+            )
         return cls(outcomes, metadata=metadata)
 
     # -- lookup ---------------------------------------------------------------

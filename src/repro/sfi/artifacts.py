@@ -10,11 +10,13 @@ benchmark and example replays from the cache.
 from __future__ import annotations
 
 import shutil
+import warnings
 from pathlib import Path
 
 from repro.data import SynthCIFAR
 from repro.faults import FaultSpace, InferenceEngine, OutcomeTable
 from repro.models import create_model
+from repro.telemetry import Telemetry, resolve_telemetry
 from repro.utils import artifacts_dir
 
 
@@ -54,6 +56,7 @@ def load_or_run_exhaustive(
     policy: str = "accuracy_drop",
     workers: int | None = 1,
     resume: bool = True,
+    telemetry: Telemetry | None = None,
     progress: bool = False,
 ) -> tuple[OutcomeTable, FaultSpace, InferenceEngine]:
     """Return the exhaustive table for a pretrained mini model.
@@ -65,23 +68,46 @@ def load_or_run_exhaustive(
     stopped.  Always returns a live ``(table, space, engine)`` triple for
     the same model/eval configuration, so sampled campaigns can either
     replay from the table or re-inject through the engine.
+
+    *telemetry* journals the campaign (or an ``artifact_cache_hit``
+    event when the table is served from the cache).
+
+    .. deprecated::
+        *progress* — pass *telemetry* and read its ``progress`` events;
+        the flag is kept as a shim and still prints the same lines.
     """
+    if progress:
+        warnings.warn(
+            "load_or_run_exhaustive(progress=True) is deprecated; pass "
+            "telemetry=Telemetry(...) and read its progress events",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    tele = resolve_telemetry(telemetry)
     model = create_model(model_name, pretrained=True)
     data = SynthCIFAR("test", size=eval_size, seed=1234)
-    engine = InferenceEngine(model, data.images, data.labels, policy=policy)
+    engine = InferenceEngine(
+        model, data.images, data.labels, policy=policy, telemetry=telemetry
+    )
     space = FaultSpace(engine.layers)
     path = exhaustive_table_path(model_name, eval_size=eval_size, policy=policy)
     if path.is_file():
-        table = OutcomeTable.load(
-            path,
-            regenerate=regenerate_command(
-                model_name, eval_size=eval_size, policy=policy
-            ),
-        )
+        with tele.span("artifacts.load_exhaustive", emit=True, model=model_name):
+            table = OutcomeTable.load(
+                path,
+                regenerate=regenerate_command(
+                    model_name, eval_size=eval_size, policy=policy
+                ),
+            )
         if table.num_layers != len(space.layers):
             raise ValueError(
                 f"cached table at {path} does not match model {model_name}"
             )
+        if tele.enabled:
+            tele.emit(
+                "artifact_cache_hit", model=model_name, path=str(path)
+            )
+            tele.counter("artifacts.cache_hits").add(1)
         return table, space, engine
     reporter = None
     if progress:
@@ -94,13 +120,18 @@ def load_or_run_exhaustive(
         if resume
         else None
     )
-    table = OutcomeTable.from_exhaustive(
-        engine,
-        space,
-        workers=workers,
-        checkpoint=checkpoint,
-        progress=reporter,
-    )
+    with warnings.catch_warnings():
+        # The deprecated *progress* shim above is the one caller allowed
+        # to keep using the deprecated callback parameter silently.
+        warnings.simplefilter("ignore", DeprecationWarning)
+        table = OutcomeTable.from_exhaustive(
+            engine,
+            space,
+            workers=workers,
+            checkpoint=checkpoint,
+            telemetry=telemetry,
+            progress=reporter,
+        )
     table.metadata["model"] = model_name
     table.save(path)
     if checkpoint is not None and checkpoint.exists():

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+import os
+import time
+from collections.abc import Callable
+
 import numpy as np
 
 from repro.faults.engine import FaultOutcome, InferenceEngine
@@ -15,6 +19,7 @@ from repro.sfi.granularity import Granularity
 from repro.sfi.planners import CampaignPlan
 from repro.sfi.results import CampaignResult
 from repro.sfi.sampler import sample_subpopulation
+from repro.telemetry import Telemetry, resolve_telemetry
 
 
 class CampaignRunner:
@@ -23,14 +28,49 @@ class CampaignRunner:
     The oracle is either an :class:`~repro.faults.InferenceOracle` (real
     injections) or a :class:`~repro.faults.TableOracle` (replay of an
     exhaustive campaign's recorded outcomes — bit-exact and much faster).
+
+    With *telemetry*, every :meth:`run` is journaled as a sampled
+    campaign (``campaign_start``/``campaign_end`` plus a
+    ``sfi.run`` span) and its injections counted.
     """
 
-    def __init__(self, oracle: Oracle, space: FaultSpace) -> None:
+    def __init__(
+        self,
+        oracle: Oracle,
+        space: FaultSpace,
+        *,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         self.oracle = oracle
         self.space = space
+        self.telemetry = resolve_telemetry(telemetry)
 
     def run(self, plan: CampaignPlan, *, seed: int = 0) -> CampaignResult:
         """Sample and classify every planned stratum; returns the result."""
+        tele = self.telemetry
+        if not tele.enabled:
+            return self._run(plan, seed)
+        tele.emit(
+            "campaign_start",
+            kind="sampled",
+            method=plan.method,
+            seed=seed,
+            total=plan.total_injections,
+        )
+        start = time.monotonic()
+        with tele.span("sfi.run", method=plan.method, seed=seed):
+            result = self._run(plan, seed)
+        tele.counter("sfi.injections").add(result.total_injections)
+        tele.emit(
+            "campaign_end",
+            elapsed_seconds=time.monotonic() - start,
+            injections=result.total_injections,
+            criticals=result.total_criticals,
+            masked=result.total_masked,
+        )
+        return result
+
+    def _run(self, plan: CampaignPlan, seed: int) -> CampaignResult:
         rng = np.random.default_rng(seed)
         result = CampaignResult(
             method=plan.method,
@@ -63,7 +103,13 @@ class CampaignRunner:
     def run_many(
         self, plan: CampaignPlan, *, seeds: list[int]
     ) -> list[CampaignResult]:
-        """Run the plan once per seed (the paper's S0-S9 samples)."""
+        """Run the plan once per seed (the paper's S0-S9 samples).
+
+        Each run draws from its own ``default_rng(seed)``, so results are
+        a pure function of ``(plan, seed)``: the same seed always yields
+        the same samples (and, against a deterministic oracle, the same
+        result), and distinct seeds draw independent samples.
+        """
         return [self.run(plan, seed=seed) for seed in seeds]
 
 
@@ -77,8 +123,9 @@ def run_exhaustive(
     policy: str = "accuracy_drop",
     threshold: float = 0.0,
     workers: int | None = 1,
-    checkpoint=None,
-    progress=None,
+    checkpoint: str | os.PathLike | None = None,
+    telemetry: Telemetry | None = None,
+    progress: Callable[[int, int], None] | None = None,
 ) -> tuple[OutcomeTable, FaultSpace, InferenceEngine]:
     """Run the full exhaustive campaign for *model* over the eval set.
 
@@ -86,13 +133,26 @@ def run_exhaustive(
     ground truth (every possible fault classified).  ``workers > 1`` fans
     the campaign's (layer, bit) cells out over a process pool; with
     *checkpoint* (a directory path) set, a killed campaign resumes from
-    its last persisted cell.
+    its last persisted cell.  *telemetry* journals the whole campaign
+    (see :meth:`OutcomeTable.from_exhaustive`); *progress* is the
+    deprecated callback shim.
     """
     engine = InferenceEngine(
-        model, images, labels, fmt=fmt, policy=policy, threshold=threshold
+        model,
+        images,
+        labels,
+        fmt=fmt,
+        policy=policy,
+        threshold=threshold,
+        telemetry=telemetry,
     )
     space = FaultSpace(engine.layers, fmt=fmt, fault_models=fault_models)
     table = OutcomeTable.from_exhaustive(
-        engine, space, workers=workers, checkpoint=checkpoint, progress=progress
+        engine,
+        space,
+        workers=workers,
+        checkpoint=checkpoint,
+        telemetry=telemetry,
+        progress=progress,
     )
     return table, space, engine

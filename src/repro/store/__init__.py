@@ -18,7 +18,12 @@ outcome tables, campaign checkpoints — goes through this package:
   chunk, so a killed exhaustive run resumes where it stopped.
 """
 
-from repro.store.atomic import atomic_savez, atomic_write, atomic_write_bytes
+from repro.store.atomic import (
+    atomic_append_line,
+    atomic_savez,
+    atomic_write,
+    atomic_write_bytes,
+)
 from repro.store.checkpoint import CampaignCheckpoint
 from repro.store.errors import ArtifactError, CorruptArtifactError
 from repro.store.manifest import (
@@ -43,6 +48,7 @@ __all__ = [
     "CorruptArtifactError",
     "CampaignCheckpoint",
     "MANIFEST_NAME",
+    "atomic_append_line",
     "atomic_savez",
     "atomic_write",
     "atomic_write_bytes",

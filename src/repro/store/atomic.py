@@ -52,6 +52,29 @@ def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
         stream.write(data)
 
 
+def atomic_append_line(path: str | os.PathLike, line: str) -> None:
+    """Append one text line to *path* as a single ``write`` syscall.
+
+    ``O_APPEND`` makes each write land at the (current) end of file even
+    when several processes append concurrently — POSIX guarantees the
+    offset update and the write are one atomic step — and writing the
+    whole line in one syscall means readers never observe an interleaved
+    or torn line from a *completed* append.  A crash mid-write can still
+    truncate the final line, which is why journal readers must tolerate a
+    malformed last record.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not line.endswith("\n"):
+        line += "\n"
+    data = line.encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+
+
 def atomic_savez(path: str | os.PathLike, **arrays: np.ndarray) -> None:
     """Atomic, compressed equivalent of :func:`numpy.savez_compressed`.
 

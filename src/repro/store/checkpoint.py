@@ -35,11 +35,24 @@ class CampaignCheckpoint:
         policy, eval size, ...).  A directory holding a different config
         is wiped rather than resumed — stale chunks must never leak into a
         new campaign.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` sink; every
+        persisted chunk is journaled as a ``checkpoint_write`` event and
+        counted in the ``checkpoint.writes`` metric.
     """
 
-    def __init__(self, directory: str | os.PathLike, *, config: dict) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        config: dict,
+        telemetry=None,
+    ) -> None:
+        from repro.telemetry import resolve_telemetry
+
         self.directory = Path(directory)
         self.config = config
+        self.telemetry = resolve_telemetry(telemetry)
         if self.directory.exists() and not self._config_matches():
             shutil.rmtree(self.directory)
 
@@ -84,6 +97,11 @@ class CampaignCheckpoint:
         buffer = io.BytesIO()
         np.save(buffer, np.ascontiguousarray(outcomes))
         atomic_write_bytes(self._chunk_path(key), buffer.getvalue())
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "checkpoint_write", key=key, bytes=buffer.getbuffer().nbytes
+            )
+            self.telemetry.counter("checkpoint.writes").add(1)
 
     def discard(self) -> None:
         """Delete the checkpoint (after the final artifact is persisted)."""

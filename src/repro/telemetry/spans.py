@@ -1,0 +1,69 @@
+"""Profiling spans: context managers timing named code sections.
+
+A span always lands in the metrics registry (one histogram per name,
+constant memory no matter how hot the path).  Coarse spans — a whole
+campaign, one training epoch — additionally emit a journal event when
+asked (``emit=True``); per-fault spans must not, or an exhaustive
+campaign's journal would grow by one line per inference.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.telemetry.journal import Journal
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class Span:
+    """Times one section; records on exit even when the body raises."""
+
+    __slots__ = ("name", "metrics", "journal", "emit", "fields", "_start", "seconds")
+
+    def __init__(
+        self,
+        name: str,
+        metrics: MetricsRegistry,
+        journal: Journal | None = None,
+        *,
+        emit: bool = False,
+        fields: dict | None = None,
+    ) -> None:
+        self.name = name
+        self.metrics = metrics
+        self.journal = journal
+        self.emit = emit
+        self.fields = fields or {}
+        self._start = 0.0
+        self.seconds: float | None = None
+
+    def __enter__(self) -> "Span":
+        self._start = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.seconds = time.monotonic() - self._start
+        self.metrics.timer(f"span.{self.name}").observe(self.seconds)
+        if self.emit and self.journal is not None:
+            self.journal.emit(
+                "span", name=self.name, seconds=self.seconds, **self.fields
+            )
+
+
+class _NullSpan:
+    """A reusable no-op span: entering and exiting does nothing.
+
+    One shared instance serves every disabled call site, so the disabled
+    path costs a method call returning a constant — nothing is allocated.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()

@@ -36,11 +36,13 @@ def train_reference_model(
     seed: int = 0,
     log_every: int = 0,
     save: bool = True,
+    telemetry=None,
 ) -> tuple[object, float]:
     """Train registry model *name* on SynthCIFAR and save its weights.
 
     Returns ``(model, test_accuracy)``.  With ``save=True`` the state dict
-    lands at :func:`repro.models.pretrained_path`.
+    lands at :func:`repro.models.pretrained_path`.  *telemetry* journals
+    per-epoch progress (see :class:`~repro.train.trainer.Trainer`).
     """
     if name not in MODELS:
         raise KeyError(f"unknown model {name!r}; available: {sorted(MODELS)}")
@@ -60,7 +62,7 @@ def train_reference_model(
         lr_schedule=cosine_lr(recipe["lr"], recipe["epochs"]),
         log_every=log_every,
     )
-    trainer = Trainer(model, config)
+    trainer = Trainer(model, config, telemetry=telemetry)
     trainer.fit(
         train_data.images,
         train_data.labels,

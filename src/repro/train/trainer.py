@@ -10,6 +10,7 @@ import numpy as np
 
 from repro.data import iterate_batches
 from repro.nn.module import Module
+from repro.telemetry import Telemetry, resolve_telemetry
 from repro.tensor import Tensor, no_grad, ops
 from repro.train.optim import SGD
 
@@ -45,11 +46,24 @@ class TrainConfig:
 
 
 class Trainer:
-    """Minimal SGD training loop over in-memory data."""
+    """Minimal SGD training loop over in-memory data.
 
-    def __init__(self, model: Module, config: TrainConfig) -> None:
+    With *telemetry*, each epoch is profiled (``train.epoch`` span) and
+    journaled as an ``epoch_done`` event carrying loss, learning rate,
+    wall time and (when a validation set is given) accuracy; the
+    ``train.samples`` counter accumulates throughput.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        config: TrainConfig,
+        *,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         self.model = model
         self.config = config
+        self.telemetry = resolve_telemetry(telemetry)
         self.optimizer = SGD(
             model.parameters(),
             lr=config.lr,
@@ -67,7 +81,16 @@ class Trainer:
     ) -> list[dict]:
         """Train for ``config.epochs``; returns a per-epoch history."""
         cfg = self.config
+        tele = self.telemetry
         rng = np.random.default_rng(cfg.seed)
+        if tele.enabled:
+            tele.emit(
+                "campaign_start",
+                kind="train",
+                total=cfg.epochs,
+                batch_size=cfg.batch_size,
+                train_images=int(len(train_images)),
+            )
         for epoch in range(cfg.epochs):
             if cfg.lr_schedule is not None:
                 self.optimizer.lr = cfg.lr_schedule(epoch)
@@ -75,16 +98,17 @@ class Trainer:
             epoch_loss = 0.0
             batches = 0
             start_time = time.time()
-            for batch_x, batch_y in iterate_batches(
-                train_images, train_labels, cfg.batch_size, shuffle=True, rng=rng
-            ):
-                self.optimizer.zero_grad()
-                logits = self.model(Tensor(batch_x))
-                loss = ops.cross_entropy(logits, batch_y)
-                loss.backward()
-                self.optimizer.step()
-                epoch_loss += loss.item()
-                batches += 1
+            with tele.span("train.epoch", emit=True, epoch=epoch):
+                for batch_x, batch_y in iterate_batches(
+                    train_images, train_labels, cfg.batch_size, shuffle=True, rng=rng
+                ):
+                    self.optimizer.zero_grad()
+                    logits = self.model(Tensor(batch_x))
+                    loss = ops.cross_entropy(logits, batch_y)
+                    loss.backward()
+                    self.optimizer.step()
+                    epoch_loss += loss.item()
+                    batches += 1
             record = {
                 "epoch": epoch,
                 "loss": epoch_loss / max(batches, 1),
@@ -92,10 +116,16 @@ class Trainer:
                 "seconds": time.time() - start_time,
             }
             if val_images is not None and val_labels is not None:
-                record["val_accuracy"] = evaluate_accuracy(
-                    self.model, val_images, val_labels
-                )
+                with tele.span("train.evaluate"):
+                    record["val_accuracy"] = evaluate_accuracy(
+                        self.model, val_images, val_labels
+                    )
             cfg.history.append(record)
+            if tele.enabled:
+                tele.emit("epoch_done", **record)
+                tele.counter("train.samples").add(len(train_images))
+                tele.gauge("train.lr").set(self.optimizer.lr)
+                tele.gauge("train.loss").set(record["loss"])
             if cfg.log_every and epoch % cfg.log_every == 0:
                 val = record.get("val_accuracy")
                 val_text = f" val_acc={val:.3f}" if val is not None else ""
@@ -103,4 +133,6 @@ class Trainer:
                     f"epoch {epoch:3d} loss={record['loss']:.4f} "
                     f"lr={record['lr']:.4f}{val_text}"
                 )
+        if tele.enabled:
+            tele.emit("campaign_end", epochs=cfg.epochs)
         return cfg.history

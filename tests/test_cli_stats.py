@@ -1,0 +1,99 @@
+"""Tests for the ``repro-stats`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.stats import main as stats_main
+from repro.telemetry import Journal, Telemetry
+
+
+@pytest.fixture()
+def campaign_journal(tmp_path):
+    """A journal holding one synthetic (but well-formed) campaign."""
+    path = tmp_path / "trace.jsonl"
+    tele = Telemetry(journal=Journal(path))
+    tele.emit(
+        "campaign_start",
+        kind="exhaustive",
+        total=1000,
+        cells_total=4,
+        workers=2,
+    )
+    for layer, bit in ((0, 0), (0, 1), (1, 0), (1, 1)):
+        tele.emit("cell_start", layer=layer, bit=bit)
+        tele.emit(
+            "cell_done",
+            layer=layer,
+            bit=bit,
+            seconds=0.5,
+            faults=250,
+            inferences=200,
+        )
+    tele.emit("campaign_end", elapsed_seconds=2.0, faults=1000, masked=100)
+    return path, tele.run_id
+
+
+class TestStatsCLI:
+    def test_summarises_campaign(self, campaign_journal, capsys):
+        path, run_id = campaign_journal
+        assert stats_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out
+        assert "exhaustive" in out
+        assert "faults/sec" in out
+        assert "1 campaign(s)" in out
+
+    def test_top_limits_cell_table(self, campaign_journal, capsys):
+        path, _ = campaign_journal
+        assert stats_main([str(path), "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest cells (top 2):" in out
+        # Header line + exactly two cell rows under it.
+        block = out.split("slowest cells (top 2):\n", 1)[1]
+        rows = [line for line in block.splitlines() if line.strip()]
+        assert len(rows) == 1 + 2
+
+    def test_json_output(self, campaign_journal, capsys):
+        path, run_id = campaign_journal
+        assert stats_main([str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        record = payload[0]
+        assert record["run_id"] == run_id
+        assert record["kind"] == "exhaustive"
+        assert record["faults_classified"] == 1000
+        assert record["faults_per_second"] == pytest.approx(500.0)
+        assert len(record["cells"]) == 4
+
+    def test_run_filter(self, campaign_journal, capsys):
+        path, run_id = campaign_journal
+        # A second run in the same journal.
+        other = Telemetry(journal=Journal(path))
+        other.emit("campaign_start", kind="sampled", total=10)
+        other.emit("campaign_end", elapsed_seconds=0.1)
+
+        assert stats_main([str(path)]) == 0
+        assert "2 campaign(s)" in capsys.readouterr().out
+
+        assert stats_main([str(path), "--run", run_id]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out
+        assert other.run_id not in out
+
+    def test_unknown_run_id_fails(self, campaign_journal, capsys):
+        path, _ = campaign_journal
+        assert stats_main([str(path), "--run", "deadbeef"]) == 1
+        assert "no events for run id" in capsys.readouterr().out
+
+    def test_missing_journal_fails(self, tmp_path, capsys):
+        assert stats_main([str(tmp_path / "absent.jsonl")]) == 1
+        assert "no journal" in capsys.readouterr().out
+
+    def test_journal_with_only_torn_lines_fails(self, tmp_path, capsys):
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"type": "campaign_start", "run\n')
+        assert stats_main([str(path)]) == 1
+        assert "no intact events" in capsys.readouterr().out

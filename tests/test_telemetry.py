@@ -1,0 +1,239 @@
+"""Unit tests for the repro.telemetry building blocks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.store import atomic_append_line
+from repro.telemetry import (
+    NULL_SPAN,
+    NULL_TELEMETRY,
+    Event,
+    Journal,
+    MetricsRegistry,
+    NullTelemetry,
+    Telemetry,
+    progress_printer,
+    read_journal,
+    resolve_telemetry,
+    summarize_journal,
+)
+
+
+class TestEvents:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            Event.now("campain_start", "r1")  # typo must fail loudly
+
+    def test_json_roundtrip_preserves_fields(self):
+        event = Event.now("cell_done", "r1", layer=3, bit=17, seconds=0.25)
+        back = Event.from_json(event.to_json())
+        assert back == event
+        assert back.fields == {"layer": 3, "bit": 17, "seconds": 0.25}
+
+    def test_monotonic_and_wall_clocks_present(self):
+        a = Event.now("progress", "r1", done=1, total=2)
+        b = Event.now("progress", "r1", done=2, total=2)
+        assert b.t >= a.t
+        assert a.wall > 1e9  # unix epoch, not monotonic
+
+
+class TestAtomicAppend:
+    def test_appends_whole_lines(self, tmp_path):
+        path = tmp_path / "sub" / "log.jsonl"
+        atomic_append_line(path, "one")
+        atomic_append_line(path, "two\n")
+        assert path.read_text() == "one\ntwo\n"
+
+
+class TestJournal:
+    def test_emit_and_read_roundtrip(self, tmp_path):
+        journal = Journal(tmp_path / "j.jsonl", run_id="abc")
+        journal.emit("campaign_start", kind="exhaustive", total=10)
+        journal.emit("campaign_end", elapsed_seconds=1.0)
+        events = journal.read()
+        assert [e.type for e in events] == ["campaign_start", "campaign_end"]
+        assert all(e.run_id == "abc" for e in events)
+        assert events[0].fields["total"] == 10
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path, run_id="abc")
+        journal.emit("campaign_start", kind="exhaustive")
+        intact = path.read_text()
+        # Simulate a crash mid-append: a truncated JSON record.
+        path.write_text(intact + '{"type": "campaign_end", "run')
+        events = read_journal(path)
+        assert [e.type for e in events] == ["campaign_start"]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_journal(tmp_path / "absent.jsonl") == []
+
+    def test_two_journals_interleave_without_corruption(self, tmp_path):
+        # Same file, two writers (what parent + fork workers do).
+        path = tmp_path / "shared.jsonl"
+        a = Journal(path, run_id="run-a")
+        b = Journal(path, run_id="run-b")
+        for i in range(10):
+            a.emit("progress", done=i, total=10)
+            b.emit("worker_heartbeat", cells_done=i)
+        events = read_journal(path)
+        assert len(events) == 20
+        assert {e.run_id for e in events} == {"run-a", "run-b"}
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_timer_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("faults").add(5)
+        registry.counter("faults").add(2)
+        registry.gauge("workers").set(4)
+        registry.timer("cell").observe(0.5)
+        registry.timer("cell").observe(1.5)
+        snap = registry.snapshot()
+        assert snap["counters"]["faults"] == 7
+        assert snap["gauges"]["workers"] == 4.0
+        timer = snap["timers"]["cell"]
+        assert timer["count"] == 2
+        assert timer["total_seconds"] == pytest.approx(2.0)
+        assert timer["mean_seconds"] == pytest.approx(1.0)
+        assert timer["min_seconds"] == pytest.approx(0.5)
+        assert timer["max_seconds"] == pytest.approx(1.5)
+
+    def test_timer_context_manager_observes(self):
+        registry = MetricsRegistry()
+        with registry.timer("t").time():
+            pass
+        assert registry.timer("t").count == 1
+
+    def test_save_writes_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("n").add(3)
+        out = tmp_path / "metrics.json"
+        registry.save(out)
+        assert json.loads(out.read_text())["counters"]["n"] == 3
+
+
+class TestTelemetry:
+    def test_span_lands_in_registry(self):
+        tele = Telemetry()
+        with tele.span("work"):
+            pass
+        assert tele.metrics.timer("span.work").count == 1
+
+    def test_span_emit_journals_event(self, tmp_path):
+        tele = Telemetry(journal=Journal(tmp_path / "j.jsonl"))
+        with tele.span("phase", emit=True, layer=2):
+            pass
+        events = read_journal(tmp_path / "j.jsonl")
+        assert len(events) == 1
+        assert events[0].type == "span"
+        assert events[0].fields["name"] == "phase"
+        assert events[0].fields["layer"] == 2
+        assert events[0].fields["seconds"] >= 0
+
+    def test_span_records_when_body_raises(self):
+        tele = Telemetry()
+        with pytest.raises(RuntimeError):
+            with tele.span("broken"):
+                raise RuntimeError("boom")
+        assert tele.metrics.timer("span.broken").count == 1
+
+    def test_on_event_hook_fires(self):
+        seen = []
+        tele = Telemetry(on_event=seen.append)
+        tele.emit("progress", done=1, total=2)
+        assert [e.type for e in seen] == ["progress"]
+
+    def test_progress_printer_prints_progress_only(self, capsys):
+        hook = progress_printer("  exhaustive")
+        tele = Telemetry(on_event=hook)
+        tele.emit("progress", done=1000, total=2000)
+        tele.emit("worker_heartbeat", cells_done=1)
+        out = capsys.readouterr().out
+        assert out == "  exhaustive: 1,000/2,000\n"
+
+    def test_save_metrics(self, tmp_path):
+        tele = Telemetry()
+        tele.counter("x").add(1)
+        tele.save_metrics(tmp_path / "m.json")
+        assert (tmp_path / "m.json").is_file()
+
+
+class TestNullTelemetry:
+    def test_resolve_none_returns_shared_null(self):
+        assert resolve_telemetry(None) is NULL_TELEMETRY
+        tele = Telemetry()
+        assert resolve_telemetry(tele) is tele
+
+    def test_disabled_and_inert(self, tmp_path):
+        null = NullTelemetry()
+        assert null.enabled is False
+        assert null.emit("campaign_start") is None
+        assert null.span("anything") is NULL_SPAN
+        with null.span("anything"):
+            pass
+        null.save_metrics(tmp_path / "never.json")
+        assert not (tmp_path / "never.json").exists()
+
+    def test_null_span_is_shared_not_allocated(self):
+        null = NullTelemetry()
+        assert null.span("a") is null.span("b")
+
+
+class TestSummarizeMultiCampaignRun:
+    def test_one_run_id_two_campaigns_split(self, tmp_path):
+        # One CLI invocation = one run id, but e.g. an exhaustive
+        # ground-truth run followed by the sampled campaign.  Merging
+        # them would blend both throughputs into nonsense.
+        tele = Telemetry(journal=Journal(tmp_path / "j.jsonl"))
+        with tele.span("plan.compute", emit=True):
+            pass  # pre-campaign work rides with the first campaign
+        tele.emit("campaign_start", kind="exhaustive", total=100)
+        tele.emit("cell_done", layer=0, bit=0, seconds=1.0, faults=100)
+        tele.emit("campaign_end", elapsed_seconds=1.0, faults=100)
+        tele.emit("campaign_start", kind="sampled", total=10)
+        tele.emit("campaign_end", elapsed_seconds=0.5, injections=10)
+
+        summaries = summarize_journal(tmp_path / "j.jsonl")
+        assert len(summaries) == 2
+        exhaustive, sampled = summaries
+        assert exhaustive.run_id == sampled.run_id == tele.run_id
+        assert exhaustive.kind == "exhaustive"
+        assert exhaustive.faults_classified == 100
+        assert exhaustive.spans and exhaustive.spans[0].name == "plan.compute"
+        assert sampled.kind == "sampled"
+        assert sampled.faults_classified == 0
+        assert sampled.elapsed_seconds == 0.5
+        assert not sampled.cells
+
+
+class TestSummarizeTrainJournal:
+    def test_trainer_epochs_journaled(self, tmp_path):
+        import numpy as np
+
+        from repro.models import ResNetCIFAR
+        from repro.train.trainer import TrainConfig, Trainer
+
+        rng = np.random.default_rng(0)
+        images = rng.standard_normal((24, 3, 8, 8)).astype(np.float32)
+        labels = rng.integers(0, 10, size=24)
+        model = ResNetCIFAR(blocks_per_stage=1, widths=(2, 2, 2), seed=0)
+        tele = Telemetry(journal=Journal(tmp_path / "train.jsonl"))
+        trainer = Trainer(
+            model, TrainConfig(epochs=2, batch_size=8, seed=0), telemetry=tele
+        )
+        trainer.fit(images, labels)
+        events = read_journal(tmp_path / "train.jsonl")
+        types = [e.type for e in events]
+        assert types.count("epoch_done") == 2
+        assert types[0] == "campaign_start"
+        assert types[-1] == "campaign_end"
+        assert tele.metrics.counter("train.samples").value == 48
+        summary = summarize_journal(events)[0]
+        assert summary.kind == "train"
+        assert summary.finished
+        span_names = {s.name for s in summary.spans}
+        assert "train.epoch" in span_names

@@ -1,0 +1,79 @@
+"""Disabled telemetry must be free.
+
+The acceptance bar for the observability work: with telemetry disabled
+(the default ``NullTelemetry``), the instrumented hot path costs < 2%
+over a hand-inlined loop with no telemetry code at all.  Timings take
+the min over alternating repeats so scheduler noise on a loaded
+single-core box cannot produce a false failure.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.data import SynthCIFAR
+from repro.faults import FaultSpace, InferenceEngine
+from repro.faults.engine import classify_predictions
+from repro.ieee754 import FLOAT16
+from repro.models import ResNetCIFAR
+
+REPEATS = 5
+MAX_OVERHEAD = 0.02
+
+
+def _setup():
+    model = ResNetCIFAR(blocks_per_stage=1, widths=(2, 4, 6), seed=3)
+    model.eval()
+    data = SynthCIFAR("test", size=8, seed=42)
+    engine = InferenceEngine(model, data.images, data.labels, fmt=FLOAT16)
+    space = FaultSpace(engine.layers, fmt=FLOAT16)
+    faults = list(space.iter_layer(0))[:192]
+    return engine, faults
+
+
+def _baseline_classify_many(engine, faults):
+    """The pre-telemetry hot loop, inlined with zero telemetry code."""
+    outcomes = []
+    for fault in faults:
+        if engine.injector.is_masked(fault):
+            outcomes.append(0)
+            continue
+        predictions = engine._predictions_with_fault(fault)
+        outcomes.append(
+            classify_predictions(
+                predictions,
+                engine.golden_predictions,
+                engine.labels,
+                policy=engine.policy,
+                threshold=engine.threshold,
+            )
+        )
+    return outcomes
+
+
+def test_null_telemetry_overhead_under_two_percent():
+    engine, faults = _setup()
+    assert engine.telemetry.enabled is False  # the shipped default
+
+    # Warm both paths (allocations, caches) before timing.
+    _baseline_classify_many(engine, faults)
+    engine.classify_many(faults)
+
+    baseline_times = []
+    shipped_times = []
+    for _ in range(REPEATS):  # alternate so drift hits both paths alike
+        start = time.perf_counter()
+        _baseline_classify_many(engine, faults)
+        baseline_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        engine.classify_many(faults)
+        shipped_times.append(time.perf_counter() - start)
+
+    baseline = min(baseline_times)
+    shipped = min(shipped_times)
+    overhead = (shipped - baseline) / baseline
+    assert overhead < MAX_OVERHEAD, (
+        f"NullTelemetry path is {overhead:.2%} slower than the bare loop "
+        f"(shipped {shipped:.4f}s vs baseline {baseline:.4f}s)"
+    )
