@@ -9,8 +9,12 @@
 - ``repro-train`` — train reference models and cache their weights.
 - ``repro-verify-artifacts`` — integrity-check every artifact against its
   ``MANIFEST.json`` checksum and zip structure.
-- ``repro-stats`` — summarise a telemetry journal into per-phase timing
-  tables, throughput and worker utilisation.
+- ``repro-stats`` — summarise telemetry journals into per-phase timing
+  tables, throughput and worker utilisation (several per-worker
+  journals from one distributed campaign merge into one timeline).
+- ``repro-dist`` — sharded campaigns over a file-backed work queue:
+  ``submit`` / ``work`` / ``status`` / ``merge``, drainable by any
+  number of workers on any host sharing the queue directory.
 
 Entry points that do real work (`plan`, `run`, `analyze`, `train`) share
 the ``--trace``/``--metrics-out`` telemetry flags via
@@ -30,6 +34,7 @@ __all__ = [
     "train",
     "verify",
     "stats",
+    "dist",
     "add_telemetry_arguments",
     "telemetry_from_args",
     "finish_telemetry",

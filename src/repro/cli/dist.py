@@ -1,0 +1,421 @@
+"""``repro-dist``: drive a sharded campaign across processes and hosts.
+
+One campaign lives in one queue directory; the subcommands mirror the
+shard lifecycle:
+
+- ``submit`` — plan the campaign, split it into shards and publish them
+  (idempotent: resubmitting the same campaign resumes it);
+- ``work`` — drain shards from the queue until it is empty.  Run as many
+  ``work`` processes as you like, on any host that sees the queue
+  directory; each verifies its rebuilt engine against the campaign's
+  config fingerprint before classifying anything;
+- ``status`` — show pending/leased/done/poisoned shards and lease
+  deadlines;
+- ``merge`` — deterministically reassemble the shard results into the
+  campaign result (bit-identical to a serial run), refusing incomplete
+  queues and mismatched config fingerprints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.cli import (
+    add_telemetry_arguments,
+    finish_telemetry,
+    telemetry_from_args,
+)
+from repro.data import SynthCIFAR
+from repro.dist import (
+    DistError,
+    ExhaustiveContext,
+    SampledContext,
+    ShardQueue,
+    ShardWorker,
+    config_hash,
+    make_exhaustive_shards,
+    make_sampled_shards,
+    merge_exhaustive,
+    merge_sampled,
+    sampled_config,
+    verify_context_config,
+)
+from repro.faults import (
+    FaultSpace,
+    InferenceEngine,
+    InferenceOracle,
+    TableOracle,
+)
+from repro.models import MODELS, create_model
+from repro.sfi import (
+    DataAwareSFI,
+    DataUnawareSFI,
+    LayerWiseSFI,
+    NetworkWiseSFI,
+)
+
+_PLANNERS = {
+    "network-wise": NetworkWiseSFI,
+    "layer-wise": LayerWiseSFI,
+    "data-unaware": DataUnawareSFI,
+    "data-aware": DataAwareSFI,
+}
+
+
+def _build_engine(runtime: dict, *, telemetry=None):
+    """Rebuild the campaign's engine/space from its runtime record.
+
+    Deterministic: pretrained weights plus the seeded synthetic eval
+    set, so every host reconstructs the same engine fingerprint (and
+    ``verify_context_config`` can prove it did).
+    """
+    model = create_model(runtime["model"], pretrained=True)
+    data = SynthCIFAR("test", size=int(runtime["eval_size"]), seed=1234)
+    engine = InferenceEngine(
+        model,
+        data.images,
+        data.labels,
+        policy=runtime.get("policy", "accuracy_drop"),
+        telemetry=telemetry,
+    )
+    return engine, FaultSpace(engine.layers)
+
+
+def _build_plan(runtime: dict, space: FaultSpace):
+    planner = _PLANNERS[runtime["method"]](
+        float(runtime["error_margin"]), float(runtime["confidence"])
+    )
+    return planner.plan(space)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dist",
+        description=(
+            "Shard a fault-injection campaign into a file-backed work "
+            "queue, drain it with any number of workers, and merge the "
+            "results bit-identically to a serial run."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    submit = sub.add_parser(
+        "submit", help="split a campaign into shards and enqueue them"
+    )
+    submit.add_argument("root", type=Path, help="queue directory")
+    submit.add_argument(
+        "--kind",
+        default="exhaustive",
+        choices=("exhaustive", "sampled"),
+        help="campaign kind (default: exhaustive)",
+    )
+    submit.add_argument(
+        "--model",
+        default="resnet8_mini",
+        choices=sorted(name for name in MODELS if name.endswith("_mini")),
+    )
+    submit.add_argument("--eval-size", type=int, default=64)
+    submit.add_argument("--policy", default="accuracy_drop")
+    submit.add_argument(
+        "--shards", type=int, default=4, help="shard count (default: 4)"
+    )
+    submit.add_argument(
+        "--method",
+        default="data-unaware",
+        choices=sorted(_PLANNERS),
+        help="SFI method for --kind sampled (default: data-unaware)",
+    )
+    submit.add_argument("--error-margin", type=float, default=0.01)
+    submit.add_argument("--confidence", type=float, default=0.99)
+    submit.add_argument("--seed", type=int, default=0)
+
+    work = sub.add_parser(
+        "work", help="claim and execute shards until the queue is drained"
+    )
+    work.add_argument("root", type=Path, help="queue directory")
+    work.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker name for leases/telemetry (default: host:pid)",
+    )
+    work.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        help="lease lifetime; renewed on every completed unit "
+        "(default: 30)",
+    )
+    work.add_argument("--max-attempts", type=int, default=3)
+    work.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        help="stop after completing this many shards (default: drain)",
+    )
+    work.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="exit when no shard is claimable instead of idling through "
+        "other workers' leases and backoff windows",
+    )
+    work.add_argument(
+        "--live",
+        action="store_true",
+        help="sampled campaigns: really inject each fault instead of "
+        "replaying the cached exhaustive outcomes",
+    )
+    add_telemetry_arguments(work)
+
+    status = sub.add_parser("status", help="show the queue's state")
+    status.add_argument("root", type=Path, help="queue directory")
+    status.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    merge = sub.add_parser(
+        "merge", help="reassemble shard results into the campaign result"
+    )
+    merge.add_argument("root", type=Path, help="queue directory")
+    merge.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="exhaustive campaigns: save the merged OutcomeTable here "
+        "(verified .npz)",
+    )
+    add_telemetry_arguments(merge)
+    return parser
+
+
+# -- submit ----------------------------------------------------------------
+
+
+def _cmd_submit(args) -> int:
+    engine, space = _build_engine(
+        {
+            "model": args.model,
+            "eval_size": args.eval_size,
+            "policy": args.policy,
+        }
+    )
+    runtime = {
+        "model": args.model,
+        "eval_size": args.eval_size,
+        "policy": args.policy,
+        "golden_accuracy": engine.golden_accuracy,
+    }
+    if args.kind == "exhaustive":
+        config, specs = make_exhaustive_shards(
+            engine, space, shards=args.shards
+        )
+    else:
+        plan = _build_plan(
+            {
+                "method": args.method,
+                "error_margin": args.error_margin,
+                "confidence": args.confidence,
+            },
+            space,
+        )
+        config, specs = make_sampled_shards(
+            plan,
+            space,
+            seed=args.seed,
+            shards=args.shards,
+            golden_sha256=engine.fingerprint(),
+        )
+        runtime.update(
+            method=args.method,
+            error_margin=args.error_margin,
+            confidence=args.confidence,
+            seed=args.seed,
+        )
+    queue = ShardQueue(args.root)
+    enqueued = queue.submit(specs, config=config, runtime=runtime)
+    status = queue.status()
+    print(
+        f"submitted {args.kind} campaign "
+        f"{config_hash(config)[:12]} for {args.model}: "
+        f"{len(specs)} shard(s), {enqueued} enqueued "
+        f"({len(status.done)} already done)"
+    )
+    print(f"drain it with: repro-dist work {args.root}")
+    return 0
+
+
+# -- work ------------------------------------------------------------------
+
+
+def _cmd_work(args) -> int:
+    queue = ShardQueue(args.root)
+    campaign = queue.campaign()
+    config = campaign["config"]
+    runtime = campaign.get("runtime", {})
+    telemetry = telemetry_from_args(args)
+    if config["kind"] == "exhaustive":
+        engine, space = _build_engine(runtime, telemetry=telemetry)
+        context = ExhaustiveContext(engine, space)
+        verify_context_config(context, config)
+    else:
+        engine, space = _build_engine(runtime, telemetry=telemetry)
+        plan = _build_plan(runtime, space)
+        rebuilt = sampled_config(
+            plan,
+            space,
+            seed=int(runtime["seed"]),
+            golden_sha256=engine.fingerprint(),
+        )
+        if config_hash(rebuilt) != campaign["config_hash"]:
+            raise DistError(
+                "this worker rebuilt a different sampled campaign "
+                f"(config {config_hash(rebuilt)[:12]} vs submitted "
+                f"{campaign['config_hash'][:12]}); model weights, eval "
+                "set or planner inputs do not match the submission"
+            )
+        if args.live:
+            oracle = InferenceOracle(engine)
+        else:
+            # Replay from the cached exhaustive table: bit-exact against
+            # live injection and orders of magnitude faster.
+            from repro.sfi.artifacts import load_or_run_exhaustive
+
+            table, _space, _engine = load_or_run_exhaustive(
+                runtime["model"],
+                eval_size=int(runtime["eval_size"]),
+                policy=runtime.get("policy", "accuracy_drop"),
+                telemetry=telemetry,
+            )
+            oracle = TableOracle(table, space)
+        context = SampledContext(oracle, space, plan)
+        verify_context_config(context, config)
+    worker = ShardWorker(
+        queue,
+        context,
+        worker_id=args.worker_id,
+        lease_seconds=args.lease_seconds,
+        max_attempts=args.max_attempts,
+        telemetry=telemetry,
+    )
+    completed = worker.run(max_shards=args.max_shards, wait=not args.no_wait)
+    status = queue.status()
+    print(
+        f"worker {worker.worker_id}: completed {completed} shard(s); "
+        f"queue now {len(status.done)} done, {len(status.pending)} "
+        f"pending, {len(status.leased)} leased, "
+        f"{len(status.poisoned)} poisoned"
+    )
+    finish_telemetry(telemetry, args)
+    return 0
+
+
+# -- status ----------------------------------------------------------------
+
+
+def _cmd_status(args) -> int:
+    queue = ShardQueue(args.root)
+    campaign = queue.campaign()
+    status = queue.status()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "campaign_id": campaign["campaign_id"],
+                    "kind": campaign["config"]["kind"],
+                    "shards": len(campaign["shards"]),
+                    "pending": status.pending,
+                    "leased": status.leased,
+                    "done": status.done,
+                    "poisoned": status.poisoned,
+                    "complete": status.complete,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    runtime = campaign.get("runtime", {})
+    model = runtime.get("model", "?")
+    print(
+        f"campaign {campaign['campaign_id']} "
+        f"[{campaign['config']['kind']}] on {model}: "
+        f"{len(campaign['shards'])} shard(s)"
+    )
+    print(
+        f"  done {len(status.done)}  pending {len(status.pending)}  "
+        f"leased {len(status.leased)}  poisoned {len(status.poisoned)}"
+    )
+    for lease in status.leased:
+        expires = lease["expires_in"]
+        state = (
+            f"expires in {expires:.1f}s" if expires > 0 else "EXPIRED"
+        )
+        print(
+            f"  leased {lease['shard_id']} by {lease['worker']} "
+            f"({lease['heartbeats']} heartbeats, {state})"
+        )
+    for spec in queue.poisoned():
+        last = spec.history[-1] if spec.history else "unknown"
+        print(
+            f"  poisoned {spec.shard_id} after {spec.attempts} "
+            f"attempts (last: {last})"
+        )
+    if status.complete and status.done:
+        print(f"  all shards done — merge with: repro-dist merge {args.root}")
+    return 0
+
+
+# -- merge -----------------------------------------------------------------
+
+
+def _cmd_merge(args) -> int:
+    queue = ShardQueue(args.root)
+    campaign = queue.campaign()
+    telemetry = telemetry_from_args(args)
+    if campaign["config"]["kind"] == "exhaustive":
+        table = merge_exhaustive(queue, telemetry=telemetry)
+        _criticals, population = table.total_counts()
+        print(
+            f"merged {len(campaign['shards'])} shard(s): "
+            f"{population:,} faults, "
+            f"network critical rate {table.total_rate() * 100:.3f}%"
+        )
+        if args.out is not None:
+            table.save(args.out)
+            print(f"table saved to {args.out}")
+    else:
+        runtime = campaign.get("runtime", {})
+        _engine, space = _build_engine(runtime)
+        result = merge_sampled(queue, space, telemetry=telemetry)
+        print(result.summary())
+        if args.out is not None:
+            print(
+                "repro-dist: note: --out applies to exhaustive campaigns "
+                "only; sampled results are printed",
+                file=sys.stderr,
+            )
+    finish_telemetry(telemetry, args)
+    return 0
+
+
+_COMMANDS = {
+    "submit": _cmd_submit,
+    "work": _cmd_work,
+    "status": _cmd_status,
+    "merge": _cmd_merge,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except DistError as exc:
+        print(f"repro-dist: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

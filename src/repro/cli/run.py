@@ -70,7 +70,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="processes for the exhaustive campaign when the cache is "
-        "cold (default: all CPU cores)",
+        "cold, and for the sampled campaign's strata "
+        "(default: REPRO_WORKERS or all CPU cores)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the cold-cache exhaustive campaign through repro.dist: "
+        "split it into N shards drained by a local worker fleet and "
+        "merged deterministically (same table as a serial run)",
     )
     parser.add_argument(
         "--no-resume",
@@ -92,6 +102,7 @@ def main(argv: list[str] | None = None) -> int:
             args.model,
             eval_size=args.eval_size,
             workers=args.workers,
+            shards=args.shards,
             resume=not args.no_resume,
             telemetry=telemetry,
         )
@@ -102,7 +113,7 @@ def main(argv: list[str] | None = None) -> int:
     plan = planner.plan(space)
     oracle = InferenceOracle(engine) if args.live else TableOracle(table, space)
     runner = CampaignRunner(oracle, space, telemetry=telemetry)
-    result = runner.run(plan, seed=args.seed)
+    result = runner.run(plan, seed=args.seed, workers=args.workers)
     report = validate_campaign(result, table)
     print(result.summary())
     print(

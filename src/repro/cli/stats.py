@@ -1,9 +1,14 @@
-"""``repro-stats``: summarise a telemetry journal.
+"""``repro-stats``: summarise one or more telemetry journals.
 
 Reads the JSONL journal written by ``repro-run --trace`` (or any other
 instrumented entry point) and reconstructs, per campaign: per-phase span
 timings, per-(layer, bit) cell wall times, overall faults/sec and
 inferences/sec, per-worker utilisation, and checkpoint/resume behaviour.
+
+Distributed campaigns write one journal per worker (``repro-dist work
+--trace``); pass them all and their events are merged by timestamp into
+a single timeline before summarising, so shard claims, requeues and the
+final merge are accounted across the whole fleet.
 """
 
 from __future__ import annotations
@@ -24,7 +29,14 @@ def build_parser() -> argparse.ArgumentParser:
             "tables, throughput and worker utilisation."
         ),
     )
-    parser.add_argument("journal", type=Path, help="journal file (.jsonl)")
+    parser.add_argument(
+        "journals",
+        type=Path,
+        nargs="+",
+        metavar="journal",
+        help="journal file(s) (.jsonl); several per-worker journals "
+        "from one distributed campaign are merged by timestamp",
+    )
     parser.add_argument(
         "--run",
         default=None,
@@ -55,13 +67,20 @@ def _to_json(summary) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    if not args.journal.is_file():
-        print(f"repro-stats: error: no journal at {args.journal}")
-        return 1
-    events = read_journal(args.journal)
+    events = []
+    for journal in args.journals:
+        if not journal.is_file():
+            print(f"repro-stats: error: no journal at {journal}")
+            return 1
+        events.extend(read_journal(journal))
     if not events:
-        print(f"repro-stats: error: {args.journal} holds no intact events")
+        names = ", ".join(str(j) for j in args.journals)
+        print(f"repro-stats: error: {names} hold(s) no intact events")
         return 1
+    if len(args.journals) > 1:
+        # Per-worker journals interleave; monotonic t is system-wide on
+        # Linux, so a timestamp sort rebuilds the fleet's one timeline.
+        events.sort(key=lambda e: e.t)
     summaries = summarize_journal(events)
     if args.run is not None:
         summaries = [s for s in summaries if s.run_id == args.run]
@@ -71,10 +90,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         print(json.dumps([_to_json(s) for s in summaries], indent=2))
         return 0
-    print(
-        f"{args.journal}: {len(events)} events, "
-        f"{len(summaries)} campaign(s)"
-    )
+    names = ", ".join(str(j) for j in args.journals)
+    print(f"{names}: {len(events)} events, {len(summaries)} campaign(s)")
     for summary in summaries:
         print()
         print(format_summary(summary, top_cells=args.top))

@@ -1,0 +1,85 @@
+"""Sharded, fault-tolerant campaign orchestration with deterministic merge.
+
+Campaign volume is the reproduction's headline cost (the paper's
+exhaustive runs took 37–54 GPU-days at full scale); this package breaks
+any campaign — exhaustive (layer, bit) cells or sampled plan strata —
+into self-describing shards drained through a file-backed work queue:
+
+- :mod:`repro.dist.spec` — stable shard identities derived from the
+  engine fingerprint / plan hash, plus the cell/stratum partitioning;
+- :mod:`repro.dist.queue` — the ``pending/ → leased/ → done/``
+  directory queue (atomic renames + verified-store writes), shareable
+  by workers on any host that sees the filesystem;
+- :mod:`repro.dist.lease` — time-bounded shard ownership renewed by
+  telemetry ``worker_heartbeat`` events; dead workers' shards expire
+  and are re-dispatched;
+- :mod:`repro.dist.worker` — the claim/execute/complete loop with
+  capped-exponential-backoff retries and a poison list for shards that
+  fail repeatedly;
+- :mod:`repro.dist.merge` — deterministic reassembly into an
+  :class:`~repro.faults.OutcomeTable` / :class:`~repro.sfi.CampaignResult`
+  bit-identical to a serial run, refusing mismatched config fingerprints;
+- :mod:`repro.dist.supervisor` — retry policy, lease expiry ticks and
+  the single-host submit→fleet→merge convenience wrappers.
+
+The ``repro-dist`` CLI (``submit`` / ``work`` / ``status`` / ``merge``)
+exposes the same lifecycle across processes and hosts.
+"""
+
+from repro.dist.lease import Lease, LeaseKeeper
+from repro.dist.merge import (
+    MergeError,
+    merge_exhaustive,
+    merge_sampled,
+    save_merged_table,
+)
+from repro.dist.queue import QueueStatus, ShardQueue
+from repro.dist.spec import (
+    DistError,
+    ShardSpec,
+    config_hash,
+    exhaustive_config,
+    make_exhaustive_shards,
+    make_sampled_shards,
+    plan_hash,
+    sampled_config,
+)
+from repro.dist.supervisor import (
+    RetryPolicy,
+    Supervisor,
+    run_sharded_campaign,
+    run_sharded_exhaustive,
+)
+from repro.dist.worker import (
+    ExhaustiveContext,
+    SampledContext,
+    ShardWorker,
+    verify_context_config,
+)
+
+__all__ = [
+    "DistError",
+    "ExhaustiveContext",
+    "Lease",
+    "LeaseKeeper",
+    "MergeError",
+    "QueueStatus",
+    "RetryPolicy",
+    "SampledContext",
+    "ShardQueue",
+    "ShardSpec",
+    "ShardWorker",
+    "Supervisor",
+    "config_hash",
+    "exhaustive_config",
+    "make_exhaustive_shards",
+    "make_sampled_shards",
+    "merge_exhaustive",
+    "merge_sampled",
+    "plan_hash",
+    "run_sharded_campaign",
+    "run_sharded_exhaustive",
+    "sampled_config",
+    "save_merged_table",
+    "verify_context_config",
+]

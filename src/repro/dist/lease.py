@@ -1,0 +1,165 @@
+"""Shard leases: time-bounded ownership fed by worker heartbeats.
+
+A worker that claims a shard writes a lease file next to the leased spec
+recording who owns it and a wall-clock deadline.  The worker's telemetry
+``worker_heartbeat`` events renew the lease (through
+:meth:`LeaseKeeper.on_event` or the direct :meth:`Lease.maybe_renew`
+path when telemetry is off); a worker that dies or wedges stops
+heartbeating, its deadline passes, and any process scanning the queue
+(peer worker or supervisor) re-dispatches the shard.
+
+Wall-clock time is used deliberately: leases must be comparable across
+hosts sharing a filesystem, which monotonic clocks are not.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.store import atomic_write_bytes
+from repro.telemetry.events import Event
+
+
+@dataclass
+class Lease:
+    """Ownership of one leased shard."""
+
+    path: Path  # the ``<shard_id>.lease.json`` file
+    shard_id: str
+    worker: str
+    lease_seconds: float
+    deadline: float = 0.0
+    heartbeats: int = 0
+    #: Renewals are throttled to a fraction of the lease so a per-cell
+    #: heartbeat storm does not turn into a file-write storm.
+    _last_write: float = 0.0
+
+    @classmethod
+    def acquire(
+        cls,
+        path: str | os.PathLike,
+        *,
+        shard_id: str,
+        worker: str,
+        lease_seconds: float,
+    ) -> "Lease":
+        """Write a fresh lease file and return the live handle."""
+        lease = cls(
+            path=Path(path),
+            shard_id=shard_id,
+            worker=worker,
+            lease_seconds=lease_seconds,
+        )
+        lease._write(time.time())
+        return lease
+
+    def _write(self, now: float) -> None:
+        self.deadline = now + self.lease_seconds
+        self._last_write = now
+        atomic_write_bytes(
+            self.path,
+            (
+                json.dumps(
+                    {
+                        "shard_id": self.shard_id,
+                        "worker": self.worker,
+                        "pid": os.getpid(),
+                        "lease_seconds": self.lease_seconds,
+                        "deadline": self.deadline,
+                        "heartbeats": self.heartbeats,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            ).encode("utf-8"),
+        )
+
+    def renew(self, now: float | None = None) -> None:
+        """Push the deadline out unconditionally."""
+        self.heartbeats += 1
+        self._write(time.time() if now is None else now)
+
+    def maybe_renew(self, now: float | None = None) -> bool:
+        """Renew unless the lease was refreshed very recently.
+
+        Returns whether a renewal was written.  The throttle keeps the
+        deadline at least half a lease in the future without rewriting
+        the file on every heartbeat.
+        """
+        now = time.time() if now is None else now
+        self.heartbeats += 1
+        if now - self._last_write < self.lease_seconds / 4:
+            return False
+        self._write(now)
+        return True
+
+    def release(self) -> None:
+        """Drop the lease file (shard finished or handed back)."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+class LeaseKeeper:
+    """Telemetry hook renewing a lease on every ``worker_heartbeat``.
+
+    Chainable: the previous ``on_event`` hook (a progress printer, say)
+    keeps firing.  This is how lease timeouts are *fed by* the telemetry
+    heartbeat stream rather than by a separate timer thread::
+
+        keeper = LeaseKeeper()
+        telemetry.on_event = keeper.chain(telemetry.on_event)
+        keeper.lease = lease   # set at claim time, cleared at release
+    """
+
+    def __init__(self) -> None:
+        self.lease: Lease | None = None
+        self._next = None
+
+    def chain(self, next_hook):
+        # Idempotent: re-chaining the keeper onto itself (bound-method
+        # equality, not identity — every attribute access builds a fresh
+        # bound method) must not create a cycle.
+        if next_hook != self.on_event:
+            self._next = next_hook
+        return self.on_event
+
+    def on_event(self, event: Event) -> None:
+        if event.type == "worker_heartbeat" and self.lease is not None:
+            self.lease.maybe_renew()
+        if self._next is not None:
+            self._next(event)
+
+
+def read_lease(path: str | os.PathLike) -> dict | None:
+    """Parse a lease file (``None`` when absent or torn)."""
+    try:
+        with open(path, encoding="utf-8") as stream:
+            record = json.load(stream)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def lease_deadline(
+    lease_path: Path, spec_path: Path, *, default_lease_seconds: float
+) -> float:
+    """Effective deadline of a leased shard.
+
+    Normally the lease file's recorded deadline.  If the worker died in
+    the instant between claiming (renaming the spec) and writing its
+    lease file, fall back to the spec file's mtime plus the default
+    lease — the shard must still expire, just on the coarser clock.
+    """
+    record = read_lease(lease_path)
+    if record is not None and isinstance(record.get("deadline"), (int, float)):
+        return float(record["deadline"])
+    try:
+        return spec_path.stat().st_mtime + default_lease_seconds
+    except OSError:
+        return 0.0

@@ -1,0 +1,430 @@
+"""File-backed shard queue: ``pending/ -> leased/ -> done/`` (or ``poison/``).
+
+The queue is a directory tree that any number of processes — on this
+host or on others sharing the filesystem — drain cooperatively:
+
+.. code-block:: text
+
+    <root>/
+      campaign.json          # config + fingerprint + ordered shard ids
+      pending/<id>.json      # shard specs awaiting a worker
+      leased/<id>.json       # claimed specs (+ <id>.lease.json deadlines)
+      done/<id>.npz          # per-shard results (verified store + MANIFEST)
+      poison/<id>.json       # shards that failed repeatedly, with history
+
+Every transition is a single atomic ``rename`` or an atomic write from
+:mod:`repro.store`, so a claim can never be won by two workers, a crash
+can never leave a half-written spec or result, and readers can trust the
+``done/`` manifest checksums at merge time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.dist.lease import Lease, lease_deadline, read_lease
+from repro.dist.spec import DistError, ShardSpec, config_hash
+from repro.store import atomic_write_bytes, load_verified_npz, save_verified_npz
+
+CAMPAIGN_NAME = "campaign.json"
+
+
+@dataclass
+class QueueStatus:
+    """Snapshot of a queue's state (see :meth:`ShardQueue.status`)."""
+
+    pending: list[str] = field(default_factory=list)
+    leased: list[dict] = field(default_factory=list)
+    done: list[str] = field(default_factory=list)
+    poisoned: list[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return (
+            len(self.pending)
+            + len(self.leased)
+            + len(self.done)
+            + len(self.poisoned)
+        )
+
+    @property
+    def complete(self) -> bool:
+        return not self.pending and not self.leased and not self.poisoned
+
+
+class ShardQueue:
+    """One campaign's work queue rooted at *root*."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.pending_dir = self.root / "pending"
+        self.leased_dir = self.root / "leased"
+        self.done_dir = self.root / "done"
+        self.poison_dir = self.root / "poison"
+
+    # -- campaign metadata -----------------------------------------------
+
+    @property
+    def campaign_path(self) -> Path:
+        return self.root / CAMPAIGN_NAME
+
+    def campaign(self) -> dict:
+        """The campaign record written at submit time."""
+        try:
+            with open(self.campaign_path, encoding="utf-8") as stream:
+                return json.load(stream)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DistError(
+                f"no submitted campaign at {self.root} "
+                f"(missing or unreadable {CAMPAIGN_NAME}): {exc}"
+            ) from exc
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        specs: list[ShardSpec],
+        *,
+        config: dict,
+        runtime: dict | None = None,
+    ) -> int:
+        """Publish the campaign and enqueue its shards.
+
+        Re-submitting the *same* campaign (matching config fingerprint)
+        is the resume path: shards already in ``done/`` stay done, and
+        only the missing ones are re-enqueued.  Submitting a *different*
+        campaign into a non-empty root is refused — stale shards must
+        never leak into a new campaign.
+
+        Returns the number of shards actually enqueued.
+        """
+        cfg_hash = config_hash(config)
+        for spec in specs:
+            if spec.config_hash != cfg_hash:
+                raise DistError(
+                    f"shard {spec.shard_id} was built for config "
+                    f"{spec.config_hash[:12]}, not {cfg_hash[:12]}"
+                )
+        if self.campaign_path.exists():
+            existing = self.campaign()
+            if existing.get("config_hash") != cfg_hash:
+                raise DistError(
+                    f"{self.root} already holds campaign "
+                    f"{existing.get('config_hash', '?')[:12]} with a "
+                    f"different config fingerprint; refusing to mix "
+                    f"shards (use a fresh directory)"
+                )
+        for directory in (
+            self.pending_dir,
+            self.leased_dir,
+            self.done_dir,
+            self.poison_dir,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        record = {
+            "config": config,
+            "config_hash": cfg_hash,
+            "campaign_id": cfg_hash[:12],
+            "shards": [spec.shard_id for spec in specs],
+            "runtime": runtime or {},
+        }
+        atomic_write_bytes(
+            self.campaign_path,
+            (json.dumps(record, indent=2, sort_keys=True) + "\n").encode(
+                "utf-8"
+            ),
+        )
+        done = self.done_ids()
+        enqueued = 0
+        for spec in specs:
+            if spec.shard_id in done:
+                continue
+            if (self.leased_dir / f"{spec.shard_id}.json").exists():
+                continue
+            if (self.poison_dir / f"{spec.shard_id}.json").exists():
+                continue
+            path = self.pending_dir / f"{spec.shard_id}.json"
+            if path.exists():
+                continue
+            atomic_write_bytes(path, (spec.to_json() + "\n").encode("utf-8"))
+            enqueued += 1
+        return enqueued
+
+    # -- claiming ----------------------------------------------------------
+
+    def _read_spec(self, path: Path) -> ShardSpec | None:
+        try:
+            return ShardSpec.from_json(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def claim(
+        self,
+        *,
+        worker: str,
+        lease_seconds: float,
+        now: float | None = None,
+    ) -> tuple[ShardSpec, Lease] | None:
+        """Atomically take one pending shard, or ``None`` if none is ready.
+
+        The winning rename moves the spec into ``leased/``; the lease
+        file written right after carries the deadline.  Shards inside
+        their retry backoff window (``not_before`` in the future) are
+        skipped; shards that already have a result in ``done/`` are
+        dropped rather than re-executed.
+        """
+        now = time.time() if now is None else now
+        done = self.done_ids()
+        for path in sorted(self.pending_dir.glob("*.json")):
+            spec = self._read_spec(path)
+            if spec is None:
+                continue
+            if spec.shard_id in done:
+                # A previous holder finished after its lease expired; the
+                # requeued copy is redundant.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            if spec.not_before > now:
+                continue
+            target = self.leased_dir / path.name
+            try:
+                os.rename(path, target)
+            except OSError:
+                continue  # lost the race to another worker
+            # Refresh the mtime so the no-lease-file fallback deadline
+            # counts from the claim, not from submission.
+            try:
+                os.utime(target)
+            except OSError:
+                pass
+            lease = Lease.acquire(
+                self.leased_dir / f"{spec.shard_id}.lease.json",
+                shard_id=spec.shard_id,
+                worker=worker,
+                lease_seconds=lease_seconds,
+            )
+            return spec, lease
+        return None
+
+    # -- completion --------------------------------------------------------
+
+    def result_path(self, shard_id: str) -> Path:
+        return self.done_dir / f"{shard_id}.npz"
+
+    def complete(
+        self,
+        spec: ShardSpec,
+        arrays: dict[str, np.ndarray],
+        *,
+        lease: Lease | None = None,
+    ) -> Path:
+        """Persist a shard's result and retire the spec.
+
+        The result lands in ``done/`` through the verified store (atomic
+        write + ``MANIFEST.json`` checksum), stamped with the shard's
+        identity so the merge can refuse results from a different
+        campaign.  Completion is idempotent: a worker whose lease
+        expired mid-run may finish after a re-dispatch already did, and
+        simply overwrites the identical result.
+        """
+        payload = dict(arrays)
+        payload["shard"] = np.frombuffer(
+            json.dumps(
+                {
+                    "shard_id": spec.shard_id,
+                    "kind": spec.kind,
+                    "index": spec.index,
+                    "total": spec.total,
+                    "config_hash": spec.config_hash,
+                    "units": [
+                        list(u) if isinstance(u, tuple) else u
+                        for u in spec.units
+                    ],
+                    "seed": spec.seed,
+                    "attempts": spec.attempts,
+                }
+            ).encode("utf-8"),
+            dtype=np.uint8,
+        )
+        self.done_dir.mkdir(parents=True, exist_ok=True)
+        path = self.result_path(spec.shard_id)
+        save_verified_npz(path, payload)
+        for stale in (
+            self.leased_dir / f"{spec.shard_id}.json",
+            self.pending_dir / f"{spec.shard_id}.json",
+        ):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        if lease is not None:
+            lease.release()
+        return path
+
+    def load_result(
+        self, shard_id: str, *, regenerate: str | None = None
+    ) -> tuple[dict, dict[str, np.ndarray]]:
+        """Load and validate one shard result: ``(shard_meta, arrays)``."""
+        archive = load_verified_npz(
+            self.result_path(shard_id), regenerate=regenerate
+        )
+        arrays = dict(archive)
+        meta_raw = arrays.pop("shard", None)
+        if meta_raw is None:
+            raise DistError(
+                f"shard result {self.result_path(shard_id)} carries no "
+                "shard metadata; it was not written by this queue"
+            )
+        meta = json.loads(bytes(meta_raw).decode("utf-8"))
+        return meta, arrays
+
+    # -- failure handling --------------------------------------------------
+
+    def fail(
+        self,
+        spec: ShardSpec,
+        error: str,
+        *,
+        lease: Lease | None = None,
+        max_attempts: int = 3,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        now: float | None = None,
+    ) -> str:
+        """Record a failed attempt: requeue with backoff or poison.
+
+        Returns ``"requeued"`` or ``"poisoned"``.  The backoff doubles
+        per attempt (capped), written into the spec's ``not_before`` so
+        every worker observes it.
+        """
+        now = time.time() if now is None else now
+        attempts = spec.attempts + 1
+        delay = min(backoff_base * (2 ** (attempts - 1)), backoff_cap)
+        updated = spec.with_failure(error, not_before=now + delay)
+        if attempts >= max_attempts:
+            outcome = "poisoned"
+            target = self.poison_dir / f"{spec.shard_id}.json"
+        else:
+            outcome = "requeued"
+            target = self.pending_dir / f"{spec.shard_id}.json"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(target, (updated.to_json() + "\n").encode("utf-8"))
+        leased = self.leased_dir / f"{spec.shard_id}.json"
+        try:
+            leased.unlink()
+        except OSError:
+            pass
+        if lease is not None:
+            lease.release()
+        return outcome
+
+    def release_expired(
+        self,
+        *,
+        lease_seconds: float,
+        max_attempts: int = 3,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        now: float | None = None,
+    ) -> list[tuple[str, str]]:
+        """Re-dispatch every leased shard whose deadline has passed.
+
+        Any process may call this — peer workers do it before each claim,
+        the supervisor on every tick — so a single dead worker never
+        wedges the campaign.  Returns ``[(shard_id, outcome), ...]``
+        where outcome is ``"requeued"`` or ``"poisoned"``.
+        """
+        now = time.time() if now is None else now
+        released = []
+        for path in sorted(self.leased_dir.glob("*.json")):
+            if path.name.endswith(".lease.json"):
+                continue
+            spec = self._read_spec(path)
+            if spec is None:
+                continue
+            lease_path = self.leased_dir / f"{spec.shard_id}.lease.json"
+            deadline = lease_deadline(
+                lease_path, path, default_lease_seconds=lease_seconds
+            )
+            if deadline > now:
+                continue
+            record = read_lease(lease_path) or {}
+            holder = record.get("worker", "unknown worker")
+            outcome = self.fail(
+                spec,
+                f"lease expired (held by {holder}, deadline {deadline:.3f})",
+                max_attempts=max_attempts,
+                backoff_base=backoff_base,
+                backoff_cap=backoff_cap,
+                now=now,
+            )
+            try:
+                lease_path.unlink()
+            except OSError:
+                pass
+            released.append((spec.shard_id, outcome))
+        return released
+
+    # -- inspection --------------------------------------------------------
+
+    def done_ids(self) -> set[str]:
+        if not self.done_dir.is_dir():
+            return set()
+        return {path.stem for path in self.done_dir.glob("*.npz")}
+
+    def poisoned(self) -> list[ShardSpec]:
+        specs = []
+        if self.poison_dir.is_dir():
+            for path in sorted(self.poison_dir.glob("*.json")):
+                spec = self._read_spec(path)
+                if spec is not None:
+                    specs.append(spec)
+        return specs
+
+    def status(self, *, now: float | None = None) -> QueueStatus:
+        now = time.time() if now is None else now
+        status = QueueStatus()
+        if self.pending_dir.is_dir():
+            status.pending = sorted(
+                path.stem for path in self.pending_dir.glob("*.json")
+            )
+        if self.leased_dir.is_dir():
+            for path in sorted(self.leased_dir.glob("*.json")):
+                if path.name.endswith(".lease.json"):
+                    continue
+                shard_id = path.stem
+                lease_path = self.leased_dir / f"{shard_id}.lease.json"
+                record = read_lease(lease_path) or {}
+                deadline = lease_deadline(
+                    lease_path, path, default_lease_seconds=0.0
+                )
+                status.leased.append(
+                    {
+                        "shard_id": shard_id,
+                        "worker": record.get("worker"),
+                        "heartbeats": record.get("heartbeats", 0),
+                        "deadline": deadline,
+                        "expires_in": deadline - now,
+                    }
+                )
+        status.done = sorted(self.done_ids())
+        status.poisoned = [spec.shard_id for spec in self.poisoned()]
+        return status
+
+    def is_complete(self) -> bool:
+        """Every submitted shard has a verified result in ``done/``."""
+        try:
+            shards = self.campaign()["shards"]
+        except DistError:
+            return False
+        done = self.done_ids()
+        return all(shard_id in done for shard_id in shards)

@@ -1,0 +1,315 @@
+"""Campaign supervision: lease expiry, local worker fleets, end-to-end runs.
+
+The :class:`Supervisor` owns the retry policy and periodically ticks the
+queue — releasing expired leases and poisoning shards that failed too
+often.  :func:`run_sharded_exhaustive` and :func:`run_sharded_campaign`
+bundle the whole lifecycle for the common single-host case: submit,
+fork a local worker fleet, supervise until drained, merge.  Multi-host
+campaigns use the same queue directory through the ``repro-dist`` CLI
+instead (any worker that can see the filesystem can drain shards).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+
+from repro.dist.merge import merge_exhaustive, merge_sampled
+from repro.dist.queue import ShardQueue
+from repro.dist.spec import (
+    DistError,
+    make_exhaustive_shards,
+    make_sampled_shards,
+)
+from repro.dist.worker import (
+    ExhaustiveContext,
+    SampledContext,
+    ShardWorker,
+)
+from repro.faults.engine import InferenceEngine
+from repro.faults.space import FaultSpace
+from repro.faults.table import OutcomeTable, resolve_workers
+from repro.sfi.planners import CampaignPlan
+from repro.sfi.results import CampaignResult
+from repro.telemetry import Telemetry, resolve_telemetry
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How long leases live and how failures are retried.
+
+    ``backoff_base`` doubles per attempt up to ``backoff_cap``; a shard
+    reaching ``max_attempts`` (counting both worker-reported failures
+    and expired leases) is quarantined into ``poison/`` instead of
+    wedging the campaign forever.
+    """
+
+    lease_seconds: float = 30.0
+    max_attempts: int = 3
+    backoff_base: float = 0.5
+    backoff_cap: float = 30.0
+
+
+class Supervisor:
+    """Applies a :class:`RetryPolicy` to a queue from the outside."""
+
+    def __init__(
+        self,
+        queue: ShardQueue,
+        *,
+        policy: RetryPolicy | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.queue = queue
+        self.policy = policy or RetryPolicy()
+        self.telemetry = resolve_telemetry(telemetry)
+
+    def tick(self, *, now: float | None = None) -> list[tuple[str, str]]:
+        """Release expired leases once; returns ``[(shard_id, outcome)]``."""
+        released = self.queue.release_expired(
+            lease_seconds=self.policy.lease_seconds,
+            max_attempts=self.policy.max_attempts,
+            backoff_base=self.policy.backoff_base,
+            backoff_cap=self.policy.backoff_cap,
+            now=now,
+        )
+        if self.telemetry.enabled:
+            for shard_id, outcome in released:
+                self.telemetry.emit(
+                    "shard_requeue" if outcome == "requeued" else "shard_poison",
+                    shard=shard_id,
+                    reason="lease expired",
+                )
+        return released
+
+    def wait(
+        self,
+        *,
+        poll_seconds: float = 0.1,
+        timeout: float | None = None,
+        should_stop=None,
+    ) -> bool:
+        """Tick until the campaign completes; ``False`` on timeout/stop."""
+        start = time.monotonic()
+        while True:
+            self.tick()
+            if self.queue.is_complete():
+                return True
+            status = self.queue.status()
+            if not status.pending and not status.leased:
+                return False  # only poison left — nothing will complete it
+            if timeout is not None and time.monotonic() - start > timeout:
+                return False
+            if should_stop is not None and should_stop():
+                return False
+            time.sleep(poll_seconds)
+
+
+def _raise_on_poison(queue: ShardQueue) -> None:
+    poisoned = queue.poisoned()
+    if poisoned:
+        details = "; ".join(
+            f"{spec.shard_id} after {spec.attempts} attempts "
+            f"(last: {spec.history[-1] if spec.history else 'unknown'})"
+            for spec in poisoned[:3]
+        )
+        raise DistError(
+            f"{len(poisoned)} shard(s) were poisoned and the campaign "
+            f"cannot complete: {details} — inspect "
+            f"{queue.poison_dir} and resubmit after fixing the cause"
+        )
+
+
+def _drain_with_local_fleet(
+    queue: ShardQueue,
+    context,
+    *,
+    workers: int,
+    policy: RetryPolicy,
+    telemetry: Telemetry | None,
+) -> None:
+    """Fork *workers* local processes and drain the queue to completion.
+
+    Falls back to draining inline when fork is unavailable or a single
+    worker was requested.  The parent acts as supervisor while children
+    work; if every child dies with work still pending (all claimed
+    shards eventually expire back to pending), the parent drains the
+    remainder inline rather than deadlocking.
+    """
+
+    def make_worker(worker_id: str) -> ShardWorker:
+        return ShardWorker(
+            queue,
+            context,
+            worker_id=worker_id,
+            lease_seconds=policy.lease_seconds,
+            max_attempts=policy.max_attempts,
+            backoff_base=policy.backoff_base,
+            backoff_cap=policy.backoff_cap,
+            telemetry=telemetry,
+        )
+
+    workers = max(1, int(workers))
+    ctx = None
+    if workers > 1:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            ctx = None  # platform without fork: drain inline
+    if ctx is None:
+        make_worker(f"local:{os.getpid()}").run()
+        return
+
+    procs = [
+        ctx.Process(
+            target=lambda wid: make_worker(wid).run(),
+            args=(f"local:{os.getpid()}:w{i}",),
+            daemon=True,
+        )
+        for i in range(workers)
+    ]
+    for proc in procs:
+        proc.start()
+    supervisor = Supervisor(queue, policy=policy, telemetry=telemetry)
+    try:
+        while True:
+            supervisor.tick()
+            if queue.is_complete():
+                break
+            status = queue.status()
+            if not status.pending and not status.leased:
+                break  # only poison left
+            if not any(proc.is_alive() for proc in procs):
+                # The whole fleet died (kill -9, OOM, ...): release
+                # whatever they still lease and finish the job here.
+                supervisor.tick(now=time.time() + policy.lease_seconds + 1)
+                make_worker(f"local:{os.getpid()}:fallback").run()
+                break
+            time.sleep(0.05)
+    finally:
+        for proc in procs:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+
+
+def run_sharded_exhaustive(
+    engine: InferenceEngine,
+    space: FaultSpace,
+    root: str | os.PathLike,
+    *,
+    shards: int = 4,
+    workers: int | None = None,
+    policy: RetryPolicy | None = None,
+    telemetry: Telemetry | None = None,
+    runtime: dict | None = None,
+) -> OutcomeTable:
+    """Submit, execute and merge a sharded exhaustive campaign locally.
+
+    The merged table is bit-identical to a serial
+    :meth:`OutcomeTable.from_exhaustive` run.  *root* is the queue
+    directory; resubmitting into an existing root with the same
+    configuration resumes it (done shards are kept), so a killed
+    campaign picks up where it stopped.
+    """
+    policy = policy or RetryPolicy()
+    workers = resolve_workers(workers)
+    queue = ShardQueue(root)
+    config, specs = make_exhaustive_shards(engine, space, shards=shards)
+    extras = {"golden_accuracy": engine.golden_accuracy}
+    if runtime:
+        extras.update(runtime)
+    queue.submit(specs, config=config, runtime=extras)
+    tele = resolve_telemetry(telemetry)
+    if tele.enabled:
+        tele.emit(
+            "campaign_start",
+            kind="exhaustive",
+            sharded=True,
+            shards=len(specs),
+            workers=workers,
+            total=space.total_population,
+            cells_total=len(space.layers) * space.bits,
+            fmt=space.fmt.name,
+        )
+    start = time.monotonic()
+    _drain_with_local_fleet(
+        queue,
+        ExhaustiveContext(engine, space),
+        workers=workers,
+        policy=policy,
+        telemetry=telemetry,
+    )
+    _raise_on_poison(queue)
+    table = merge_exhaustive(queue, telemetry=telemetry)
+    if tele.enabled:
+        tele.emit(
+            "campaign_end",
+            elapsed_seconds=time.monotonic() - start,
+            faults=space.total_population,
+            shards=len(specs),
+        )
+    return table
+
+
+def run_sharded_campaign(
+    oracle,
+    space: FaultSpace,
+    plan: CampaignPlan,
+    root: str | os.PathLike,
+    *,
+    seed: int = 0,
+    shards: int = 4,
+    workers: int | None = None,
+    policy: RetryPolicy | None = None,
+    telemetry: Telemetry | None = None,
+    golden_sha256: str | None = None,
+    runtime: dict | None = None,
+) -> CampaignResult:
+    """Submit, execute and merge a sharded sampled campaign locally.
+
+    The merged result equals a serial ``CampaignRunner.run(plan,
+    seed=seed)`` exactly (per-stratum seed substreams make every
+    stratum's draws independent of shard and worker assignment).
+    """
+    policy = policy or RetryPolicy()
+    workers = resolve_workers(workers)
+    queue = ShardQueue(root)
+    config, specs = make_sampled_shards(
+        plan, space, seed=seed, shards=shards, golden_sha256=golden_sha256
+    )
+    queue.submit(specs, config=config, runtime=dict(runtime or {}))
+    tele = resolve_telemetry(telemetry)
+    if tele.enabled:
+        tele.emit(
+            "campaign_start",
+            kind="sampled",
+            sharded=True,
+            method=plan.method,
+            seed=seed,
+            shards=len(specs),
+            workers=workers,
+            total=plan.total_injections,
+        )
+    start = time.monotonic()
+    _drain_with_local_fleet(
+        queue,
+        SampledContext(oracle, space, plan),
+        workers=workers,
+        policy=policy,
+        telemetry=telemetry,
+    )
+    _raise_on_poison(queue)
+    result = merge_sampled(queue, space, telemetry=telemetry)
+    if tele.enabled:
+        tele.emit(
+            "campaign_end",
+            elapsed_seconds=time.monotonic() - start,
+            injections=result.total_injections,
+            criticals=result.total_criticals,
+            masked=result.total_masked,
+        )
+    return result

@@ -1,0 +1,349 @@
+"""Shard execution: claim, run, heartbeat, complete (or fail and retry).
+
+A :class:`ShardWorker` drains a :class:`~repro.dist.queue.ShardQueue`
+until nothing is left to do.  Each claimed shard is executed through a
+*context* — :class:`ExhaustiveContext` (an inference engine + fault
+space) or :class:`SampledContext` (an oracle + plan) — and its result is
+retired into ``done/`` through the verified store.  Workers are
+cooperative supervisors: before every claim they release expired peer
+leases, so a campaign survives any subset of its workers dying.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+import traceback
+
+import numpy as np
+
+from repro.dist.lease import Lease, LeaseKeeper
+from repro.dist.queue import ShardQueue
+from repro.dist.spec import EXHAUSTIVE, SAMPLED, DistError, ShardSpec
+from repro.faults.engine import InferenceEngine
+from repro.faults.space import FaultSpace
+from repro.faults.table import cell_key, timed_classify_cell
+from repro.sfi.planners import CampaignPlan
+from repro.sfi.runner import execute_plan_items
+from repro.telemetry import Telemetry, resolve_telemetry
+
+
+def tallies_to_arrays(
+    tallies: dict[tuple[int, int], list[int]],
+    assumed: dict[tuple[int, int], float],
+) -> dict[str, np.ndarray]:
+    """Encode sampled-shard observations as deterministic arrays.
+
+    ``tallies`` becomes an ``(k, 5)`` int64 array of
+    ``[layer, bit, injections, criticals, masked]`` rows and ``assumed``
+    an ``(m, 3)`` float64 array of ``[layer, bit, p]`` rows, both sorted
+    by (layer, bit) so the encoding is independent of observation order.
+    """
+    tally_rows = sorted(
+        (layer, bit, *counts) for (layer, bit), counts in tallies.items()
+    )
+    assumed_rows = sorted(
+        (float(layer), float(bit), p) for (layer, bit), p in assumed.items()
+    )
+    return {
+        "tallies": np.array(tally_rows, dtype=np.int64).reshape(-1, 5),
+        "assumed": np.array(assumed_rows, dtype=np.float64).reshape(-1, 3),
+    }
+
+
+def arrays_to_tallies(
+    arrays: dict[str, np.ndarray],
+) -> tuple[dict[tuple[int, int], list[int]], dict[tuple[int, int], float]]:
+    """Inverse of :func:`tallies_to_arrays`."""
+    tallies = {
+        (int(row[0]), int(row[1])): [int(row[2]), int(row[3]), int(row[4])]
+        for row in np.asarray(arrays["tallies"]).reshape(-1, 5)
+    }
+    assumed = {
+        (int(row[0]), int(row[1])): float(row[2])
+        for row in np.asarray(arrays["assumed"]).reshape(-1, 3)
+    }
+    return tallies, assumed
+
+
+class ExhaustiveContext:
+    """Executes exhaustive shards: one (layer, bit) cell per unit."""
+
+    kind = EXHAUSTIVE
+
+    def __init__(self, engine: InferenceEngine, space: FaultSpace) -> None:
+        self.engine = engine
+        self.space = space
+
+    def run_shard(
+        self, spec: ShardSpec, telemetry: Telemetry, heartbeat
+    ) -> dict[str, np.ndarray]:
+        arrays: dict[str, np.ndarray] = {}
+        for unit in spec.units:
+            layer_idx, bit = int(unit[0]), int(unit[1])
+            cell, _seconds, _inferences = timed_classify_cell(
+                self.engine, self.space, layer_idx, bit, telemetry
+            )
+            arrays[f"cell_{cell_key(layer_idx, bit)}"] = cell
+            heartbeat()
+        return arrays
+
+
+class SampledContext:
+    """Executes sampled shards: one plan item (stratum) per unit.
+
+    Stratum *i* always draws from the ``SeedSequence(seed, spawn_key=(i,))``
+    substream, so its samples are identical no matter which shard,
+    worker or host runs it — the property the deterministic merge
+    relies on.
+    """
+
+    kind = SAMPLED
+
+    def __init__(self, oracle, space: FaultSpace, plan: CampaignPlan) -> None:
+        self.oracle = oracle
+        self.space = space
+        self.plan = plan
+
+    def run_shard(
+        self, spec: ShardSpec, telemetry: Telemetry, heartbeat
+    ) -> dict[str, np.ndarray]:
+        if spec.seed is None:
+            raise DistError(f"sampled shard {spec.shard_id} carries no seed")
+        indices = [int(u) for u in spec.units]
+        out_of_range = [i for i in indices if i >= len(self.plan.items)]
+        if out_of_range:
+            raise DistError(
+                f"shard {spec.shard_id} references plan items "
+                f"{out_of_range} but the plan has only "
+                f"{len(self.plan.items)}; the worker's plan does not "
+                "match the submitted campaign"
+            )
+        tallies, assumed = execute_plan_items(
+            self.plan,
+            self.oracle,
+            indices,
+            seed=int(spec.seed),
+            on_item=lambda _idx: heartbeat(),
+        )
+        return tallies_to_arrays(tallies, assumed)
+
+
+class ShardWorker:
+    """Claims and executes shards until the queue is drained.
+
+    Parameters
+    ----------
+    queue, context:
+        The work queue and the campaign context executing its shards.
+    worker_id:
+        Stable name recorded in leases and telemetry (defaults to
+        ``host:pid``).
+    lease_seconds:
+        Lease lifetime; the worker heartbeats (and renews) once per
+        completed unit, so a shard whose units take longer than this to
+        classify individually will be treated as stuck.
+    max_attempts / backoff_base / backoff_cap:
+        Retry policy applied both to this worker's own failures and to
+        expired peer leases it releases.
+    telemetry:
+        Shard lifecycle and per-cell events land here; ``worker_heartbeat``
+        events renew the active lease via :class:`LeaseKeeper`.
+    on_unit:
+        Test hook called after every completed unit (cell or stratum).
+    """
+
+    def __init__(
+        self,
+        queue: ShardQueue,
+        context,
+        *,
+        worker_id: str | None = None,
+        lease_seconds: float = 30.0,
+        max_attempts: int = 3,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        poll_seconds: float = 0.05,
+        telemetry: Telemetry | None = None,
+        on_unit=None,
+    ) -> None:
+        self.queue = queue
+        self.context = context
+        self.worker_id = worker_id or f"{socket.gethostname()}:{os.getpid()}"
+        self.lease_seconds = lease_seconds
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.poll_seconds = poll_seconds
+        self.telemetry = resolve_telemetry(telemetry)
+        self.on_unit = on_unit
+        self._keeper = LeaseKeeper()
+        self._units_done = 0
+
+    # -- heartbeating ------------------------------------------------------
+
+    def _heartbeat(self, lease: Lease, spec: ShardSpec) -> None:
+        """One unit of progress: emit the event and keep the lease alive.
+
+        With telemetry enabled the ``worker_heartbeat`` event renews the
+        lease through the :class:`LeaseKeeper` hook (the journal is the
+        liveness signal); with telemetry off the lease is renewed
+        directly — the deadline must move either way.
+        """
+        self._units_done += 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "worker_heartbeat",
+                worker=self.worker_id,
+                shard=spec.shard_id,
+                units_done=self._units_done,
+            )
+        else:
+            lease.maybe_renew()
+        if self.on_unit is not None:
+            self.on_unit(spec)
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, *, max_shards: int | None = None, wait: bool = True) -> int:
+        """Drain the queue; returns the number of shards completed here.
+
+        Exits when the queue holds nothing pending or leased (the
+        campaign is complete, or only poisoned shards remain), or after
+        *max_shards* completions.  With ``wait=True`` the worker idles
+        through other workers' leases and retry backoff windows instead
+        of giving up.
+        """
+        completed = 0
+        while max_shards is None or completed < max_shards:
+            released = self.queue.release_expired(
+                lease_seconds=self.lease_seconds,
+                max_attempts=self.max_attempts,
+                backoff_base=self.backoff_base,
+                backoff_cap=self.backoff_cap,
+            )
+            if self.telemetry.enabled:
+                for shard_id, outcome in released:
+                    self.telemetry.emit(
+                        "shard_requeue" if outcome == "requeued" else "shard_poison",
+                        shard=shard_id,
+                        worker=self.worker_id,
+                        reason="lease expired",
+                    )
+            claimed = self.queue.claim(
+                worker=self.worker_id, lease_seconds=self.lease_seconds
+            )
+            if claimed is None:
+                status = self.queue.status()
+                if not status.pending and not status.leased:
+                    break  # complete (or only poison left) — nothing to wait on
+                if not wait:
+                    break
+                time.sleep(self.poll_seconds)
+                continue
+            spec, lease = claimed
+            self._keeper.lease = lease
+            self.telemetry.on_event = self._keeper.chain(
+                self.telemetry.on_event
+            )
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    "shard_claim",
+                    shard=spec.shard_id,
+                    worker=self.worker_id,
+                    kind=spec.kind,
+                    units=len(spec.units),
+                    attempt=spec.attempts + 1,
+                )
+            start = time.monotonic()
+            try:
+                arrays = self.context.run_shard(
+                    spec, self.telemetry, lambda: self._heartbeat(lease, spec)
+                )
+            except Exception as exc:
+                error = "".join(
+                    traceback.format_exception_only(type(exc), exc)
+                ).strip()
+                outcome = self.queue.fail(
+                    spec,
+                    error,
+                    lease=lease,
+                    max_attempts=self.max_attempts,
+                    backoff_base=self.backoff_base,
+                    backoff_cap=self.backoff_cap,
+                )
+                if self.telemetry.enabled:
+                    self.telemetry.emit(
+                        "shard_fail",
+                        shard=spec.shard_id,
+                        worker=self.worker_id,
+                        error=error,
+                        outcome=outcome,
+                        attempt=spec.attempts + 1,
+                    )
+                continue
+            finally:
+                self._keeper.lease = None
+            self.queue.complete(spec, arrays, lease=lease)
+            completed += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    "shard_done",
+                    shard=spec.shard_id,
+                    worker=self.worker_id,
+                    seconds=time.monotonic() - start,
+                    units=len(spec.units),
+                )
+                self.telemetry.counter("dist.shards_completed").add(1)
+        return completed
+
+
+def verify_context_config(context, config: dict) -> None:
+    """Refuse to run shards against a mismatched campaign configuration.
+
+    An exhaustive context must reproduce the submitted engine
+    fingerprint (golden weight bits + eval images) exactly; a worker
+    holding retrained weights or a different eval set would silently
+    corrupt the merged table otherwise.
+    """
+    if config.get("kind") != context.kind:
+        raise DistError(
+            f"campaign kind {config.get('kind')!r} does not match the "
+            f"worker context kind {context.kind!r}"
+        )
+    if isinstance(context, ExhaustiveContext):
+        fingerprint = context.engine.fingerprint()
+        expected = config.get("golden_sha256")
+        if expected is not None and fingerprint != expected:
+            raise DistError(
+                "engine fingerprint mismatch: campaign was submitted for "
+                f"golden weights {expected[:12]}, this worker rebuilt "
+                f"{fingerprint[:12]} — refusing to classify shards "
+                "(retrained weights or a different eval set?)"
+            )
+        sizes = [layer.size for layer in context.space.layers]
+        if config.get("layer_sizes") not in (None, sizes):
+            raise DistError(
+                "fault-space shape mismatch between the submitted "
+                "campaign and this worker's model"
+            )
+
+
+def spec_metadata_matches(meta: dict, campaign: dict) -> str | None:
+    """Check one done-shard's embedded identity against the campaign.
+
+    Returns ``None`` when consistent, else a description of the
+    mismatch (used by the merge to refuse foreign results).
+    """
+    if meta.get("config_hash") != campaign.get("config_hash"):
+        return (
+            f"shard {meta.get('shard_id')} was produced under config "
+            f"{str(meta.get('config_hash'))[:12]}, campaign is "
+            f"{str(campaign.get('config_hash'))[:12]}"
+        )
+    if meta.get("shard_id") not in campaign.get("shards", []):
+        return (
+            f"shard {meta.get('shard_id')} is not part of this campaign"
+        )
+    return None

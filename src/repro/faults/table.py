@@ -78,16 +78,18 @@ def _classify_cell(
     return cell
 
 
-def _cell_key(layer_idx: int, bit: int) -> str:
+def cell_key(layer_idx: int, bit: int) -> str:
+    """Stable name of one (layer, bit) cell (checkpoint and shard keys)."""
     return f"L{layer_idx:03d}_B{bit:02d}"
 
 
-def _campaign_config(engine: InferenceEngine, space: FaultSpace) -> dict:
-    """Identity of an exhaustive campaign, for checkpoint compatibility.
+def campaign_config(engine: InferenceEngine, space: FaultSpace) -> dict:
+    """Identity of an exhaustive campaign.
 
     Includes the engine fingerprint (golden weight bits + eval images) so
     a checkpoint taken against different weights (e.g. after retraining)
-    is never resumed.
+    is never resumed — and, via :mod:`repro.dist`, so shards computed by
+    a worker holding different weights are never merged.
     """
     return {
         "fmt": space.fmt.name,
@@ -111,7 +113,7 @@ _POOL_STATE: tuple[InferenceEngine, FaultSpace, Telemetry] | None = None
 _WORKER_CELLS = 0
 
 
-def _timed_classify_cell(
+def timed_classify_cell(
     engine: InferenceEngine,
     space: FaultSpace,
     layer_idx: int,
@@ -152,7 +154,7 @@ def _pool_classify(
     layer_idx, bit = args
     assert _POOL_STATE is not None, "worker used outside a campaign pool"
     engine, space, telemetry = _POOL_STATE
-    cell, seconds, inferences = _timed_classify_cell(
+    cell, seconds, inferences = timed_classify_cell(
         engine, space, layer_idx, bit, telemetry
     )
     _WORKER_CELLS += 1
@@ -161,10 +163,26 @@ def _pool_classify(
     return layer_idx, bit, cell, seconds, inferences
 
 
-def resolve_workers(workers: int | None) -> int:
-    """Normalise a worker-count request to an achievable pool size."""
+def resolve_workers(workers: int | None = None) -> int:
+    """Normalise a worker-count request to an achievable pool size.
+
+    ``None`` (the caller expressed no preference) resolves to the
+    ``REPRO_WORKERS`` environment variable when set — the operator's
+    fleet-wide override — and otherwise to the CPU count.  The result is
+    always clamped to at least one worker.  An explicit *workers*
+    argument wins over the environment.
+    """
     if workers is None:
-        workers = os.cpu_count() or 1
+        env = os.environ.get("REPRO_WORKERS")
+        if env is not None and env.strip():
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_WORKERS must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = os.cpu_count() or 1
     return max(1, int(workers))
 
 
@@ -242,7 +260,7 @@ class OutcomeTable:
         if checkpoint is not None:
             store = CampaignCheckpoint(
                 checkpoint,
-                config=_campaign_config(engine, space),
+                config=campaign_config(engine, space),
                 telemetry=tele,
             )
 
@@ -253,7 +271,7 @@ class OutcomeTable:
         for layer_idx in range(len(space.layers)):
             for bit in range(bits):
                 saved = (
-                    store.load(_cell_key(layer_idx, bit))
+                    store.load(cell_key(layer_idx, bit))
                     if store is not None
                     else None
                 )
@@ -297,7 +315,7 @@ class OutcomeTable:
             nonlocal done, reported
             cells[(layer_idx, bit)] = cell
             if store is not None:
-                store.store(_cell_key(layer_idx, bit), cell)
+                store.store(cell_key(layer_idx, bit), cell)
             done += cell.size
             if tele.enabled:
                 tele.timer("campaign.cell_seconds").observe(seconds)
@@ -329,7 +347,7 @@ class OutcomeTable:
                     _POOL_STATE = None
                 pending = []
         for layer_idx, bit in pending:
-            cell, seconds, inferences = _timed_classify_cell(
+            cell, seconds, inferences = timed_classify_cell(
                 engine, space, layer_idx, bit, tele
             )
             finish(layer_idx, bit, cell, seconds, inferences)

@@ -55,6 +55,7 @@ def load_or_run_exhaustive(
     eval_size: int = 64,
     policy: str = "accuracy_drop",
     workers: int | None = 1,
+    shards: int | None = None,
     resume: bool = True,
     telemetry: Telemetry | None = None,
     progress: bool = False,
@@ -68,6 +69,12 @@ def load_or_run_exhaustive(
     stopped.  Always returns a live ``(table, space, engine)`` triple for
     the same model/eval configuration, so sampled campaigns can either
     replay from the table or re-inject through the engine.
+
+    With *shards* set the cold-cache campaign instead goes through
+    :func:`repro.dist.run_sharded_exhaustive`: the work is split into
+    that many shards, drained by a local worker fleet through a queue
+    directory next to the cache file, and merged — bit-identical to the
+    serial run, and resumable across kills (done shards are kept).
 
     *telemetry* journals the campaign (or an ``artifact_cache_hit``
     event when the table is served from the cache).
@@ -108,6 +115,28 @@ def load_or_run_exhaustive(
                 "artifact_cache_hit", model=model_name, path=str(path)
             )
             tele.counter("artifacts.cache_hits").add(1)
+        return table, space, engine
+    if shards is not None:
+        # Late import: repro.dist pulls in the queue/merge machinery,
+        # which most artifact consumers never need.
+        from repro.dist import run_sharded_exhaustive
+
+        table = run_sharded_exhaustive(
+            engine,
+            space,
+            path.with_suffix(".queue"),
+            shards=shards,
+            workers=workers,
+            telemetry=telemetry,
+            runtime={
+                "model": model_name,
+                "eval_size": eval_size,
+                "policy": policy,
+            },
+        )
+        table.metadata["model"] = model_name
+        table.save(path)
+        shutil.rmtree(path.with_suffix(".queue"), ignore_errors=True)
         return table, space, engine
     reporter = None
     if progress:

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import time
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 
 import numpy as np
 
@@ -12,7 +13,7 @@ from repro.faults.engine import FaultOutcome, InferenceEngine
 from repro.faults.model import FaultModel, STUCK_AT_MODELS
 from repro.faults.oracle import Oracle
 from repro.faults.space import FaultSpace
-from repro.faults.table import OutcomeTable
+from repro.faults.table import OutcomeTable, resolve_workers
 from repro.ieee754 import FLOAT32, FloatFormat
 from repro.nn import Module
 from repro.sfi.granularity import Granularity
@@ -20,6 +21,78 @@ from repro.sfi.planners import CampaignPlan
 from repro.sfi.results import CampaignResult
 from repro.sfi.sampler import sample_subpopulation
 from repro.telemetry import Telemetry, resolve_telemetry
+
+
+def stratum_rng(seed: int, index: int) -> np.random.Generator:
+    """The RNG substream of plan item *index* under base *seed*.
+
+    Built from ``SeedSequence(seed, spawn_key=(index,))`` — the same
+    stream :meth:`numpy.random.SeedSequence.spawn` would hand the
+    *index*-th child — so a stratum's draws depend only on ``(seed,
+    index)``, never on which strata ran before it, which process ran
+    it, or how a campaign was sharded.  This is the property that makes
+    distributed campaign results bit-identical to serial ones.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(index,))
+    )
+
+
+def execute_plan_items(
+    plan: CampaignPlan,
+    oracle: Oracle,
+    indices: Iterable[int],
+    *,
+    seed: int,
+    on_item: Callable[[int], None] | None = None,
+) -> tuple[dict[tuple[int, int], list[int]], dict[tuple[int, int], float]]:
+    """Sample and classify a subset of *plan*'s items.
+
+    Returns ``(cell_tallies, assumed_p)`` in the
+    :class:`~repro.sfi.results.CampaignResult` layout.  Each item draws
+    from its own :func:`stratum_rng` substream, so any partition of the
+    item indices — across loop iterations, pool workers or distributed
+    shards — produces the same observations as a serial pass.
+    *on_item* fires after each processed item (progress/heartbeats).
+    """
+    tallies: dict[tuple[int, int], list[int]] = {}
+    assumed: dict[tuple[int, int], float] = {}
+    for index in indices:
+        item = plan.items[index]
+        subpop = item.subpopulation
+        if item.sample_size == 0:
+            if (
+                plan.granularity is Granularity.BIT_LAYER
+                and subpop.layer is not None
+                and subpop.bit is not None
+            ):
+                assumed[(subpop.layer, subpop.bit)] = item.p_assumed
+            if on_item is not None:
+                on_item(index)
+            continue
+        rng = stratum_rng(seed, index)
+        faults = sample_subpopulation(subpop, item.sample_size, rng)
+        for fault in faults:
+            outcome = oracle.classify(fault)
+            tally = tallies.setdefault((fault.layer, fault.bit), [0, 0, 0])
+            tally[0] += 1
+            tally[1] += int(outcome is FaultOutcome.CRITICAL)
+            tally[2] += int(outcome is FaultOutcome.MASKED)
+        if on_item is not None:
+            on_item(index)
+    return tallies, assumed
+
+
+# Fork-inherited state for sampled-campaign pool workers: (plan, oracle,
+# seed).  Like the exhaustive pool, children share the oracle (table or
+# engine) copy-on-write and return plain tallies.
+_RUN_POOL_STATE: tuple[CampaignPlan, Oracle, int] | None = None
+
+
+def _pool_run_item(index: int):
+    assert _RUN_POOL_STATE is not None, "worker used outside a campaign pool"
+    plan, oracle, seed = _RUN_POOL_STATE
+    return execute_plan_items(plan, oracle, [index], seed=seed)
 
 
 class CampaignRunner:
@@ -45,11 +118,25 @@ class CampaignRunner:
         self.space = space
         self.telemetry = resolve_telemetry(telemetry)
 
-    def run(self, plan: CampaignPlan, *, seed: int = 0) -> CampaignResult:
-        """Sample and classify every planned stratum; returns the result."""
+    def run(
+        self,
+        plan: CampaignPlan,
+        *,
+        seed: int = 0,
+        workers: int | None = 1,
+    ) -> CampaignResult:
+        """Sample and classify every planned stratum; returns the result.
+
+        Strata are independent (each draws from its own
+        :func:`stratum_rng` substream), so with ``workers > 1`` they fan
+        out over a fork-based process pool — same
+        :func:`~repro.faults.table.resolve_workers` semantics as the
+        exhaustive campaign (``None`` honours ``REPRO_WORKERS``, then
+        the CPU count) — and the result is identical to a serial run.
+        """
         tele = self.telemetry
         if not tele.enabled:
-            return self._run(plan, seed)
+            return self._run(plan, seed, workers=workers)
         tele.emit(
             "campaign_start",
             kind="sampled",
@@ -59,7 +146,7 @@ class CampaignRunner:
         )
         start = time.monotonic()
         with tele.span("sfi.run", method=plan.method, seed=seed):
-            result = self._run(plan, seed)
+            result = self._run(plan, seed, workers=workers)
         tele.counter("sfi.injections").add(result.total_injections)
         tele.emit(
             "campaign_end",
@@ -70,8 +157,9 @@ class CampaignRunner:
         )
         return result
 
-    def _run(self, plan: CampaignPlan, seed: int) -> CampaignResult:
-        rng = np.random.default_rng(seed)
+    def _run(
+        self, plan: CampaignPlan, seed: int, *, workers: int | None = 1
+    ) -> CampaignResult:
         result = CampaignResult(
             method=plan.method,
             granularity=plan.granularity,
@@ -79,25 +167,53 @@ class CampaignRunner:
             space=self.space,
             seed=seed,
         )
-        for item in plan.items:
-            subpop = item.subpopulation
-            if item.sample_size == 0:
-                if (
-                    plan.granularity is Granularity.BIT_LAYER
-                    and subpop.layer is not None
-                    and subpop.bit is not None
-                ):
-                    result.assumed_p[(subpop.layer, subpop.bit)] = item.p_assumed
-                continue
-            faults = sample_subpopulation(subpop, item.sample_size, rng)
-            for fault in faults:
-                outcome = self.oracle.classify(fault)
-                result.record(
-                    fault.layer,
-                    fault.bit,
-                    critical=outcome is FaultOutcome.CRITICAL,
-                    masked=outcome is FaultOutcome.MASKED,
+        workers = resolve_workers(workers)
+        sampled = [
+            idx for idx, item in enumerate(plan.items) if item.sample_size > 0
+        ]
+        parts: list[tuple[dict, dict]] = []
+        if workers > 1 and len(sampled) > 1:
+            # Zero-sample strata are pure bookkeeping; keep them out of
+            # the pool and fold them in the parent.
+            sampled_set = set(sampled)
+            unsampled = [
+                i for i in range(len(plan.items)) if i not in sampled_set
+            ]
+            parts.append(
+                execute_plan_items(plan, self.oracle, unsampled, seed=seed)
+            )
+            global _RUN_POOL_STATE
+            _RUN_POOL_STATE = (plan, self.oracle, seed)
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # platform without fork: run serially
+                _RUN_POOL_STATE = None
+                parts.append(
+                    execute_plan_items(plan, self.oracle, sampled, seed=seed)
                 )
+            else:
+                try:
+                    with ctx.Pool(processes=workers) as pool:
+                        parts.extend(
+                            pool.map(_pool_run_item, sampled, chunksize=1)
+                        )
+                finally:
+                    _RUN_POOL_STATE = None
+        else:
+            parts.append(
+                execute_plan_items(
+                    plan, self.oracle, range(len(plan.items)), seed=seed
+                )
+            )
+        for tallies, assumed in parts:
+            for (layer, bit), counts in tallies.items():
+                tally = result.cell_tallies.setdefault(
+                    (layer, bit), [0, 0, 0]
+                )
+                tally[0] += counts[0]
+                tally[1] += counts[1]
+                tally[2] += counts[2]
+            result.assumed_p.update(assumed)
         return result
 
     def run_many(
@@ -105,10 +221,12 @@ class CampaignRunner:
     ) -> list[CampaignResult]:
         """Run the plan once per seed (the paper's S0-S9 samples).
 
-        Each run draws from its own ``default_rng(seed)``, so results are
-        a pure function of ``(plan, seed)``: the same seed always yields
-        the same samples (and, against a deterministic oracle, the same
-        result), and distinct seeds draw independent samples.
+        Each stratum draws from the ``SeedSequence(seed,
+        spawn_key=(item,))`` substream, so results are a pure function
+        of ``(plan, seed)``: the same seed always yields the same
+        samples (and, against a deterministic oracle, the same result),
+        distinct seeds draw independent samples, and the draws are
+        independent of stratum execution order.
         """
         return [self.run(plan, seed=seed) for seed in seeds]
 

@@ -36,6 +36,12 @@ EVENT_TYPES = frozenset(
         "span",  # a profiled code section (name, seconds)
         "epoch_done",  # one training epoch finished
         "artifact_cache_hit",  # an exhaustive table was served from cache
+        "shard_claim",  # a distributed worker leased a shard
+        "shard_done",  # ... and completed it (seconds, units)
+        "shard_fail",  # ... or failed it (error, requeued/poisoned)
+        "shard_requeue",  # an expired/failed shard went back to pending
+        "shard_poison",  # a shard exhausted its attempts and was quarantined
+        "merge_done",  # shard results reassembled into one campaign result
     }
 )
 

@@ -72,6 +72,12 @@ class CampaignSummary:
     # Concurrency.
     workers: list[WorkerStats] = field(default_factory=list)
     heartbeats: int = 0
+    # Distributed shards (repro.dist campaigns).
+    shards_done: int = 0
+    shards_requeued: int = 0
+    shards_poisoned: int = 0
+    shard_workers: list[str] = field(default_factory=list)
+    merged: bool = False
     # Profiling.
     spans: list[SpanStats] = field(default_factory=list)
     # Anything the campaign_start event carried (model, method, ...).
@@ -149,6 +155,7 @@ def _summarize_run(run_id: str, events: list[Event]) -> CampaignSummary:
     explicit_elapsed: float | None = None
     span_acc: dict[str, list[float]] = {}
     worker_busy: dict[int, list[float]] = {}
+    shard_workers: list[str] = summary.shard_workers
 
     for event in events:
         f = event.fields
@@ -193,10 +200,28 @@ def _summarize_run(run_id: str, events: list[Event]) -> CampaignSummary:
                 summary.cells_total = f.get("cells_total")
         elif event.type == "worker_heartbeat":
             summary.heartbeats += 1
+        elif event.type == "shard_done":
+            summary.shards_done += 1
+            worker = f.get("worker")
+            if worker and worker not in shard_workers:
+                shard_workers.append(worker)
+        elif event.type == "shard_requeue":
+            summary.shards_requeued += 1
+        elif event.type == "shard_poison":
+            summary.shards_poisoned += 1
+        elif event.type == "merge_done":
+            summary.merged = True
         elif event.type == "span":
             span_acc.setdefault(f["name"], []).append(float(f["seconds"]))
         elif event.type == "epoch_done":
             summary.kind = "train"
+
+    if summary.kind == "unknown" and (
+        summary.shards_done or summary.shards_requeued
+    ):
+        # A per-worker journal from a distributed campaign: shard events
+        # but no campaign_start (that one lives in the submitter's log).
+        summary.kind = "dist-worker"
 
     # Prefer the campaign's own elapsed measure; fall back to the event
     # timestamp window (e.g. for killed runs with no campaign_end).
@@ -262,6 +287,20 @@ def format_summary(summary: CampaignSummary, *, top_cells: int = 10) -> str:
             f"cells resumed (hit rate {summary.resume_hit_rate * 100:.0f}%), "
             f"{summary.checkpoint_writes} cell writes"
         )
+    if summary.shards_done or summary.shards_requeued or summary.shards_poisoned:
+        shard_line = (
+            f"  shards: {summary.shards_done} done, "
+            f"{summary.shards_requeued} requeued, "
+            f"{summary.shards_poisoned} poisoned"
+        )
+        if summary.shard_workers:
+            shard_line += (
+                f" across {len(summary.shard_workers)} worker(s): "
+                + ", ".join(summary.shard_workers)
+            )
+        if summary.merged:
+            shard_line += " [merged]"
+        lines.append(shard_line)
     if summary.workers:
         lines.append(
             f"  workers ({len(summary.workers)} pids, "

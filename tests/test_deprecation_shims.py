@@ -1,0 +1,97 @@
+"""The ``progress=`` deprecation shims warn exactly once and still work."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.data import SynthCIFAR
+from repro.faults import FaultSpace, InferenceEngine, OutcomeTable
+from repro.ieee754 import FLOAT16
+from repro.models import ResNetCIFAR
+from repro.sfi.artifacts import load_or_run_exhaustive
+
+
+@pytest.fixture(scope="module")
+def campaign_setup():
+    model = ResNetCIFAR(blocks_per_stage=1, widths=(2, 4, 6), seed=3)
+    model.eval()
+    data = SynthCIFAR("test", size=8, seed=42)
+    engine = InferenceEngine(model, data.images, data.labels, fmt=FLOAT16)
+    space = FaultSpace(engine.layers, fmt=FLOAT16)
+    return engine, space
+
+
+class TestFromExhaustiveShim:
+    def test_progress_callback_warns_exactly_once(self, campaign_setup):
+        engine, space = campaign_setup
+        calls = []
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            OutcomeTable.from_exhaustive(
+                engine,
+                space,
+                progress=lambda done, total: calls.append((done, total)),
+                progress_every=1,
+            )
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "progress" in str(deprecations[0].message)
+        # The shim still functions: the callback fired and finished.
+        assert calls
+        assert calls[-1] == (space.total_population, space.total_population)
+
+    def test_no_warning_without_the_deprecated_parameter(
+        self, campaign_setup
+    ):
+        engine, space = campaign_setup
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            OutcomeTable.from_exhaustive(engine, space)
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestLoadOrRunShim:
+    def test_progress_flag_warns_exactly_once_on_cache_hit(self):
+        # Served from the committed artifact cache: the shim must warn
+        # whether or not the campaign actually runs.
+        from repro.models import pretrained_path
+        from repro.sfi.artifacts import exhaustive_table_path
+
+        if not (
+            pretrained_path("resnet8_mini").is_file()
+            and exhaustive_table_path("resnet8_mini").is_file()
+        ):
+            pytest.skip("no cached resnet8_mini artifacts")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            table, _space, _engine = load_or_run_exhaustive(
+                "resnet8_mini", progress=True
+            )
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "progress" in str(deprecations[0].message)
+        assert table.num_layers > 0
+
+    def test_no_warning_without_the_flag(self):
+        from repro.models import pretrained_path
+        from repro.sfi.artifacts import exhaustive_table_path
+
+        if not (
+            pretrained_path("resnet8_mini").is_file()
+            and exhaustive_table_path("resnet8_mini").is_file()
+        ):
+            pytest.skip("no cached resnet8_mini artifacts")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            load_or_run_exhaustive("resnet8_mini")
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]

@@ -1,0 +1,244 @@
+"""Sharded campaigns merge bit-identically to serial runs.
+
+The deterministic-merge guarantee is the whole point of ``repro.dist``:
+however a campaign is sharded, however many workers drain it, whatever
+order shards complete in, the merged result must equal the serial run
+bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SynthCIFAR
+from repro.dist import (
+    DistError,
+    ExhaustiveContext,
+    MergeError,
+    SampledContext,
+    ShardQueue,
+    ShardWorker,
+    make_exhaustive_shards,
+    make_sampled_shards,
+    merge_exhaustive,
+    merge_sampled,
+    run_sharded_campaign,
+    run_sharded_exhaustive,
+    verify_context_config,
+)
+from repro.faults import (
+    FaultSpace,
+    InferenceEngine,
+    OutcomeTable,
+    TableOracle,
+)
+from repro.ieee754 import FLOAT16
+from repro.models import ResNetCIFAR
+from repro.sfi import CampaignRunner, DataUnawareSFI
+from repro.telemetry import Telemetry, resolve_telemetry
+
+
+@pytest.fixture(scope="module")
+def campaign_setup():
+    model = ResNetCIFAR(blocks_per_stage=1, widths=(2, 4, 6), seed=3)
+    model.eval()
+    data = SynthCIFAR("test", size=8, seed=42)
+    engine = InferenceEngine(model, data.images, data.labels, fmt=FLOAT16)
+    space = FaultSpace(engine.layers, fmt=FLOAT16)
+    return engine, space
+
+
+@pytest.fixture(scope="module")
+def serial_table(campaign_setup):
+    engine, space = campaign_setup
+    return OutcomeTable.from_exhaustive(engine, space, workers=1)
+
+
+def assert_tables_identical(a: OutcomeTable, b: OutcomeTable) -> None:
+    assert a.num_layers == b.num_layers
+    for left, right in zip(a.outcomes, b.outcomes):
+        assert left.dtype == right.dtype == np.uint8
+        assert np.array_equal(left, right)
+
+
+class TestShardedExhaustive:
+    def test_sharded_matches_serial_bit_for_bit(
+        self, campaign_setup, serial_table, tmp_path
+    ):
+        engine, space = campaign_setup
+        merged = run_sharded_exhaustive(
+            engine, space, tmp_path / "q", shards=4, workers=2
+        )
+        assert_tables_identical(serial_table, merged)
+        assert merged.metadata["inference_count"] == (
+            serial_table.metadata["inference_count"]
+        )
+        assert merged.metadata["shards"] == 4
+        assert merged.metadata["merged"] is True
+
+    def test_shard_count_does_not_change_the_table(
+        self, campaign_setup, serial_table, tmp_path
+    ):
+        engine, space = campaign_setup
+        for shards in (1, 7):
+            merged = run_sharded_exhaustive(
+                engine, space, tmp_path / f"q{shards}",
+                shards=shards, workers=1,
+            )
+            assert_tables_identical(serial_table, merged)
+
+    def test_completion_order_does_not_change_the_table(
+        self, campaign_setup, serial_table, tmp_path
+    ):
+        """Drain shards explicitly in reverse claim order."""
+        engine, space = campaign_setup
+        queue = ShardQueue(tmp_path / "q")
+        config, specs = make_exhaustive_shards(engine, space, shards=4)
+        queue.submit(specs, config=config)
+        context = ExhaustiveContext(engine, space)
+        claimed = []
+        while (got := queue.claim(worker="w", lease_seconds=60.0)):
+            claimed.append(got)
+        for spec, lease in reversed(claimed):
+            arrays = context.run_shard(
+                spec, resolve_telemetry(None), lambda: None
+            )
+            queue.complete(spec, arrays, lease=lease)
+        assert_tables_identical(serial_table, merge_exhaustive(queue))
+
+
+class TestShardedSampled:
+    @pytest.fixture(scope="class")
+    def sampled_setup(self, campaign_setup, serial_table):
+        engine, space = campaign_setup
+        oracle = TableOracle(serial_table, space)
+        plan = DataUnawareSFI(0.2, 0.95).plan(space)
+        serial = CampaignRunner(oracle, space).run(plan, seed=7)
+        return engine, space, oracle, plan, serial
+
+    def test_sharded_matches_serial_exactly(self, sampled_setup, tmp_path):
+        engine, space, oracle, plan, serial = sampled_setup
+        merged = run_sharded_campaign(
+            oracle,
+            space,
+            plan,
+            tmp_path / "q",
+            seed=7,
+            shards=4,
+            workers=2,
+            golden_sha256=engine.fingerprint(),
+        )
+        assert merged.cell_tallies == serial.cell_tallies
+        assert merged.assumed_p == serial.assumed_p
+        assert merged.network_estimate() == serial.network_estimate()
+
+    def test_shard_count_does_not_change_the_result(
+        self, sampled_setup, tmp_path
+    ):
+        engine, space, oracle, plan, serial = sampled_setup
+        for shards in (1, 5):
+            merged = run_sharded_campaign(
+                oracle, space, plan, tmp_path / f"q{shards}",
+                seed=7, shards=shards, workers=1,
+            )
+            assert merged.cell_tallies == serial.cell_tallies
+            assert merged.assumed_p == serial.assumed_p
+
+
+class TestMergeRefusals:
+    def test_incomplete_queue_is_refused(self, campaign_setup, tmp_path):
+        engine, space = campaign_setup
+        queue = ShardQueue(tmp_path / "q")
+        config, specs = make_exhaustive_shards(engine, space, shards=4)
+        queue.submit(specs, config=config)
+        with pytest.raises(MergeError, match="incomplete"):
+            merge_exhaustive(queue)
+
+    def test_mismatched_config_fingerprint_is_refused(
+        self, campaign_setup, tmp_path
+    ):
+        """Results produced under one campaign config must not merge
+        into another, even if shard ids were forged to line up."""
+        import json
+
+        engine, space = campaign_setup
+        queue = ShardQueue(tmp_path / "q")
+        config, specs = make_exhaustive_shards(engine, space, shards=2)
+        queue.submit(specs, config=config)
+        context = ExhaustiveContext(engine, space)
+        while (got := queue.claim(worker="w", lease_seconds=60.0)):
+            spec, lease = got
+            arrays = context.run_shard(
+                spec, resolve_telemetry(None), lambda: None
+            )
+            queue.complete(spec, arrays, lease=lease)
+        # Tamper with the published campaign fingerprint: the done
+        # results now carry a different config hash than the campaign.
+        campaign = queue.campaign()
+        campaign["config_hash"] = "f" * 64
+        queue.campaign_path.write_text(json.dumps(campaign))
+        with pytest.raises(MergeError, match="was produced under config"):
+            merge_exhaustive(queue)
+
+    def test_wrong_kind_is_refused(self, campaign_setup, tmp_path):
+        engine, space = campaign_setup
+        queue = ShardQueue(tmp_path / "q")
+        config, specs = make_exhaustive_shards(engine, space, shards=2)
+        queue.submit(specs, config=config)
+        with pytest.raises(MergeError, match="expected 'sampled'"):
+            merge_sampled(queue, space)
+
+
+class TestWorkerVerification:
+    def test_mismatched_engine_fingerprint_is_refused(self, campaign_setup):
+        engine, space = campaign_setup
+        config = {"kind": "exhaustive", "golden_sha256": "0" * 64}
+        with pytest.raises(DistError, match="fingerprint mismatch"):
+            verify_context_config(ExhaustiveContext(engine, space), config)
+
+    def test_matching_engine_passes(self, campaign_setup):
+        engine, space = campaign_setup
+        config = {
+            "kind": "exhaustive",
+            "golden_sha256": engine.fingerprint(),
+            "layer_sizes": [layer.size for layer in space.layers],
+        }
+        verify_context_config(ExhaustiveContext(engine, space), config)
+
+    def test_kind_mismatch_is_refused(self, campaign_setup, serial_table):
+        engine, space = campaign_setup
+        oracle = TableOracle(serial_table, space)
+        plan = DataUnawareSFI(0.2, 0.95).plan(space)
+        context = SampledContext(oracle, space, plan)
+        with pytest.raises(DistError, match="does not match"):
+            verify_context_config(context, {"kind": "exhaustive"})
+
+
+class TestWorkerTelemetry:
+    def test_shard_lifecycle_is_journaled(
+        self, campaign_setup, tmp_path
+    ):
+        engine, space = campaign_setup
+        queue = ShardQueue(tmp_path / "q")
+        config, specs = make_exhaustive_shards(engine, space, shards=2)
+        queue.submit(specs, config=config)
+        events = []
+        telemetry = Telemetry(on_event=events.append)
+        worker = ShardWorker(
+            queue,
+            ExhaustiveContext(engine, space),
+            worker_id="test-worker",
+            telemetry=telemetry,
+        )
+        assert worker.run() == 2
+        types = [e.type for e in events]
+        assert types.count("shard_claim") == 2
+        assert types.count("shard_done") == 2
+        heartbeats = [e for e in events if e.type == "worker_heartbeat"]
+        assert len(heartbeats) == len(space.layers) * space.bits
+        assert all(
+            e.fields["worker"] == "test-worker"
+            for e in events
+            if e.type in {"shard_claim", "shard_done"}
+        )

@@ -1,0 +1,112 @@
+"""``repro-dist`` end to end: submit -> work -> status -> merge."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.dist import main as dist_main
+from repro.models import pretrained_path
+from repro.sfi.artifacts import exhaustive_table_path
+
+pytestmark = pytest.mark.skipif(
+    not (
+        pretrained_path("resnet8_mini").is_file()
+        and exhaustive_table_path("resnet8_mini").is_file()
+    ),
+    reason="needs the committed resnet8_mini artifacts",
+)
+
+SUBMIT = [
+    "--kind",
+    "sampled",
+    "--model",
+    "resnet8_mini",
+    "--method",
+    "data-unaware",
+    "--error-margin",
+    "0.1",
+    "--seed",
+    "5",
+    "--shards",
+    "4",
+]
+
+
+class TestSampledRoundTrip:
+    def test_submit_work_status_merge(self, tmp_path, capsys):
+        root = str(tmp_path / "q")
+        assert dist_main(["submit", root, *SUBMIT]) == 0
+        out = capsys.readouterr().out
+        assert "4 shard(s), 4 enqueued" in out
+
+        assert dist_main(["status", root, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["kind"] == "sampled"
+        assert len(status["pending"]) == 4
+        assert not status["complete"]
+
+        journal = tmp_path / "worker.jsonl"
+        assert dist_main(["work", root, "--trace", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "completed 4 shard(s)" in out
+        assert journal.is_file()
+
+        assert dist_main(["status", root, "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert len(status["done"]) == 4
+        assert status["complete"]
+
+        assert dist_main(["merge", root]) == 0
+        out = capsys.readouterr().out
+        assert "data-unaware" in out
+        assert "injections" in out
+
+    def test_merged_result_matches_serial_runner(self, tmp_path, capsys):
+        from repro.dist import ShardQueue, merge_sampled
+        from repro.faults import TableOracle
+        from repro.sfi import CampaignRunner, DataUnawareSFI
+        from repro.sfi.artifacts import load_or_run_exhaustive
+
+        root = str(tmp_path / "q")
+        assert dist_main(["submit", root, *SUBMIT]) == 0
+        assert dist_main(["work", root]) == 0
+        capsys.readouterr()
+
+        table, space, _engine = load_or_run_exhaustive("resnet8_mini")
+        plan = DataUnawareSFI(0.1, 0.99).plan(space)
+        serial = CampaignRunner(TableOracle(table, space), space).run(
+            plan, seed=5
+        )
+        merged = merge_sampled(ShardQueue(root), space)
+        assert merged.cell_tallies == serial.cell_tallies
+        assert merged.assumed_p == serial.assumed_p
+        assert merged.network_estimate() == serial.network_estimate()
+
+    def test_resubmit_resumes_instead_of_restarting(self, tmp_path, capsys):
+        root = str(tmp_path / "q")
+        assert dist_main(["submit", root, *SUBMIT]) == 0
+        capsys.readouterr()
+        assert dist_main(["work", root, "--max-shards", "2"]) == 0
+        capsys.readouterr()
+        assert dist_main(["submit", root, *SUBMIT]) == 0
+        out = capsys.readouterr().out
+        assert "0 enqueued (2 already done)" in out
+
+    def test_merge_refuses_incomplete_queue(self, tmp_path, capsys):
+        root = str(tmp_path / "q")
+        assert dist_main(["submit", root, *SUBMIT]) == 0
+        capsys.readouterr()
+        assert dist_main(["merge", root]) == 2
+        err = capsys.readouterr().err
+        assert "incomplete" in err
+
+    def test_mismatched_submission_is_refused(self, tmp_path, capsys):
+        root = str(tmp_path / "q")
+        assert dist_main(["submit", root, *SUBMIT]) == 0
+        capsys.readouterr()
+        different = [arg if arg != "5" else "6" for arg in SUBMIT]
+        assert dist_main(["submit", root, *different]) == 2
+        err = capsys.readouterr().err
+        assert "different config fingerprint" in err

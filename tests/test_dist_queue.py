@@ -1,0 +1,246 @@
+"""The file-backed shard queue: claims, leases, retries and poison."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.dist import DistError, ShardQueue, ShardSpec, config_hash
+from repro.dist.spec import _shard_id
+
+CONFIG = {"kind": "exhaustive", "fmt": "float16", "layer_sizes": [4, 8]}
+CFG_HASH = config_hash(CONFIG)
+
+
+def make_specs(n: int = 4) -> list[ShardSpec]:
+    specs = []
+    for index in range(n):
+        units = ((index, 0), (index, 1))
+        specs.append(
+            ShardSpec(
+                shard_id=_shard_id(
+                    CFG_HASH, "exhaustive", index, n, units, None
+                ),
+                kind="exhaustive",
+                index=index,
+                total=n,
+                config_hash=CFG_HASH,
+                units=units,
+            )
+        )
+    return specs
+
+
+@pytest.fixture
+def queue(tmp_path):
+    queue = ShardQueue(tmp_path / "q")
+    queue.submit(make_specs(), config=CONFIG, runtime={"model": "tiny"})
+    return queue
+
+
+class TestSubmit:
+    def test_submit_enqueues_all_shards(self, queue):
+        status = queue.status()
+        assert len(status.pending) == 4
+        assert not status.leased and not status.done and not status.poisoned
+        assert queue.campaign()["config_hash"] == CFG_HASH
+
+    def test_resubmit_same_campaign_is_idempotent(self, queue):
+        assert queue.submit(make_specs(), config=CONFIG) == 0
+        assert len(queue.status().pending) == 4
+
+    def test_resubmit_different_config_is_refused(self, queue):
+        other = dict(CONFIG, fmt="float32")
+        other_hash = config_hash(other)
+        spec = ShardSpec(
+            shard_id="deadbeef00000000",
+            kind="exhaustive",
+            index=0,
+            total=1,
+            config_hash=other_hash,
+            units=((0, 0),),
+        )
+        with pytest.raises(DistError, match="different config fingerprint"):
+            queue.submit([spec], config=other)
+
+    def test_submit_refuses_mismatched_spec(self, tmp_path):
+        queue = ShardQueue(tmp_path / "q2")
+        spec = ShardSpec(
+            shard_id="deadbeef00000000",
+            kind="exhaustive",
+            index=0,
+            total=1,
+            config_hash="0" * 64,
+            units=((0, 0),),
+        )
+        with pytest.raises(DistError, match="was built for config"):
+            queue.submit([spec], config=CONFIG)
+
+    def test_unsubmitted_root_has_no_campaign(self, tmp_path):
+        with pytest.raises(DistError, match="no submitted campaign"):
+            ShardQueue(tmp_path / "empty").campaign()
+
+
+class TestClaimComplete:
+    def test_claim_moves_spec_to_leased(self, queue):
+        claimed = queue.claim(worker="w1", lease_seconds=30.0)
+        assert claimed is not None
+        spec, lease = claimed
+        status = queue.status()
+        assert len(status.pending) == 3
+        assert [entry["shard_id"] for entry in status.leased] == [spec.shard_id]
+        assert status.leased[0]["worker"] == "w1"
+        assert lease.deadline > time.time()
+
+    def test_each_shard_claimed_once(self, queue):
+        seen = set()
+        while (claimed := queue.claim(worker="w1", lease_seconds=30.0)):
+            spec, lease = claimed
+            assert spec.shard_id not in seen
+            seen.add(spec.shard_id)
+            lease.release()
+        assert len(seen) == 4
+
+    def test_complete_retires_the_shard(self, queue):
+        spec, lease = queue.claim(worker="w1", lease_seconds=30.0)
+        queue.complete(spec, {"x": np.arange(3)}, lease=lease)
+        status = queue.status()
+        assert status.done == [spec.shard_id]
+        assert not status.leased
+        meta, arrays = queue.load_result(spec.shard_id)
+        assert meta["shard_id"] == spec.shard_id
+        assert meta["config_hash"] == CFG_HASH
+        assert np.array_equal(arrays["x"], np.arange(3))
+
+    def test_is_complete_after_all_done(self, queue):
+        while (claimed := queue.claim(worker="w1", lease_seconds=30.0)):
+            spec, lease = claimed
+            queue.complete(spec, {"x": np.zeros(1)}, lease=lease)
+        assert queue.is_complete()
+        assert queue.status().complete
+
+
+class TestFailureHandling:
+    @pytest.fixture
+    def queue(self, tmp_path):
+        # A single-shard queue: the failed shard is the only claimable
+        # one, so backoff windows are observable through claim().
+        queue = ShardQueue(tmp_path / "q1")
+        queue.submit(make_specs(1), config=CONFIG)
+        return queue
+
+    def test_fail_requeues_with_backoff(self, queue):
+        spec, lease = queue.claim(worker="w1", lease_seconds=30.0)
+        now = time.time()
+        outcome = queue.fail(
+            spec, "boom", lease=lease, backoff_base=0.5, now=now
+        )
+        assert outcome == "requeued"
+        # Inside the backoff window the shard is not claimable ...
+        assert queue.claim(worker="w2", lease_seconds=30.0, now=now) is None
+        # ... but it is once the window passes, carrying its history.
+        retry, _lease = queue.claim(
+            worker="w2", lease_seconds=30.0, now=now + 1.0
+        )
+        assert retry.shard_id == spec.shard_id
+        assert retry.attempts == 1
+        assert retry.history == ("boom",)
+
+    def test_backoff_doubles_and_caps(self, queue):
+        spec, lease = queue.claim(worker="w1", lease_seconds=30.0)
+        now = time.time()
+        queue.fail(
+            spec,
+            "boom",
+            lease=lease,
+            max_attempts=10,
+            backoff_base=0.5,
+            backoff_cap=1.0,
+            now=now,
+        )
+        first = queue._read_spec(
+            queue.pending_dir / f"{spec.shard_id}.json"
+        )
+        assert first.not_before == pytest.approx(now + 0.5)
+        queue.fail(
+            first,
+            "boom again",
+            max_attempts=10,
+            backoff_base=0.5,
+            backoff_cap=1.0,
+            now=now,
+        )
+        second = queue._read_spec(
+            queue.pending_dir / f"{spec.shard_id}.json"
+        )
+        # 0.5 * 2**1 = 1.0 hits the cap; further failures stay capped.
+        assert second.not_before == pytest.approx(now + 1.0)
+
+    def test_poison_after_max_attempts(self, queue):
+        spec, lease = queue.claim(worker="w1", lease_seconds=30.0)
+        outcome = queue.fail(spec, "first", lease=lease, max_attempts=2)
+        assert outcome == "requeued"
+        retry, lease = queue.claim(
+            worker="w1", lease_seconds=30.0, now=time.time() + 5
+        )
+        outcome = queue.fail(retry, "second", lease=lease, max_attempts=2)
+        assert outcome == "poisoned"
+        poisoned = queue.poisoned()
+        assert [s.shard_id for s in poisoned] == [spec.shard_id]
+        assert poisoned[0].history == ("first", "second")
+        assert queue.status().poisoned == [spec.shard_id]
+
+
+class TestLeaseExpiry:
+    def test_expired_lease_is_released(self, queue):
+        spec, _lease = queue.claim(worker="dead", lease_seconds=0.05)
+        time.sleep(0.1)
+        released = queue.release_expired(lease_seconds=0.05)
+        assert released == [(spec.shard_id, "requeued")]
+        # The requeued spec records the expiry as one failed attempt.
+        requeued, _ = queue.claim(
+            worker="w2", lease_seconds=30.0, now=time.time() + 5
+        )
+        assert requeued.shard_id == spec.shard_id
+        assert requeued.attempts == 1
+        assert "lease expired" in requeued.history[0]
+
+    def test_live_lease_is_left_alone(self, queue):
+        queue.claim(worker="alive", lease_seconds=30.0)
+        assert queue.release_expired(lease_seconds=30.0) == []
+        assert len(queue.status().leased) == 1
+
+    def test_heartbeat_renewal_extends_the_lease(self, queue):
+        spec, lease = queue.claim(worker="w1", lease_seconds=0.2)
+        deadline = lease.deadline
+        time.sleep(0.15)
+        assert lease.maybe_renew()
+        assert lease.deadline > deadline
+        assert queue.release_expired(lease_seconds=0.2) == []
+
+    def test_late_completion_after_expiry_is_idempotent(self, queue):
+        """A worker whose lease expired may still finish; the redundant
+        requeued copy is dropped at the next claim."""
+        spec, lease = queue.claim(worker="slow", lease_seconds=0.05)
+        time.sleep(0.1)
+        queue.release_expired(lease_seconds=0.05)
+        queue.complete(spec, {"x": np.zeros(1)}, lease=lease)
+        assert queue.claim(
+            worker="w2", lease_seconds=30.0, now=time.time() + 5
+        ) is not None  # some other shard; the finished one is skipped
+        done = queue.done_ids()
+        assert spec.shard_id in done
+        assert not (queue.pending_dir / f"{spec.shard_id}.json").exists()
+
+
+class TestResume:
+    def test_resubmit_after_partial_run_keeps_done_shards(self, queue):
+        spec, lease = queue.claim(worker="w1", lease_seconds=30.0)
+        queue.complete(spec, {"x": np.zeros(1)}, lease=lease)
+        enqueued = queue.submit(make_specs(), config=CONFIG)
+        assert enqueued == 0  # 3 still pending, 1 done, nothing re-added
+        status = queue.status()
+        assert len(status.pending) == 3
+        assert status.done == [spec.shard_id]

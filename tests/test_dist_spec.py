@@ -1,0 +1,106 @@
+"""Shard identity: stable ids, partitioning and serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import SynthCIFAR
+from repro.dist import (
+    ShardSpec,
+    config_hash,
+    make_exhaustive_shards,
+    make_sampled_shards,
+    plan_hash,
+)
+from repro.dist.spec import _partition
+from repro.faults import FaultSpace, InferenceEngine
+from repro.ieee754 import FLOAT16
+from repro.models import ResNetCIFAR
+from repro.sfi import DataUnawareSFI
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = ResNetCIFAR(blocks_per_stage=1, widths=(2, 4, 6), seed=3)
+    model.eval()
+    data = SynthCIFAR("test", size=8, seed=42)
+    engine = InferenceEngine(model, data.images, data.labels, fmt=FLOAT16)
+    space = FaultSpace(engine.layers, fmt=FLOAT16)
+    return engine, space
+
+
+class TestConfigHash:
+    def test_stable_across_key_order(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_sensitive_to_values(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_plan_hash_covers_seed_and_margin(self, setup):
+        _engine, space = setup
+        plan = DataUnawareSFI(0.05, 0.95).plan(space)
+        assert plan_hash(plan, seed=0) != plan_hash(plan, seed=1)
+        other = DataUnawareSFI(0.1, 0.95).plan(space)
+        assert plan_hash(plan, seed=0) != plan_hash(other, seed=0)
+
+
+class TestPartition:
+    def test_round_robin_covers_everything_once(self):
+        units = list(range(17))
+        parts = _partition(units, 4)
+        flat = sorted(u for part in parts for u in part)
+        assert flat == units
+        assert max(len(p) for p in parts) - min(len(p) for p in parts) <= 1
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError):
+            _partition([1, 2, 3], 0)
+
+
+class TestShardSpecs:
+    def test_exhaustive_shards_cover_every_cell(self, setup):
+        engine, space = setup
+        _config, specs = make_exhaustive_shards(engine, space, shards=4)
+        cells = sorted(
+            (int(u[0]), int(u[1])) for spec in specs for u in spec.units
+        )
+        expected = sorted(
+            (layer, bit)
+            for layer in range(len(space.layers))
+            for bit in range(space.bits)
+        )
+        assert cells == expected
+
+    def test_shard_ids_are_stable_across_submitters(self, setup):
+        engine, space = setup
+        _c1, first = make_exhaustive_shards(engine, space, shards=4)
+        _c2, second = make_exhaustive_shards(engine, space, shards=4)
+        assert [s.shard_id for s in first] == [s.shard_id for s in second]
+
+    def test_shard_ids_differ_across_shard_counts(self, setup):
+        engine, space = setup
+        _c1, four = make_exhaustive_shards(engine, space, shards=4)
+        _c2, eight = make_exhaustive_shards(engine, space, shards=8)
+        assert set(s.shard_id for s in four).isdisjoint(
+            s.shard_id for s in eight
+        )
+
+    def test_sampled_shards_cover_every_plan_item(self, setup):
+        engine, space = setup
+        plan = DataUnawareSFI(0.05, 0.95).plan(space)
+        _config, specs = make_sampled_shards(
+            plan, space, seed=3, shards=4, golden_sha256=engine.fingerprint()
+        )
+        items = sorted(int(u) for spec in specs for u in spec.units)
+        assert items == list(range(len(plan.items)))
+        assert all(spec.seed == 3 for spec in specs)
+
+    def test_json_round_trip(self, setup):
+        engine, space = setup
+        _config, specs = make_exhaustive_shards(engine, space, shards=4)
+        spec = specs[0].with_failure("boom", not_before=123.5)
+        restored = ShardSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.attempts == 1
+        assert restored.history == ("boom",)
+        assert restored.not_before == 123.5

@@ -192,3 +192,51 @@ class TestOracles:
         oracle = InferenceOracle(engine)
         fault = Fault(layer=0, index=0, bit=30, model=FaultModel.STUCK_AT_1)
         assert oracle.classify(fault) == engine.classify(fault)
+
+
+class TestResolveWorkers:
+    """Worker-count resolution: explicit value, env override, CPU count."""
+
+    def test_explicit_value_wins(self, monkeypatch):
+        from repro.faults.table import resolve_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_override_applies_when_unset(self, monkeypatch):
+        from repro.faults.table import resolve_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers(None) == 5
+
+    def test_env_override_is_clamped_to_one(self, monkeypatch):
+        from repro.faults.table import resolve_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert resolve_workers(None) == 1
+        monkeypatch.setenv("REPRO_WORKERS", "-4")
+        assert resolve_workers(None) == 1
+
+    def test_blank_env_falls_back_to_cpu_count(self, monkeypatch):
+        import os
+
+        from repro.faults.table import resolve_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "  ")
+        assert resolve_workers(None) == max(1, os.cpu_count() or 1)
+
+    def test_non_integer_env_is_an_error(self, monkeypatch):
+        from repro.faults.table import resolve_workers
+
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+
+    def test_default_without_env(self, monkeypatch):
+        import os
+
+        from repro.faults.table import resolve_workers
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == max(1, os.cpu_count() or 1)
+        assert resolve_workers(0) == 1

@@ -256,3 +256,75 @@ class TestRunManySeedDeterminism:
         for i in range(len(tallies)):
             for j in range(i + 1, len(tallies)):
                 assert tallies[i] != tallies[j]
+
+
+class TestStratumSubstreams:
+    """Per-stratum RNG substreams make draws order- and shard-independent."""
+
+    @pytest.fixture(scope="class")
+    def random_oracle(self, random_truth, space):
+        return TableOracle(random_truth, space)
+
+    def test_stratum_rng_matches_seedsequence_spawn(self):
+        from repro.sfi.runner import stratum_rng
+
+        children = np.random.SeedSequence(42).spawn(5)
+        for index, child in enumerate(children):
+            ours = stratum_rng(42, index).random(8)
+            spawned = np.random.default_rng(child).random(8)
+            assert np.array_equal(ours, spawned)
+
+    def test_item_execution_order_does_not_change_tallies(
+        self, random_oracle, space
+    ):
+        """Running the plan's items in any permutation tallies identically
+        — each stratum draws from its own substream, so no stratum's
+        sample depends on which strata ran before it."""
+        from repro.sfi.runner import execute_plan_items
+
+        plan = DataUnawareSFI(0.05).plan(space)
+        indices = list(range(len(plan.items)))
+        forward, assumed_f = execute_plan_items(
+            plan, random_oracle, indices, seed=3
+        )
+        backward, assumed_b = execute_plan_items(
+            plan, random_oracle, list(reversed(indices)), seed=3
+        )
+        assert forward == backward
+        assert assumed_f == assumed_b
+
+    def test_partitioned_execution_sums_to_serial(
+        self, random_oracle, space
+    ):
+        """Any partition of the items (the distributed sharding case)
+        folds back into exactly the serial tallies."""
+        from repro.sfi.runner import execute_plan_items
+
+        plan = DataUnawareSFI(0.05).plan(space)
+        indices = list(range(len(plan.items)))
+        serial, serial_assumed = execute_plan_items(
+            plan, random_oracle, indices, seed=9
+        )
+        merged: dict = {}
+        merged_assumed: dict = {}
+        for shard in (indices[0::3], indices[1::3], indices[2::3]):
+            tallies, assumed = execute_plan_items(
+                plan, random_oracle, shard, seed=9
+            )
+            for key, counts in tallies.items():
+                tally = merged.setdefault(key, [0, 0, 0])
+                for slot in range(3):
+                    tally[slot] += counts[slot]
+            merged_assumed.update(assumed)
+        assert merged == serial
+        assert merged_assumed == serial_assumed
+
+    def test_pool_workers_match_serial_run(self, random_oracle, space):
+        """CampaignRunner.run(workers=2) equals the serial run exactly."""
+        runner = CampaignRunner(random_oracle, space)
+        plan = DataUnawareSFI(0.05).plan(space)
+        serial = runner.run(plan, seed=11, workers=1)
+        pooled = runner.run(plan, seed=11, workers=2)
+        assert pooled.cell_tallies == serial.cell_tallies
+        assert pooled.assumed_p == serial.assumed_p
+        assert pooled.network_estimate() == serial.network_estimate()
