@@ -45,7 +45,6 @@ from repro.dist import (
 )
 from repro.faults import (
     FaultSpace,
-    InferenceEngine,
     InferenceOracle,
     TableOracle,
 )
@@ -72,13 +71,19 @@ def _build_engine(runtime: dict, *, telemetry=None):
     set, so every host reconstructs the same engine fingerprint (and
     ``verify_context_config`` can prove it did).
     """
+    from repro.runtime import create_engine
+
     model = create_model(runtime["model"], pretrained=True)
     data = SynthCIFAR("test", size=int(runtime["eval_size"]), seed=1234)
-    engine = InferenceEngine(
+    engine = create_engine(
         model,
         data.images,
         data.labels,
+        # Queues submitted before engine selection existed carry no
+        # "engine" key; they were computed by the module engine.
+        kind=runtime.get("engine", "module"),
         policy=runtime.get("policy", "accuracy_drop"),
+        fuse=bool(runtime.get("fuse", False)),
         telemetry=telemetry,
     )
     return engine, FaultSpace(engine.layers)
@@ -119,6 +124,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--eval-size", type=int, default=64)
     submit.add_argument("--policy", default="accuracy_drop")
+    submit.add_argument(
+        "--engine",
+        default="plan",
+        choices=("plan", "module"),
+        help="execution engine; unfused plan and module outcomes are "
+        "bit-identical (default: plan)",
+    )
+    submit.add_argument(
+        "--fuse",
+        action="store_true",
+        help="enable the plan engine's numeric-changing fusions "
+        "(BN-folding, workspace reuse); changes the campaign fingerprint",
+    )
     submit.add_argument(
         "--shards", type=int, default=4, help="shard count (default: 4)"
     )
@@ -199,12 +217,16 @@ def _cmd_submit(args) -> int:
             "model": args.model,
             "eval_size": args.eval_size,
             "policy": args.policy,
+            "engine": args.engine,
+            "fuse": args.fuse,
         }
     )
     runtime = {
         "model": args.model,
         "eval_size": args.eval_size,
         "policy": args.policy,
+        "engine": args.engine,
+        "fuse": bool(args.fuse),
         "golden_accuracy": engine.golden_accuracy,
     }
     if args.kind == "exhaustive":
@@ -286,6 +308,8 @@ def _cmd_work(args) -> int:
                 runtime["model"],
                 eval_size=int(runtime["eval_size"]),
                 policy=runtime.get("policy", "accuracy_drop"),
+                engine_kind=runtime.get("engine", "module"),
+                fuse=bool(runtime.get("fuse", False)),
                 telemetry=telemetry,
             )
             oracle = TableOracle(table, space)

@@ -60,6 +60,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--eval-size", type=int, default=64, help="evaluation set size"
     )
     parser.add_argument(
+        "--engine",
+        default="plan",
+        choices=("plan", "module"),
+        help="fault-evaluation engine: 'plan' (op-granular caching, "
+        "batched faults; default) or 'module' (stage-granular "
+        "reference). Unfused outcomes are bit-identical either way.",
+    )
+    parser.add_argument(
+        "--fuse",
+        action="store_true",
+        help="plan engine only: enable numeric-changing fusions "
+        "(BN-folding into conv, im2col workspace reuse). Changes the "
+        "engine fingerprint; results cache separately and never merge "
+        "with unfused campaigns.",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="K",
+        help="plan engine only: same-layer faults evaluated per stacked "
+        "tail pass (default: 16)",
+    )
+    parser.add_argument(
         "--live",
         action="store_true",
         help="really inject each sampled fault instead of replaying the "
@@ -101,12 +125,15 @@ def main(argv: list[str] | None = None) -> int:
         table, space, engine = load_or_run_exhaustive(
             args.model,
             eval_size=args.eval_size,
+            engine_kind=args.engine,
+            fuse=args.fuse,
+            batch_size=args.batch_size,
             workers=args.workers,
             shards=args.shards,
             resume=not args.no_resume,
             telemetry=telemetry,
         )
-    except CorruptArtifactError as exc:
+    except (CorruptArtifactError, ValueError) as exc:
         print(f"repro-run: error: {exc}", file=sys.stderr)
         return 2
     planner = _PLANNERS[args.method](args.error_margin, args.confidence)

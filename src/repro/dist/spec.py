@@ -16,7 +16,7 @@ import hashlib
 import json
 from dataclasses import dataclass, field, replace
 
-from repro.faults.engine import InferenceEngine
+from repro.faults.engine import FaultInjectionEngine
 from repro.faults.space import FaultSpace
 from repro.faults.table import campaign_config
 from repro.sfi.planners import CampaignPlan
@@ -62,7 +62,7 @@ def plan_hash(plan: CampaignPlan, *, seed: int) -> str:
     return config_hash(payload)
 
 
-def exhaustive_config(engine: InferenceEngine, space: FaultSpace) -> dict:
+def exhaustive_config(engine: FaultInjectionEngine, space: FaultSpace) -> dict:
     """Identity of an exhaustive campaign (same as the checkpoint config)."""
     config = dict(campaign_config(engine, space))
     config["kind"] = EXHAUSTIVE
@@ -205,7 +205,7 @@ def _partition(units: list, shards: int) -> list[list]:
 
 
 def make_exhaustive_shards(
-    engine: InferenceEngine, space: FaultSpace, *, shards: int
+    engine: FaultInjectionEngine, space: FaultSpace, *, shards: int
 ) -> tuple[dict, list[ShardSpec]]:
     """Split an exhaustive campaign's (layer, bit) cells into shards.
 

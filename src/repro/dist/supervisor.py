@@ -28,7 +28,7 @@ from repro.dist.worker import (
     SampledContext,
     ShardWorker,
 )
-from repro.faults.engine import InferenceEngine
+from repro.faults.engine import FaultInjectionEngine
 from repro.faults.space import FaultSpace
 from repro.faults.table import OutcomeTable, resolve_workers
 from repro.sfi.planners import CampaignPlan
@@ -197,7 +197,7 @@ def _drain_with_local_fleet(
 
 
 def run_sharded_exhaustive(
-    engine: InferenceEngine,
+    engine: FaultInjectionEngine,
     space: FaultSpace,
     root: str | os.PathLike,
     *,

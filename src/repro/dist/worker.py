@@ -21,7 +21,7 @@ import numpy as np
 from repro.dist.lease import Lease, LeaseKeeper
 from repro.dist.queue import ShardQueue
 from repro.dist.spec import EXHAUSTIVE, SAMPLED, DistError, ShardSpec
-from repro.faults.engine import InferenceEngine
+from repro.faults.engine import FaultInjectionEngine
 from repro.faults.space import FaultSpace
 from repro.faults.table import cell_key, timed_classify_cell
 from repro.sfi.planners import CampaignPlan
@@ -72,7 +72,7 @@ class ExhaustiveContext:
 
     kind = EXHAUSTIVE
 
-    def __init__(self, engine: InferenceEngine, space: FaultSpace) -> None:
+    def __init__(self, engine: FaultInjectionEngine, space: FaultSpace) -> None:
         self.engine = engine
         self.space = space
 

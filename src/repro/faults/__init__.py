@@ -31,7 +31,12 @@ from repro.faults.model import Fault, FaultModel, STUCK_AT_MODELS
 from repro.faults.targets import WeightLayer, enumerate_weight_layers
 from repro.faults.space import FaultSpace
 from repro.faults.injector import WeightFaultInjector
-from repro.faults.engine import FaultOutcome, InferenceEngine, classify_predictions
+from repro.faults.engine import (
+    FaultInjectionEngine,
+    FaultOutcome,
+    InferenceEngine,
+    classify_predictions,
+)
 from repro.faults.table import OutcomeTable
 from repro.faults.oracle import InferenceOracle, Oracle, TableOracle
 
@@ -47,6 +52,7 @@ __all__ = [
     "enumerate_weight_layers",
     "FaultSpace",
     "WeightFaultInjector",
+    "FaultInjectionEngine",
     "FaultOutcome",
     "InferenceEngine",
     "classify_predictions",

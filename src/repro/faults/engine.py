@@ -12,12 +12,20 @@ here:
 2. **Prefix caching.**  A weight fault in stage *s* cannot change the
    activations of stages ``< s``; the engine caches every stage's golden
    input once and, per fault, recomputes only stages ``s..end``.
+
+This module holds the classification machinery shared by every engine
+(:class:`FaultInjectionEngine`) and the *module* engine
+(:class:`InferenceEngine`), whose cache is stage-granular.  The
+op-granular, batch-evaluating *plan* engine lives in
+:mod:`repro.runtime` and shares the same base — same fingerprinting,
+same classification semantics, bit-identical outcomes.
 """
 
 from __future__ import annotations
 
 import enum
 import hashlib
+import json
 from collections.abc import Sequence
 
 import numpy as np
@@ -26,7 +34,7 @@ from repro.faults.injector import WeightFaultInjector
 from repro.faults.model import Fault
 from repro.faults.targets import WeightLayer, enumerate_weight_layers
 from repro.ieee754 import FLOAT32, FloatFormat
-from repro.nn import Conv2d, Linear, Module
+from repro.nn import Module
 from repro.telemetry import Telemetry, resolve_telemetry
 
 
@@ -82,8 +90,183 @@ def classify_predictions(
     return FaultOutcome.CRITICAL if critical else FaultOutcome.NON_CRITICAL
 
 
-class InferenceEngine:
+class FaultInjectionEngine:
+    """Shared base of every fault-classification engine.
+
+    Owns everything that is independent of *how* a faulty forward pass
+    is computed: the eval set, the weight-layer enumeration and injector,
+    the classification policy, the config-covering fingerprint, and the
+    masked-fault short-circuit.  Subclasses set :attr:`kind` (and, for
+    numeric-changing variants, :attr:`fusions`) and implement
+    :meth:`_predictions_with_fault`; batching engines additionally
+    override :meth:`predictions_for_faults` and raise
+    :attr:`batch_size` above one.
+    """
+
+    #: Engine identity folded into the fingerprint ("module" / "plan").
+    kind = "base"
+    #: Numeric-changing rewrites active in this engine (fingerprinted).
+    fusions: tuple[str, ...] = ()
+    #: Faults evaluated per tail pass; 1 means classic one-at-a-time.
+    batch_size = 1
+
+    def __init__(
+        self,
+        model: Module,
+        images: np.ndarray,
+        labels: np.ndarray,
+        *,
+        fmt: FloatFormat = FLOAT32,
+        policy: str = "accuracy_drop",
+        threshold: float = 0.0,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if len(images) != len(labels):
+            raise ValueError("images and labels must have the same length")
+        model.eval()
+        self.model = model
+        self.images = np.asarray(images, dtype=np.float32)
+        self.labels = np.asarray(labels)
+        self.policy = policy
+        self.threshold = threshold
+        self.telemetry = resolve_telemetry(telemetry)
+        self.layers: list[WeightLayer] = enumerate_weight_layers(model)
+        self.injector = WeightFaultInjector(self.layers, fmt=fmt)
+        #: Logical fault inferences performed (a batched tail pass that
+        #: classifies K faults counts K, keeping faults/sec comparable
+        #: across engines).
+        self.inference_count = 0
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the campaign's full classification identity.
+
+        Covers the golden weight bits and eval images *and* everything
+        that decides an outcome given them: the float format, the
+        classification policy and threshold, the engine kind, and any
+        numeric-changing fusions.  Two engines sharing a fingerprint
+        classify every fault identically; checkpoints and distributed
+        shards compare it so progress recorded under different weights,
+        policies or fused numerics is never resumed or merged.
+        """
+        digest = hashlib.sha256()
+        header = json.dumps(
+            {
+                "fmt": self.injector.fmt.name,
+                "policy": self.policy,
+                "threshold": self.threshold,
+                "engine": self.kind,
+                "fusions": list(self.fusions),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        digest.update(header.encode("utf-8"))
+        for layer in self.layers:
+            digest.update(self.injector.fmt.encode(layer.flat_weights()).tobytes())
+        digest.update(self.images.tobytes())
+        return digest.hexdigest()
+
+    # -- classification -------------------------------------------------------
+
+    def predictions_with_fault(self, fault: Fault) -> np.ndarray:
+        """Top-1 predictions of the faulty network (always runs inference)."""
+        if self.telemetry.enabled:
+            with self.telemetry.span("engine.inference"):
+                return self._predictions_with_fault(fault)
+        return self._predictions_with_fault(fault)
+
+    def _predictions_with_fault(self, fault: Fault) -> np.ndarray:
+        raise NotImplementedError
+
+    def predictions_for_faults(self, faults: Sequence[Fault]) -> np.ndarray:
+        """Faulty top-1 predictions for a batch of faults: ``(K, N)``.
+
+        The base implementation runs one prefix-cached inference per
+        fault; batching engines override it to evaluate same-layer
+        faults per stacked tail pass.
+        """
+        return np.stack([self.predictions_with_fault(f) for f in faults])
+
+    def classify(self, fault: Fault) -> FaultOutcome:
+        """Outcome of injecting *fault*: masked, non-critical or critical."""
+        if self.injector.is_masked(fault):
+            return FaultOutcome.MASKED
+        predictions = self.predictions_with_fault(fault)
+        return classify_predictions(
+            predictions,
+            self.golden_predictions,
+            self.labels,
+            policy=self.policy,
+            threshold=self.threshold,
+        )
+
+    def classify_many(self, faults: Sequence[Fault]) -> list[FaultOutcome]:
+        """Classify a batch of faults (order of outcomes matches input).
+
+        Non-masked faults are grouped by target layer and classified in
+        :attr:`batch_size` chunks through :meth:`predictions_for_faults`
+        — on a batching engine, same-layer faults share tail passes; on
+        the module engine (batch size one) this is exactly the classic
+        sequential loop.
+        """
+        if self.telemetry.enabled:
+            with self.telemetry.span(
+                "engine.classify_many", emit=True, faults=len(faults)
+            ):
+                outcomes = self._classify_many(faults)
+            self.telemetry.counter("engine.faults_classified").add(len(faults))
+            return outcomes
+        return self._classify_many(faults)
+
+    def _classify_many(self, faults: Sequence[Fault]) -> list[FaultOutcome]:
+        if self.batch_size == 1:
+            # Non-batching engines keep the bare sequential hot loop —
+            # the grouping below would only add per-fault bookkeeping.
+            outcomes_seq: list[FaultOutcome] = []
+            for fault in faults:
+                if self.injector.is_masked(fault):
+                    outcomes_seq.append(FaultOutcome.MASKED)
+                    continue
+                predictions = self.predictions_with_fault(fault)
+                outcomes_seq.append(
+                    classify_predictions(
+                        predictions,
+                        self.golden_predictions,
+                        self.labels,
+                        policy=self.policy,
+                        threshold=self.threshold,
+                    )
+                )
+            return outcomes_seq
+        outcomes: list[FaultOutcome | None] = [None] * len(faults)
+        by_layer: dict[int, list[int]] = {}
+        for pos, fault in enumerate(faults):
+            if self.injector.is_masked(fault):
+                outcomes[pos] = FaultOutcome.MASKED
+            else:
+                by_layer.setdefault(fault.layer, []).append(pos)
+        for positions in by_layer.values():
+            for start in range(0, len(positions), self.batch_size):
+                chunk = positions[start : start + self.batch_size]
+                rows = self.predictions_for_faults([faults[p] for p in chunk])
+                for pos, row in zip(chunk, rows):
+                    outcomes[pos] = classify_predictions(
+                        row,
+                        self.golden_predictions,
+                        self.labels,
+                        policy=self.policy,
+                        threshold=self.threshold,
+                    )
+        return outcomes
+
+
+class InferenceEngine(FaultInjectionEngine):
     """Classifies faults by (prefix-cached) inference over a fixed eval set.
+
+    This is the *module* engine: it walks ``stage_modules()`` and caches
+    golden activations at stage granularity.  The op-granular
+    :class:`repro.runtime.PlanEngine` is bit-identical (when unfused)
+    and faster; this engine remains the reference implementation.
 
     Parameters
     ----------
@@ -102,6 +285,8 @@ class InferenceEngine:
         costs one attribute read per fault.
     """
 
+    kind = "module"
+
     def __init__(
         self,
         model: Module,
@@ -117,26 +302,22 @@ class InferenceEngine:
             raise TypeError(
                 "model must expose stage_modules() for prefix caching"
             )
-        if len(images) != len(labels):
-            raise ValueError("images and labels must have the same length")
-        model.eval()
-        self.model = model
-        self.images = np.asarray(images, dtype=np.float32)
-        self.labels = np.asarray(labels)
-        self.policy = policy
-        self.threshold = threshold
-        self.telemetry = resolve_telemetry(telemetry)
+        super().__init__(
+            model,
+            images,
+            labels,
+            fmt=fmt,
+            policy=policy,
+            threshold=threshold,
+            telemetry=telemetry,
+        )
         self.stages: list[Module] = model.stage_modules()
-        self.layers: list[WeightLayer] = enumerate_weight_layers(model)
-        self.injector = WeightFaultInjector(self.layers, fmt=fmt)
         self._layer_stage = self._map_layers_to_stages()
         self._activations = self._compute_golden_activations()
         self.golden_predictions = self._activations[-1].argmax(axis=1)
         self.golden_accuracy = float(
             (self.golden_predictions == self.labels).mean()
         )
-        #: Number of actual (non-masked) inference runs performed.
-        self.inference_count = 0
 
     def _map_layers_to_stages(self) -> list[int]:
         """Stage index owning each weight layer, in layer order."""
@@ -162,30 +343,6 @@ class InferenceEngine:
             acts.append(stage.forward_fast(acts[-1]))
         return acts
 
-    def fingerprint(self) -> str:
-        """SHA-256 over the golden weight bits and the eval images.
-
-        Identifies the campaign's inputs: two engines with the same
-        fingerprint (and policy/threshold) classify every fault
-        identically.  Campaign checkpoints store it so progress recorded
-        against different weights (e.g. after retraining) is never
-        resumed.
-        """
-        digest = hashlib.sha256()
-        for layer in self.layers:
-            digest.update(self.injector.fmt.encode(layer.flat_weights()).tobytes())
-        digest.update(self.images.tobytes())
-        return digest.hexdigest()
-
-    # -- classification -------------------------------------------------------
-
-    def predictions_with_fault(self, fault: Fault) -> np.ndarray:
-        """Top-1 predictions of the faulty network (always runs inference)."""
-        if self.telemetry.enabled:
-            with self.telemetry.span("engine.inference"):
-                return self._predictions_with_fault(fault)
-        return self._predictions_with_fault(fault)
-
     def _predictions_with_fault(self, fault: Fault) -> np.ndarray:
         stage_idx = self._layer_stage[fault.layer]
         # Corrupted weights legitimately push activations to inf/NaN; the
@@ -195,28 +352,6 @@ class InferenceEngine:
             for stage in self.stages[stage_idx:]:
                 x = stage.forward_fast(x)
         self.inference_count += 1
-        return x.argmax(axis=1)
-
-    def classify(self, fault: Fault) -> FaultOutcome:
-        """Outcome of injecting *fault*: masked, non-critical or critical."""
-        if self.injector.is_masked(fault):
-            return FaultOutcome.MASKED
-        predictions = self.predictions_with_fault(fault)
-        return classify_predictions(
-            predictions,
-            self.golden_predictions,
-            self.labels,
-            policy=self.policy,
-            threshold=self.threshold,
-        )
-
-    def classify_many(self, faults: Sequence[Fault]) -> list[FaultOutcome]:
-        """Classify a batch of faults (sequentially)."""
         if self.telemetry.enabled:
-            with self.telemetry.span(
-                "engine.classify_many", emit=True, faults=len(faults)
-            ):
-                outcomes = [self.classify(fault) for fault in faults]
-            self.telemetry.counter("engine.faults_classified").add(len(faults))
-            return outcomes
-        return [self.classify(fault) for fault in faults]
+            self.telemetry.counter("engine.inferences").add(1)
+        return x.argmax(axis=1)

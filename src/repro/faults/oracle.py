@@ -10,9 +10,10 @@ free once the ground truth exists.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from typing import Protocol
 
-from repro.faults.engine import FaultOutcome, InferenceEngine
+from repro.faults.engine import FaultInjectionEngine, FaultOutcome
 from repro.faults.model import Fault
 from repro.faults.space import FaultSpace
 from repro.faults.table import OutcomeTable
@@ -25,15 +26,27 @@ class Oracle(Protocol):
         """Outcome of injecting *fault*."""
         ...
 
+    def classify_many(self, faults: Sequence[Fault]) -> list[FaultOutcome]:
+        """Outcomes of a batch of faults, in input order.
+
+        Semantically ``[classify(f) for f in faults]``; batching oracles
+        (a plan engine underneath) share tail passes across same-layer
+        faults.
+        """
+        ...
+
 
 class InferenceOracle:
     """Classify faults by actually injecting and running inference."""
 
-    def __init__(self, engine: InferenceEngine) -> None:
+    def __init__(self, engine: FaultInjectionEngine) -> None:
         self.engine = engine
 
     def classify(self, fault: Fault) -> FaultOutcome:
         return self.engine.classify(fault)
+
+    def classify_many(self, faults: Sequence[Fault]) -> list[FaultOutcome]:
+        return self.engine.classify_many(faults)
 
 
 class TableOracle:
@@ -59,3 +72,6 @@ class TableOracle:
                 f"fault model {fault.model} not covered by this table"
             ) from None
         return self.table.outcome(fault, model_index)
+
+    def classify_many(self, faults: Sequence[Fault]) -> list[FaultOutcome]:
+        return [self.classify(fault) for fault in faults]

@@ -24,8 +24,8 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.faults.engine import (
+    FaultInjectionEngine,
     FaultOutcome,
-    InferenceEngine,
     classify_predictions,
 )
 from repro.faults.model import Fault
@@ -35,14 +35,18 @@ from repro.telemetry import Telemetry, resolve_telemetry
 
 
 def _classify_cell(
-    engine: InferenceEngine, space: FaultSpace, layer_idx: int, bit: int
+    engine: FaultInjectionEngine, space: FaultSpace, layer_idx: int, bit: int
 ) -> np.ndarray:
     """Outcomes of every fault in one (layer, bit) cell: ``(weights, models)``.
 
     Masked faults are detected vectorised (no inference); every other
-    fault runs one prefix-cached inference.  Cells are the campaign's unit
-    of parallelism and checkpointing: independent, deterministic, and a
-    few hundred per model.
+    fault goes through :meth:`~repro.faults.FaultInjectionEngine.
+    predictions_for_faults` in ``engine.batch_size`` chunks — the plan
+    engine evaluates each chunk in one stacked tail pass, the module
+    engine (batch size one) runs the classic one-inference-per-fault
+    loop.  Cells are the campaign's unit of parallelism and
+    checkpointing: independent, deterministic, and a few hundred per
+    model.
     """
     layer = space.layers[layer_idx]
     fmt = space.fmt
@@ -52,6 +56,10 @@ def _classify_cell(
     golden_bits = fmt.encode(layer.flat_weights())
     mask = np.array(1, dtype=fmt.uint_dtype) << np.array(bit, dtype=fmt.uint_dtype)
     bit_is_one = (golden_bits & mask) != 0
+    batch = max(1, int(getattr(engine, "batch_size", 1)))
+    # Duck-typed engines (test doubles, adapters) may only implement the
+    # single-fault entry point.
+    batch_predictions = getattr(engine, "predictions_for_faults", None)
     for model_idx, fault_model in enumerate(models):
         stuck = fault_model.stuck_value
         if stuck == 0:
@@ -60,21 +68,26 @@ def _classify_cell(
             masked = bit_is_one
         else:
             masked = np.zeros(size, dtype=bool)
-        for index in range(size):
-            if masked[index]:
-                cell[index, model_idx] = FaultOutcome.MASKED
-                continue
-            fault = Fault(
-                layer=layer_idx, index=index, bit=bit, model=fault_model
-            )
-            predictions = engine.predictions_with_fault(fault)
-            cell[index, model_idx] = classify_predictions(
-                predictions,
-                engine.golden_predictions,
-                engine.labels,
-                policy=engine.policy,
-                threshold=engine.threshold,
-            )
+        cell[masked, model_idx] = FaultOutcome.MASKED
+        live = np.flatnonzero(~masked)
+        for start in range(0, len(live), batch):
+            chunk = live[start : start + batch]
+            faults = [
+                Fault(layer=layer_idx, index=int(i), bit=bit, model=fault_model)
+                for i in chunk
+            ]
+            if batch_predictions is not None:
+                rows = batch_predictions(faults)
+            else:
+                rows = [engine.predictions_with_fault(f) for f in faults]
+            for index, predictions in zip(chunk, rows):
+                cell[index, model_idx] = classify_predictions(
+                    predictions,
+                    engine.golden_predictions,
+                    engine.labels,
+                    policy=engine.policy,
+                    threshold=engine.threshold,
+                )
     return cell
 
 
@@ -83,13 +96,16 @@ def cell_key(layer_idx: int, bit: int) -> str:
     return f"L{layer_idx:03d}_B{bit:02d}"
 
 
-def campaign_config(engine: InferenceEngine, space: FaultSpace) -> dict:
+def campaign_config(engine: FaultInjectionEngine, space: FaultSpace) -> dict:
     """Identity of an exhaustive campaign.
 
-    Includes the engine fingerprint (golden weight bits + eval images) so
-    a checkpoint taken against different weights (e.g. after retraining)
-    is never resumed — and, via :mod:`repro.dist`, so shards computed by
-    a worker holding different weights are never merged.
+    Includes the engine fingerprint (weights, eval images, policy, engine
+    kind, fusions) so a checkpoint taken against different weights (e.g.
+    after retraining) or different numerics (a fused plan engine) is
+    never resumed — and, via :mod:`repro.dist`, so shards computed under
+    a mismatching configuration are never merged.  The engine kind and
+    fusion list are carried explicitly too, for human-readable refusal
+    messages and ``repro-stats`` display.
     """
     return {
         "fmt": space.fmt.name,
@@ -98,6 +114,8 @@ def campaign_config(engine: InferenceEngine, space: FaultSpace) -> dict:
         "threshold": engine.threshold,
         "eval_images": int(len(engine.images)),
         "layer_sizes": [layer.size for layer in space.layers],
+        "engine": getattr(engine, "kind", "module"),
+        "fusions": list(getattr(engine, "fusions", ())),
         "golden_sha256": engine.fingerprint(),
     }
 
@@ -107,14 +125,14 @@ def campaign_config(engine: InferenceEngine, space: FaultSpace) -> dict:
 # workers only mutate their private injector scratch space.  The telemetry
 # journal is append-only and fork-safe, so workers write cell events and
 # heartbeats to the same file as the parent.
-_POOL_STATE: tuple[InferenceEngine, FaultSpace, Telemetry] | None = None
+_POOL_STATE: tuple[FaultInjectionEngine, FaultSpace, Telemetry] | None = None
 
 # Per-process tally of cells classified, reported in worker heartbeats.
 _WORKER_CELLS = 0
 
 
 def timed_classify_cell(
-    engine: InferenceEngine,
+    engine: FaultInjectionEngine,
     space: FaultSpace,
     layer_idx: int,
     bit: int,
@@ -133,9 +151,19 @@ def timed_classify_cell(
     telemetry.emit("cell_start", layer=layer_idx, bit=bit)
     start = time.monotonic()
     before = engine.inference_count
+    tail_before = getattr(engine, "tail_passes", 0)
+    exec_before = getattr(engine, "ops_executed", 0)
+    cached_before = getattr(engine, "ops_cached", 0)
     cell = _classify_cell(engine, space, layer_idx, bit)
     seconds = time.monotonic() - start
     inferences = engine.inference_count - before
+    extras = {}
+    if hasattr(engine, "tail_passes"):  # plan engine: op-cache accounting
+        extras = {
+            "tail_passes": engine.tail_passes - tail_before,
+            "ops_executed": engine.ops_executed - exec_before,
+            "ops_cached": engine.ops_cached - cached_before,
+        }
     telemetry.emit(
         "cell_done",
         layer=layer_idx,
@@ -143,6 +171,7 @@ def timed_classify_cell(
         seconds=seconds,
         faults=int(cell.size),
         inferences=inferences,
+        **extras,
     )
     return cell, seconds, inferences
 
@@ -209,7 +238,7 @@ class OutcomeTable:
     @classmethod
     def from_exhaustive(
         cls,
-        engine: InferenceEngine,
+        engine: FaultInjectionEngine,
         space: FaultSpace,
         *,
         workers: int | None = 1,
@@ -293,6 +322,8 @@ class OutcomeTable:
                 fmt=space.fmt.name,
                 eval_images=int(len(engine.images)),
                 policy=engine.policy,
+                engine=getattr(engine, "kind", "module"),
+                batch_size=int(getattr(engine, "batch_size", 1)),
                 checkpointed=store is not None,
             )
             if resumed_cells:

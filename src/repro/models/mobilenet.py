@@ -85,6 +85,18 @@ class InvertedResidual(Module):
             out = out + x
         return out
 
+    def capture(self, builder, x: int) -> int:
+        out = builder.emit(
+            "relu6", (self.bn1.capture(builder, self.conv1.capture(builder, x)),)
+        )
+        out = builder.emit(
+            "relu6", (self.bn2.capture(builder, self.conv2.capture(builder, out)),)
+        )
+        out = self.bn3.capture(builder, self.conv3.capture(builder, out))
+        if self.use_residual:
+            out = builder.emit("add", (out, x))
+        return out
+
 
 class _Stem(Module):
     """Stem: 3x3 convolution + batch norm + ReLU6."""
@@ -99,6 +111,11 @@ class _Stem(Module):
 
     def forward_fast(self, x: np.ndarray) -> np.ndarray:
         return F.relu6(self.bn.forward_fast(self.conv.forward_fast(x)))
+
+    def capture(self, builder, x: int) -> int:
+        return builder.emit(
+            "relu6", (self.bn.capture(builder, self.conv.capture(builder, x)),)
+        )
 
 
 class _Head(Module):
@@ -124,6 +141,12 @@ class _Head(Module):
     def forward_fast(self, x: np.ndarray) -> np.ndarray:
         out = F.relu6(self.bn.forward_fast(self.conv.forward_fast(x)))
         return self.fc.forward_fast(self.pool.forward_fast(out))
+
+    def capture(self, builder, x: int) -> int:
+        out = builder.emit(
+            "relu6", (self.bn.capture(builder, self.conv.capture(builder, x)),)
+        )
+        return self.fc.capture(builder, self.pool.capture(builder, out))
 
 
 class MobileNetV2CIFAR(Module):
@@ -168,6 +191,12 @@ class MobileNetV2CIFAR(Module):
         for block in self._block_list:
             out = block.forward_fast(out)
         return self.head.forward_fast(out)
+
+    def capture(self, builder, x: int) -> int:
+        out = self.stem.capture(builder, x)
+        for block in self._block_list:
+            out = block.capture(builder, out)
+        return self.head.capture(builder, out)
 
     def stage_modules(self) -> list[Module]:
         """Sequential stages for the prefix-cached FI inference engine."""

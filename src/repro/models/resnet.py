@@ -76,6 +76,20 @@ class BasicBlock(Module):
             shortcut = F.pad_channels(shortcut, self._pad, self._pad)
         return F.relu(out + shortcut)
 
+    def capture(self, builder, x: int) -> int:
+        out = builder.emit("relu", (self.bn1.capture(builder, self.conv1.capture(builder, x)),))
+        out = self.bn2.capture(builder, self.conv2.capture(builder, out))
+        shortcut = x
+        if self.stride != 1:
+            shortcut = builder.emit("subsample2d", (shortcut,), stride=self.stride)
+        if self._pad:
+            shortcut = builder.emit(
+                "pad_channels", (shortcut,), before=self._pad, after=self._pad
+            )
+        # Operand order matters: `out + shortcut` and `shortcut + out`
+        # differ bitwise once corrupted weights put NaN payloads in play.
+        return builder.emit("relu", (builder.emit("add", (out, shortcut)),))
+
 
 class _Stem(Module):
     """Stem: 3x3 convolution + batch norm + ReLU."""
@@ -90,6 +104,11 @@ class _Stem(Module):
 
     def forward_fast(self, x: np.ndarray) -> np.ndarray:
         return F.relu(self.bn.forward_fast(self.conv.forward_fast(x)))
+
+    def capture(self, builder, x: int) -> int:
+        return builder.emit(
+            "relu", (self.bn.capture(builder, self.conv.capture(builder, x)),)
+        )
 
 
 class _Head(Module):
@@ -107,6 +126,9 @@ class _Head(Module):
 
     def forward_fast(self, x: np.ndarray) -> np.ndarray:
         return self.fc.forward_fast(self.pool.forward_fast(x))
+
+    def capture(self, builder, x: int) -> int:
+        return self.fc.capture(builder, self.pool.capture(builder, x))
 
 
 class ResNetCIFAR(Module):
@@ -145,6 +167,11 @@ class ResNetCIFAR(Module):
     def forward_fast(self, x: np.ndarray) -> np.ndarray:
         return self.head.forward_fast(
             self.blocks.forward_fast(self.stem.forward_fast(x))
+        )
+
+    def capture(self, builder, x: int) -> int:
+        return self.head.capture(
+            builder, self.blocks.capture(builder, self.stem.capture(builder, x))
         )
 
     def stage_modules(self) -> list[Module]:

@@ -52,6 +52,14 @@ class _ConvBlock(Module):
             out = self.pool.forward_fast(out)
         return out
 
+    def capture(self, builder, x: int) -> int:
+        out = builder.emit(
+            "relu", (self.bn.capture(builder, self.conv.capture(builder, x)),)
+        )
+        if self.pool is not None:
+            out = self.pool.capture(builder, out)
+        return out
+
 
 class _Head(Module):
     """Global average pooling + linear classifier."""
@@ -68,6 +76,9 @@ class _Head(Module):
 
     def forward_fast(self, x: np.ndarray) -> np.ndarray:
         return self.fc.forward_fast(self.pool.forward_fast(x))
+
+    def capture(self, builder, x: int) -> int:
+        return self.fc.capture(builder, self.pool.capture(builder, x))
 
 
 class VGGCIFAR(Module):
@@ -102,6 +113,9 @@ class VGGCIFAR(Module):
 
     def forward_fast(self, x: np.ndarray) -> np.ndarray:
         return self.head.forward_fast(self.blocks.forward_fast(x))
+
+    def capture(self, builder, x: int) -> int:
+        return self.head.capture(builder, self.blocks.capture(builder, x))
 
     def stage_modules(self) -> list[Module]:
         """Sequential stages for the prefix-cached FI inference engine."""

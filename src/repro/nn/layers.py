@@ -74,6 +74,9 @@ class Conv2d(Module):
             groups=self.groups,
         )
 
+    def capture(self, builder, x: int) -> int:
+        return builder.emit("conv2d", (x,), module=self)
+
 
 class BatchNorm2d(Module):
     """Batch normalisation over (N, H, W) per channel."""
@@ -116,6 +119,9 @@ class BatchNorm2d(Module):
             eps=self.eps,
         )
 
+    def capture(self, builder, x: int) -> int:
+        return builder.emit("batchnorm2d", (x,), module=self)
+
 
 class Linear(Module):
     """Fully connected layer ``x @ W.T + b``."""
@@ -147,6 +153,9 @@ class Linear(Module):
             x, self.weight.data, None if self.bias is None else self.bias.data
         )
 
+    def capture(self, builder, x: int) -> int:
+        return builder.emit("linear", (x,), module=self)
+
 
 class ReLU(Module):
     """Rectified linear unit."""
@@ -157,6 +166,9 @@ class ReLU(Module):
     def forward_fast(self, x: np.ndarray) -> np.ndarray:
         return F.relu(x)
 
+    def capture(self, builder, x: int) -> int:
+        return builder.emit("relu", (x,))
+
 
 class ReLU6(Module):
     """ReLU clipped at 6 (MobileNetV2)."""
@@ -166,6 +178,9 @@ class ReLU6(Module):
 
     def forward_fast(self, x: np.ndarray) -> np.ndarray:
         return F.relu6(x)
+
+    def capture(self, builder, x: int) -> int:
+        return builder.emit("relu6", (x,))
 
 
 class AvgPool2d(Module):
@@ -181,6 +196,9 @@ class AvgPool2d(Module):
     def forward_fast(self, x: np.ndarray) -> np.ndarray:
         return F.avg_pool2d(x, self.kernel)
 
+    def capture(self, builder, x: int) -> int:
+        return builder.emit("avg_pool2d", (x,), module=self)
+
 
 class GlobalAvgPool2d(Module):
     """Global average pooling: (N, C, H, W) -> (N, C)."""
@@ -191,6 +209,9 @@ class GlobalAvgPool2d(Module):
     def forward_fast(self, x: np.ndarray) -> np.ndarray:
         return F.global_avg_pool2d(x)
 
+    def capture(self, builder, x: int) -> int:
+        return builder.emit("global_avg_pool2d", (x,))
+
 
 class Flatten(Module):
     """Flatten all non-batch dimensions."""
@@ -200,6 +221,9 @@ class Flatten(Module):
 
     def forward_fast(self, x: np.ndarray) -> np.ndarray:
         return x.reshape(x.shape[0], -1)
+
+    def capture(self, builder, x: int) -> int:
+        return builder.emit("flatten", (x,))
 
 
 class Sequential(Module):
@@ -228,4 +252,9 @@ class Sequential(Module):
     def forward_fast(self, x: np.ndarray) -> np.ndarray:
         for layer in self._layers:
             x = layer.forward_fast(x)
+        return x
+
+    def capture(self, builder, x: int) -> int:
+        for layer in self._layers:
+            x = layer.capture(builder, x)
         return x

@@ -150,5 +150,19 @@ class Module:
         """Graph-free inference forward on raw ndarrays."""
         raise NotImplementedError
 
+    def capture(self, builder, x: int) -> int:
+        """Lower this module's forward pass into an execution plan.
+
+        *builder* is a :class:`repro.runtime.PlanBuilder`; *x* is the
+        input buffer slot.  Implementations must ``builder.emit`` the
+        exact op sequence (and operand order) of :meth:`forward_fast` —
+        that is what makes plan-engine outcomes bit-identical to the
+        module path — and return the output slot.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot be lowered to an execution "
+            "plan; implement capture() mirroring forward_fast()"
+        )
+
     def __call__(self, x: Tensor) -> Tensor:
         return self.forward(x)

@@ -1,0 +1,37 @@
+"""Compiled inference path: execution plans and the plan engine.
+
+``repro.runtime`` lowers a model's ``forward_fast`` into a flat,
+forward-only :class:`ExecutionPlan` of primitive ops over explicit
+buffer slots (:func:`capture_plan`), and classifies weight faults over
+it with :class:`PlanEngine` — op-granular prefix caching plus batched
+same-layer fault evaluation, bit-identical to the module engine unless
+numeric-changing fusions are explicitly enabled (:func:`fuse_plan`).
+"""
+
+from repro.runtime.engine import (
+    DEFAULT_BATCH_SIZE,
+    PlanEngine,
+    create_engine,
+)
+from repro.runtime.plan import (
+    FUSED_OP_KINDS,
+    OP_KINDS,
+    ExecutionPlan,
+    OpSpec,
+    PlanBuilder,
+    capture_plan,
+    fuse_plan,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "ExecutionPlan",
+    "FUSED_OP_KINDS",
+    "OP_KINDS",
+    "OpSpec",
+    "PlanBuilder",
+    "PlanEngine",
+    "capture_plan",
+    "create_engine",
+    "fuse_plan",
+]

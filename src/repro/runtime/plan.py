@@ -1,0 +1,415 @@
+"""Execution plans: a model's forward pass captured as a flat op sequence.
+
+The module tree is great for training and for reading, but the fault
+campaigns' hot loop wants something flatter: a forward-only list of
+primitive ops (conv2d / bn / relu / pool / linear / add / reshape) whose
+inputs and outputs are explicit *buffer slots*.  With that in hand the
+engine can
+
+- cache every intermediate activation once (op-granular prefix caching:
+  a fault in layer *l* re-executes only the ops that transitively depend
+  on *l*'s output, not a whole coarse stage), and
+- evaluate K same-layer faults per tail pass by stacking the K faulty
+  activation sets along the batch axis.
+
+The contract that makes this safe is **bit-exactness**: an unfused plan
+replays the *same* numpy calls, with the same arguments and operand
+order, as ``forward_fast`` — so plan-engine outcome tables are
+bit-identical to the module engine's.  Numeric-changing rewrites
+(BN-folding, workspace reuse) live behind :func:`fuse_plan` and are
+opt-in; a fused engine carries a different fingerprint so distributed
+merges refuse to mix the two.
+
+Batch invariance
+----------------
+Stacking K activation variants along the batch axis is only bit-exact
+for kernels whose per-sample arithmetic is independent of the batch
+extent.  Elementwise ops, pooling reductions and the 3-D ``matmul``
+convolution paths qualify; the 2-D GEMM behind :func:`F.linear` and the
+``einsum`` depthwise/grouped convolution paths do **not** (BLAS blocking
+changes with the batch dimension).  Each :class:`OpSpec` records this as
+``batch_invariant``; the engine runs non-invariant tail ops once per
+variant chunk — every chunk call is then shaped exactly like the
+unbatched call, so bit-exactness survives batching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.tensor.im2col import conv_output_size
+
+#: Op kinds an unfused capture may emit.
+OP_KINDS = frozenset(
+    {
+        "conv2d",
+        "batchnorm2d",
+        "relu",
+        "relu6",
+        "linear",
+        "avg_pool2d",
+        "global_avg_pool2d",
+        "flatten",
+        "add",
+        "subsample2d",
+        "pad_channels",
+    }
+)
+
+#: Op kinds introduced by :func:`fuse_plan` (numeric-changing).
+FUSED_OP_KINDS = frozenset({"conv2d_bn"})
+
+
+def _conv_path_batch_invariant(module) -> bool:
+    """Whether :func:`F.conv2d` takes a batch-stable path for *module*.
+
+    Pointwise and generic im2col convolutions reduce to a 3-D
+    ``np.matmul`` (one fixed-shape GEMM per sample) and are bit-stable
+    under batch stacking; the depthwise and grouped paths go through
+    ``np.einsum(optimize=True)`` whose contraction strategy may change
+    with the batch extent.
+    """
+    k, pad, groups = module.kernel_size, module.padding, module.groups
+    c, oc = module.in_channels, module.out_channels
+    if k == 1 and pad == 0 and groups == 1:
+        return True  # pointwise matmul
+    if groups == c and oc == c:
+        return False  # depthwise einsum
+    return groups == 1  # im2col matmul is stable; grouped einsum is not
+
+
+def _batch_invariant(kind: str, module) -> bool:
+    if kind in ("conv2d", "conv2d_bn"):
+        return _conv_path_batch_invariant(module)
+    if kind == "linear":
+        return False  # 2-D GEMM: BLAS blocking depends on the batch extent
+    return True  # elementwise, pooling reductions, reshapes, padding
+
+
+@dataclass
+class OpSpec:
+    """One primitive op in an :class:`ExecutionPlan`.
+
+    ``module`` (when set) is the live :class:`~repro.nn.Module` whose
+    parameters the op reads *at execution time* — the fault injector
+    corrupts weights in place, so the plan sees injected faults without
+    any re-capture.
+    """
+
+    index: int
+    kind: str
+    inputs: tuple[int, ...]
+    output: int
+    module: Module | None = None
+    params: dict = field(default_factory=dict)
+    batch_invariant: bool = True
+
+    def __repr__(self) -> str:  # compact: plans are printed in tests/docs
+        ins = ",".join(str(s) for s in self.inputs)
+        return f"%{self.output} = {self.kind}({ins})"
+
+
+class PlanBuilder:
+    """Accumulates ops during :meth:`Module.capture` lowering.
+
+    Modules call :meth:`emit` with their op kind and input slots and get
+    back the output slot — mirroring how ``forward_fast`` threads
+    ndarrays, but recording the dataflow instead of executing it.
+    """
+
+    def __init__(self) -> None:
+        self.ops: list[OpSpec] = []
+        self.input_slot = 0
+        self._next_slot = 1
+
+    def emit(
+        self, kind: str, inputs: tuple[int, ...], *, module: Module | None = None, **params
+    ) -> int:
+        """Append one op consuming *inputs*; returns its output slot."""
+        if kind not in OP_KINDS:
+            raise ValueError(f"unknown op kind {kind!r}")
+        for slot in inputs:
+            if not 0 <= slot < self._next_slot:
+                raise ValueError(
+                    f"op {kind!r} consumes undefined slot {slot} "
+                    "(capture must be forward-only)"
+                )
+        output = self._next_slot
+        self._next_slot += 1
+        self.ops.append(
+            OpSpec(
+                index=len(self.ops),
+                kind=kind,
+                inputs=tuple(inputs),
+                output=output,
+                module=module,
+                params=dict(params),
+                batch_invariant=_batch_invariant(kind, module),
+            )
+        )
+        return output
+
+    def build(self, output_slot: int) -> "ExecutionPlan":
+        if not self.ops:
+            raise ValueError("cannot build an empty execution plan")
+        if output_slot != self.ops[-1].output:
+            raise ValueError(
+                "the plan output must be the last op's result "
+                f"(got slot {output_slot}, last op writes {self.ops[-1].output})"
+            )
+        return ExecutionPlan(
+            self.ops, num_slots=self._next_slot, output_slot=output_slot
+        )
+
+
+# -- op kernels ------------------------------------------------------------
+#
+# Unfused kernels call the exact repro.nn.functional routine (same
+# arguments, same order) that the module's forward_fast would — this is
+# the bit-exactness contract.  `workspaces` is threaded through for the
+# fused im2col-workspace optimisation and ignored everywhere else.
+
+
+def _run_conv2d(op: OpSpec, x: np.ndarray, workspaces=None) -> np.ndarray:
+    m = op.module
+    cols_out = None
+    if workspaces is not None:
+        cols_out = _conv_workspace(workspaces, op, m, x)
+    return F.conv2d(
+        x,
+        m.weight.data,
+        None if m.bias is None else m.bias.data,
+        stride=m.stride,
+        padding=m.padding,
+        groups=m.groups,
+        cols_out=cols_out,
+    )
+
+
+def _conv_workspace(workspaces: dict, op: OpSpec, m, x: np.ndarray):
+    """Preallocated im2col column buffer for (op, batch) — fused plans only."""
+    k = m.kernel_size
+    if k == 1 and m.padding == 0 and m.groups == 1:
+        return None  # pointwise path never materialises columns
+    if m.groups == m.in_channels and m.out_channels == m.in_channels:
+        return None  # depthwise path never materialises columns
+    n, c, h, w = x.shape
+    p = conv_output_size(h, k, m.stride, m.padding) * conv_output_size(
+        w, k, m.stride, m.padding
+    )
+    key = (op.index, n)
+    buf = workspaces.get(key)
+    shape = (n, c * k * k, p)
+    if buf is None or buf.shape != shape:
+        buf = np.empty(shape, dtype=np.float32)
+        workspaces[key] = buf
+    return buf
+
+
+def _run_conv2d_bn(op: OpSpec, x: np.ndarray, workspaces=None) -> np.ndarray:
+    """Fused conv + BN: fold the BN affine into the conv weights.
+
+    Numeric-changing (a folded multiply is not bitwise a conv followed
+    by a BN), so this kind only appears in fused plans.
+    """
+    conv, bn = op.module, op.params["bn"]
+    scale = (bn.weight.data / np.sqrt(bn.running_var + bn.eps)).astype(np.float32)
+    shift = (bn.bias.data - bn.running_mean * scale).astype(np.float32)
+    weight = conv.weight.data * scale.reshape(-1, 1, 1, 1)
+    bias = shift if conv.bias is None else shift + scale * conv.bias.data
+    cols_out = None
+    if workspaces is not None:
+        cols_out = _conv_workspace(workspaces, op, conv, x)
+    return F.conv2d(
+        x,
+        weight,
+        bias,
+        stride=conv.stride,
+        padding=conv.padding,
+        groups=conv.groups,
+        cols_out=cols_out,
+    )
+
+
+def _run_batchnorm2d(op: OpSpec, x: np.ndarray, workspaces=None) -> np.ndarray:
+    m = op.module
+    return F.batchnorm2d(
+        x, m.weight.data, m.bias.data, m.running_mean, m.running_var, eps=m.eps
+    )
+
+
+def _run_linear(op: OpSpec, x: np.ndarray, workspaces=None) -> np.ndarray:
+    m = op.module
+    return F.linear(x, m.weight.data, None if m.bias is None else m.bias.data)
+
+
+_KERNELS = {
+    "conv2d": _run_conv2d,
+    "conv2d_bn": _run_conv2d_bn,
+    "batchnorm2d": _run_batchnorm2d,
+    "linear": _run_linear,
+    "relu": lambda op, x, workspaces=None: F.relu(x),
+    "relu6": lambda op, x, workspaces=None: F.relu6(x),
+    "avg_pool2d": lambda op, x, workspaces=None: F.avg_pool2d(x, op.module.kernel),
+    "global_avg_pool2d": lambda op, x, workspaces=None: F.global_avg_pool2d(x),
+    "flatten": lambda op, x, workspaces=None: x.reshape(x.shape[0], -1),
+    "add": lambda op, a, b, workspaces=None: a + b,
+    "subsample2d": lambda op, x, workspaces=None: F.subsample2d(
+        x, op.params["stride"]
+    ),
+    "pad_channels": lambda op, x, workspaces=None: F.pad_channels(
+        x, op.params["before"], op.params["after"]
+    ),
+}
+
+
+class ExecutionPlan:
+    """A captured forward pass: ops in execution order over buffer slots.
+
+    Slot 0 is the network input; every op writes a fresh slot, so the
+    plan is SSA-like and trivially forward-only.  ``fusions`` names the
+    numeric-changing rewrites applied (empty for bit-exact plans).
+    """
+
+    def __init__(
+        self,
+        ops: list[OpSpec],
+        *,
+        num_slots: int,
+        output_slot: int,
+        input_slot: int = 0,
+        fusions: tuple[str, ...] = (),
+    ) -> None:
+        self.ops = list(ops)
+        self.num_slots = num_slots
+        self.input_slot = input_slot
+        self.output_slot = output_slot
+        self.fusions = tuple(fusions)
+        self._affected: dict[int, tuple[int, ...]] = {}
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def run_op(self, op: OpSpec, inputs: list[np.ndarray], *, workspaces=None):
+        """Execute one op on concrete input arrays."""
+        return _KERNELS[op.kind](op, *inputs, workspaces=workspaces)
+
+    def execute(self, x: np.ndarray) -> np.ndarray:
+        """Full forward pass; returns the output-slot array."""
+        return self.execute_all(x)[self.output_slot]
+
+    def execute_all(self, x: np.ndarray, instrument=None) -> list:
+        """Full forward pass keeping *every* slot's array (golden cache).
+
+        *instrument*, when given, is called as ``instrument(op)`` and
+        must return a context manager — the engine uses it to record
+        per-op span timings during the one golden capture pass.
+        """
+        buffers: list = [None] * self.num_slots
+        buffers[self.input_slot] = x
+        for op in self.ops:
+            inputs = [buffers[slot] for slot in op.inputs]
+            if instrument is not None:
+                with instrument(op):
+                    buffers[op.output] = self.run_op(op, inputs)
+            else:
+                buffers[op.output] = self.run_op(op, inputs)
+        return buffers
+
+    def consumers(self, slot: int) -> list[OpSpec]:
+        """Ops reading *slot* (multi-consumer slots pin fusion decisions)."""
+        return [op for op in self.ops if slot in op.inputs]
+
+    def affected_ops(self, op_index: int) -> tuple[int, ...]:
+        """Indices of ops whose output transitively depends on op *op_index*.
+
+        This is the op-granular prefix cache: everything *not* in this
+        set keeps its golden activation when a fault perturbs op
+        *op_index*'s weights.
+        """
+        cached = self._affected.get(op_index)
+        if cached is not None:
+            return cached
+        dirty = {self.ops[op_index].output}
+        affected: list[int] = []
+        for op in self.ops[op_index + 1 :]:
+            if any(slot in dirty for slot in op.inputs):
+                affected.append(op.index)
+                dirty.add(op.output)
+        result = tuple(affected)
+        self._affected[op_index] = result
+        return result
+
+
+def capture_plan(model: Module, *, fuse: bool = False) -> ExecutionPlan:
+    """Lower *model*'s forward pass into an :class:`ExecutionPlan`.
+
+    The model must implement :meth:`~repro.nn.Module.capture` (all zoo
+    models do).  With ``fuse=True`` the captured plan additionally goes
+    through :func:`fuse_plan` — numeric-changing, see its docstring.
+    """
+    builder = PlanBuilder()
+    output = model.capture(builder, builder.input_slot)
+    plan = builder.build(output)
+    if fuse:
+        plan = fuse_plan(plan)
+    return plan
+
+
+def fuse_plan(plan: ExecutionPlan) -> ExecutionPlan:
+    """Fold every single-consumer conv→bn pair into one ``conv2d_bn`` op.
+
+    The folded op computes with BN-scaled weights, which is *not*
+    bitwise identical to conv-then-bn (one fewer rounding step); fused
+    plans therefore change the engine fingerprint and must never be
+    mixed with unfused results.  Fused plans also reuse preallocated
+    im2col workspaces (values identical; allocation behaviour not).
+    """
+    if plan.fusions:
+        return plan
+    drop: set[int] = set()
+    replace: dict[int, OpSpec] = {}
+    for op in plan.ops:
+        if op.kind != "conv2d" or op.output == plan.output_slot:
+            continue
+        consumers = plan.consumers(op.output)
+        if len(consumers) != 1 or consumers[0].kind != "batchnorm2d":
+            continue
+        bn = consumers[0]
+        replace[op.index] = OpSpec(
+            index=op.index,
+            kind="conv2d_bn",
+            inputs=op.inputs,
+            output=bn.output,
+            module=op.module,
+            params={**op.params, "bn": bn.module},
+            batch_invariant=op.batch_invariant,
+        )
+        drop.add(bn.index)
+    ops = []
+    for op in plan.ops:
+        if op.index in drop:
+            continue
+        op = replace.get(op.index, op)
+        ops.append(
+            OpSpec(
+                index=len(ops),
+                kind=op.kind,
+                inputs=op.inputs,
+                output=op.output,
+                module=op.module,
+                params=op.params,
+                batch_invariant=op.batch_invariant,
+            )
+        )
+    return ExecutionPlan(
+        ops,
+        num_slots=plan.num_slots,
+        output_slot=plan.output_slot,
+        input_slot=plan.input_slot,
+        fusions=("bn_fold", "im2col_workspace"),
+    )

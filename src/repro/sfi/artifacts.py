@@ -14,28 +14,44 @@ import warnings
 from pathlib import Path
 
 from repro.data import SynthCIFAR
-from repro.faults import FaultSpace, InferenceEngine, OutcomeTable
+from repro.faults import FaultInjectionEngine, FaultSpace, OutcomeTable
 from repro.models import create_model
 from repro.telemetry import Telemetry, resolve_telemetry
 from repro.utils import artifacts_dir
 
 
 def exhaustive_table_path(
-    model_name: str, *, eval_size: int = 64, policy: str = "accuracy_drop"
+    model_name: str,
+    *,
+    eval_size: int = 64,
+    policy: str = "accuracy_drop",
+    fuse: bool = False,
 ) -> Path:
-    """Cache location for one exhaustive configuration."""
+    """Cache location for one exhaustive configuration.
+
+    Unfused plan and module engines share a cache entry (their outcomes
+    are bit-identical); fused campaigns are numerically different and
+    cache under a ``_fused`` suffix.
+    """
+    suffix = "_fused" if fuse else ""
     return (
         artifacts_dir()
         / "exhaustive"
-        / f"{model_name}_n{eval_size}_{policy}.npz"
+        / f"{model_name}_n{eval_size}_{policy}{suffix}.npz"
     )
 
 
 def exhaustive_checkpoint_path(
-    model_name: str, *, eval_size: int = 64, policy: str = "accuracy_drop"
+    model_name: str,
+    *,
+    eval_size: int = 64,
+    policy: str = "accuracy_drop",
+    fuse: bool = False,
 ) -> Path:
     """Checkpoint directory for one exhaustive configuration."""
-    path = exhaustive_table_path(model_name, eval_size=eval_size, policy=policy)
+    path = exhaustive_table_path(
+        model_name, eval_size=eval_size, policy=policy, fuse=fuse
+    )
     return path.with_suffix(".ckpt")
 
 
@@ -54,12 +70,15 @@ def load_or_run_exhaustive(
     *,
     eval_size: int = 64,
     policy: str = "accuracy_drop",
+    engine_kind: str = "plan",
+    fuse: bool = False,
+    batch_size: int | None = None,
     workers: int | None = 1,
     shards: int | None = None,
     resume: bool = True,
     telemetry: Telemetry | None = None,
     progress: bool = False,
-) -> tuple[OutcomeTable, FaultSpace, InferenceEngine]:
+) -> tuple[OutcomeTable, FaultSpace, FaultInjectionEngine]:
     """Return the exhaustive table for a pretrained mini model.
 
     Loads from the artifact cache when present; otherwise runs the full
@@ -69,6 +88,13 @@ def load_or_run_exhaustive(
     stopped.  Always returns a live ``(table, space, engine)`` triple for
     the same model/eval configuration, so sampled campaigns can either
     replay from the table or re-inject through the engine.
+
+    *engine_kind* selects ``"plan"`` (default) or ``"module"``
+    (reference) execution; unfused plan outcomes are bit-identical to
+    module outcomes, so both kinds share the cache.  *fuse* opts into
+    the plan engine's numeric-changing fusions and caches under a
+    separate ``_fused`` artifact; *batch_size* tunes how many same-layer
+    faults share one tail pass (plan engine only).
 
     With *shards* set the cold-cache campaign instead goes through
     :func:`repro.dist.run_sharded_exhaustive`: the work is split into
@@ -90,14 +116,26 @@ def load_or_run_exhaustive(
             DeprecationWarning,
             stacklevel=2,
         )
+    # Late import: repro.runtime is only needed to build live engines.
+    from repro.runtime import create_engine
+
     tele = resolve_telemetry(telemetry)
     model = create_model(model_name, pretrained=True)
     data = SynthCIFAR("test", size=eval_size, seed=1234)
-    engine = InferenceEngine(
-        model, data.images, data.labels, policy=policy, telemetry=telemetry
+    engine = create_engine(
+        model,
+        data.images,
+        data.labels,
+        kind=engine_kind,
+        policy=policy,
+        fuse=fuse,
+        batch_size=batch_size,
+        telemetry=telemetry,
     )
     space = FaultSpace(engine.layers)
-    path = exhaustive_table_path(model_name, eval_size=eval_size, policy=policy)
+    path = exhaustive_table_path(
+        model_name, eval_size=eval_size, policy=policy, fuse=fuse
+    )
     if path.is_file():
         with tele.span("artifacts.load_exhaustive", emit=True, model=model_name):
             table = OutcomeTable.load(
@@ -132,6 +170,8 @@ def load_or_run_exhaustive(
                 "model": model_name,
                 "eval_size": eval_size,
                 "policy": policy,
+                "engine": engine.kind,
+                "fuse": bool(fuse),
             },
         )
         table.metadata["model"] = model_name
@@ -144,7 +184,7 @@ def load_or_run_exhaustive(
             print(f"  exhaustive {model_name}: {done:,}/{total:,}", flush=True)
     checkpoint = (
         exhaustive_checkpoint_path(
-            model_name, eval_size=eval_size, policy=policy
+            model_name, eval_size=eval_size, policy=policy, fuse=fuse
         )
         if resume
         else None

@@ -9,7 +9,7 @@ from collections.abc import Callable, Iterable
 
 import numpy as np
 
-from repro.faults.engine import FaultOutcome, InferenceEngine
+from repro.faults.engine import FaultInjectionEngine, FaultOutcome
 from repro.faults.model import FaultModel, STUCK_AT_MODELS
 from repro.faults.oracle import Oracle
 from repro.faults.space import FaultSpace
@@ -72,8 +72,15 @@ def execute_plan_items(
             continue
         rng = stratum_rng(seed, index)
         faults = sample_subpopulation(subpop, item.sample_size, rng)
-        for fault in faults:
-            outcome = oracle.classify(fault)
+        classify_many = getattr(oracle, "classify_many", None)
+        if classify_many is not None:
+            # Batching oracles (plan engine) share tail passes across
+            # same-layer faults; tallies are order-independent, so the
+            # result is identical to the per-fault loop.
+            outcomes = classify_many(faults)
+        else:
+            outcomes = [oracle.classify(fault) for fault in faults]
+        for fault, outcome in zip(faults, outcomes):
             tally = tallies.setdefault((fault.layer, fault.bit), [0, 0, 0])
             tally[0] += 1
             tally[1] += int(outcome is FaultOutcome.CRITICAL)
@@ -240,28 +247,39 @@ def run_exhaustive(
     fault_models: tuple[FaultModel, ...] = STUCK_AT_MODELS,
     policy: str = "accuracy_drop",
     threshold: float = 0.0,
+    engine_kind: str = "plan",
+    fuse: bool = False,
     workers: int | None = 1,
     checkpoint: str | os.PathLike | None = None,
     telemetry: Telemetry | None = None,
     progress: Callable[[int, int], None] | None = None,
-) -> tuple[OutcomeTable, FaultSpace, InferenceEngine]:
+) -> tuple[OutcomeTable, FaultSpace, FaultInjectionEngine]:
     """Run the full exhaustive campaign for *model* over the eval set.
 
     Returns ``(table, space, engine)``; the table is the paper's exhaustive
-    ground truth (every possible fault classified).  ``workers > 1`` fans
-    the campaign's (layer, bit) cells out over a process pool; with
-    *checkpoint* (a directory path) set, a killed campaign resumes from
-    its last persisted cell.  *telemetry* journals the whole campaign
-    (see :meth:`OutcomeTable.from_exhaustive`); *progress* is the
-    deprecated callback shim.
+    ground truth (every possible fault classified).  *engine_kind* picks
+    the execution path: ``"plan"`` (default, op-granular caching and
+    batched fault evaluation — bit-identical outcomes) or ``"module"``
+    (the stage-granular reference engine).  *fuse* enables the plan
+    engine's numeric-changing fusions — the resulting table is **not**
+    comparable to unfused ones and is checkpointed separately.
+    ``workers > 1`` fans the campaign's (layer, bit) cells out over a
+    process pool; with *checkpoint* (a directory path) set, a killed
+    campaign resumes from its last persisted cell.  *telemetry* journals
+    the whole campaign (see :meth:`OutcomeTable.from_exhaustive`);
+    *progress* is the deprecated callback shim.
     """
-    engine = InferenceEngine(
+    from repro.runtime import create_engine
+
+    engine = create_engine(
         model,
         images,
         labels,
+        kind=engine_kind,
         fmt=fmt,
         policy=policy,
         threshold=threshold,
+        fuse=fuse,
         telemetry=telemetry,
     )
     space = FaultSpace(engine.layers, fmt=fmt, fault_models=fault_models)

@@ -64,6 +64,10 @@ class CampaignSummary:
     faults_classified: int = 0  # classified *in this run* (resumes excluded)
     inferences: int = 0
     cells: list[CellTiming] = field(default_factory=list)
+    # Plan-engine accounting (zero when the module engine ran).
+    tail_passes: int = 0  # stacked tail passes (each covers >= 1 faults)
+    ops_executed: int = 0  # plan ops recomputed across all tail passes
+    ops_cached: int = 0  # plan ops served from the golden op cache
     # Checkpointing.
     cells_resumed: int = 0
     cells_total: int | None = None
@@ -94,6 +98,21 @@ class CampaignSummary:
         if self.elapsed_seconds <= 0:
             return 0.0
         return self.inferences / self.elapsed_seconds
+
+    @property
+    def batched_faults_per_pass(self) -> float:
+        """Mean logical fault inferences amortised per stacked tail pass."""
+        if not self.tail_passes:
+            return 0.0
+        return self.inferences / self.tail_passes
+
+    @property
+    def op_cache_hit_rate(self) -> float:
+        """Fraction of plan ops served from the golden op cache."""
+        total = self.ops_executed + self.ops_cached
+        if not total:
+            return 0.0
+        return self.ops_cached / total
 
     @property
     def resume_hit_rate(self) -> float:
@@ -190,6 +209,9 @@ def _summarize_run(run_id: str, events: list[Event]) -> CampaignSummary:
             summary.cells.append(timing)
             summary.faults_classified += timing.faults
             summary.inferences += timing.inferences
+            summary.tail_passes += int(f.get("tail_passes", 0))
+            summary.ops_executed += int(f.get("ops_executed", 0))
+            summary.ops_cached += int(f.get("ops_cached", 0))
             worker_busy.setdefault(event.pid, []).append(timing.seconds)
         elif event.type == "checkpoint_write":
             summary.checkpoint_writes += 1
@@ -280,6 +302,14 @@ def format_summary(summary: CampaignSummary, *, top_cells: int = 10) -> str:
             f"({summary.faults_per_second:,.0f} faults/sec), "
             f"{summary.inferences:,} inferences "
             f"({summary.inferences_per_second:,.0f} inferences/sec)"
+        )
+    if summary.tail_passes:
+        lines.append(
+            f"  plan engine: {summary.tail_passes:,} tail passes "
+            f"({summary.batched_faults_per_pass:.1f} faults/pass), "
+            f"op cache hit rate {summary.op_cache_hit_rate * 100:.0f}% "
+            f"({summary.ops_cached:,} cached / {summary.ops_executed:,} "
+            "executed)"
         )
     if summary.cells_total is not None:
         lines.append(

@@ -23,27 +23,49 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 
 
 def im2col(
-    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Lower ``x`` of shape (N, C, H, W) to columns.
 
     Returns an array of shape ``(N, C * kh * kw, out_h * out_w)`` where each
-    column is the flattened receptive field of one output position.
+    column is the flattened receptive field of one output position.  *out*,
+    when given, must be a contiguous float32 array of exactly that shape;
+    the columns are written into it instead of a fresh allocation (the
+    values are identical — this only changes allocation behaviour, and is
+    used by fused execution plans to reuse one workspace per op).
     """
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kh, stride, padding)
     out_w = conv_output_size(w, kw, stride, padding)
     if padding > 0:
-        x = np.pad(
-            x,
-            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-            mode="constant",
+        # Zero-fill + interior copy: element-for-element what np.pad
+        # (mode="constant") produces, without its per-call Python
+        # machinery — this runs once per conv in the fault-injection
+        # hot loop.
+        padded = np.zeros(
+            (n, c, h + 2 * padding, w + 2 * padding), dtype=x.dtype
         )
+        padded[:, :, padding : padding + h, padding : padding + w] = x
+        x = padded
     # windows: (N, C, out_h, out_w, kh, kw) view via stride tricks.
     windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
     windows = windows[:, :, ::stride, ::stride, :, :]
     # -> (N, C, kh, kw, out_h, out_w) -> (N, C*kh*kw, out_h*out_w)
-    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, out_h * out_w)
+    view = windows.transpose(0, 1, 4, 5, 2, 3)
+    if out is not None:
+        expected = (n, c * kh * kw, out_h * out_w)
+        if out.shape != expected:
+            raise ValueError(
+                f"im2col workspace shape {out.shape} != required {expected}"
+            )
+        out.reshape(n, c, kh, kw, out_h, out_w)[...] = view
+        return out
+    cols = view.reshape(n, c * kh * kw, out_h * out_w)
     return np.ascontiguousarray(cols)
 
 

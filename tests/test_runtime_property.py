@@ -1,0 +1,71 @@
+"""Property test: plan and module engines agree fault-for-fault.
+
+Hypothesis drives randomized mini models, fault coordinates across all
+three fault models, and every classification policy; the batched plan
+engine must reproduce the module engine's outcomes exactly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.data import SynthCIFAR
+from repro.faults import Fault, FaultModel, InferenceEngine
+from repro.ieee754 import FLOAT16, FLOAT32
+from repro.models import ResNetCIFAR
+from repro.runtime import PlanEngine
+
+_WIDTHS = [(2, 4, 6), (2, 4, 8), (4, 6, 8)]
+_POLICIES = ["accuracy_drop", "any_mismatch", "accuracy_threshold"]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    widths=st.sampled_from(_WIDTHS),
+    model_seed=st.integers(min_value=0, max_value=7),
+    policy=st.sampled_from(_POLICIES),
+    use_half=st.booleans(),
+    batch_size=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+def test_plan_outcomes_match_module(
+    widths, model_seed, policy, use_half, batch_size, data
+):
+    model = ResNetCIFAR(blocks_per_stage=1, widths=widths, seed=model_seed)
+    model.eval()
+    eval_set = SynthCIFAR("test", size=8, seed=42)
+    fmt = FLOAT16 if use_half else FLOAT32
+    threshold = 0.25 if policy == "accuracy_threshold" else 0.0
+    kwargs = dict(fmt=fmt, policy=policy, threshold=threshold)
+    module_engine = InferenceEngine(
+        model, eval_set.images, eval_set.labels, **kwargs
+    )
+    plan_engine = PlanEngine(
+        model, eval_set.images, eval_set.labels, batch_size=batch_size, **kwargs
+    )
+
+    faults = []
+    for fault_model in FaultModel:
+        for _ in range(4):
+            layer = data.draw(
+                st.integers(0, len(module_engine.layers) - 1), label="layer"
+            )
+            faults.append(
+                Fault(
+                    layer=layer,
+                    index=data.draw(
+                        st.integers(0, module_engine.layers[layer].size - 1),
+                        label="index",
+                    ),
+                    bit=data.draw(
+                        st.integers(0, fmt.total_bits - 1), label="bit"
+                    ),
+                    model=fault_model,
+                )
+            )
+
+    assert plan_engine.classify_many(faults) == module_engine.classify_many(
+        faults
+    )
+    # Batched tail passes still count one logical inference per fault.
+    assert plan_engine.inference_count == module_engine.inference_count
