@@ -1,0 +1,65 @@
+"""Static analysis for the repro stack: plan verifier + determinism linter.
+
+Two passes, both milliseconds-cheap, guarding invariants the campaign
+stack otherwise only discovers through expensive end-to-end bit-identity
+runs:
+
+- :func:`check_plan` / :func:`verify_plan` — abstract interpretation
+  over a captured :class:`~repro.runtime.plan.ExecutionPlan` (shapes,
+  dtypes, SSA slots, ``affected_ops`` soundness, cache safety,
+  batch-invariance audit).  Wired into every plan trust boundary:
+  ``capture_plan``, ``fuse_plan``, ``PlanEngine.__init__`` and the
+  distributed merge (shards must attest a verified plan fingerprint).
+- :func:`lint_paths` — AST determinism rules (D201–D206) over the
+  source tree, with inline suppressions and a committed baseline.
+
+``repro-check`` (:mod:`repro.cli.check`) is the CLI front end.
+"""
+
+from repro.check.baseline import load_baseline, new_findings, save_baseline
+from repro.check.diagnostics import (
+    LINT_RULES,
+    PLAN_RULES,
+    Diagnostic,
+    PlanVerificationError,
+)
+from repro.check.kernels import KERNEL_TABLE, KernelSpec, ShapeError
+from repro.check.lint import (
+    LintFinding,
+    lint_file,
+    lint_paths,
+    lint_source,
+    rule_catalog,
+)
+from repro.check.plan import (
+    DEFAULT_INPUT_SHAPE,
+    check_plan,
+    is_plan_verified,
+    mark_plan_verified,
+    plan_fingerprint,
+    verify_plan,
+)
+
+__all__ = [
+    "LINT_RULES",
+    "PLAN_RULES",
+    "Diagnostic",
+    "PlanVerificationError",
+    "KERNEL_TABLE",
+    "KernelSpec",
+    "ShapeError",
+    "LintFinding",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "rule_catalog",
+    "load_baseline",
+    "new_findings",
+    "save_baseline",
+    "DEFAULT_INPUT_SHAPE",
+    "check_plan",
+    "is_plan_verified",
+    "mark_plan_verified",
+    "plan_fingerprint",
+    "verify_plan",
+]

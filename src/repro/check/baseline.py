@@ -1,0 +1,71 @@
+"""Committed lint baselines: CI fails only on *new* findings.
+
+A baseline entry identifies a finding by ``(relative path, rule,
+sha1 of the stripped source line)`` — stable across line-number churn
+but invalidated when the offending line itself changes.  Matching is
+multiset-style so two identical lines in one file need two entries.
+
+The committed baseline for ``src/repro`` is intentionally empty (every
+real finding was fixed or carries an inline justification); the
+machinery exists so downstream additions can be adopted incrementally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.check.lint import LintFinding
+from repro.store import atomic_write_bytes
+
+BaselineKey = tuple[str, str, str]
+
+
+def _finding_key(finding: LintFinding, root: Path) -> BaselineKey:
+    path = Path(finding.path)
+    try:
+        rel = path.resolve().relative_to(Path(root).resolve())
+    except ValueError:
+        rel = path
+    digest = hashlib.sha1(finding.snippet.encode("utf-8")).hexdigest()
+    return (rel.as_posix(), finding.rule, digest)
+
+
+def load_baseline(path: Path) -> Counter:
+    """Baseline file -> multiset of finding keys (empty if missing)."""
+    path = Path(path)
+    if not path.exists():
+        return Counter()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return Counter(
+        (entry["file"], entry["rule"], entry["hash"])
+        for entry in payload.get("findings", [])
+    )
+
+
+def save_baseline(path: Path, findings: list[LintFinding], root: Path) -> None:
+    entries = [
+        {"file": key[0], "rule": key[1], "hash": key[2]}
+        for key in sorted(_finding_key(f, root) for f in findings)
+    ]
+    payload = json.dumps(
+        {"version": 1, "findings": entries}, indent=2, sort_keys=True
+    )
+    atomic_write_bytes(Path(path), (payload + "\n").encode("utf-8"))
+
+
+def new_findings(
+    findings: list[LintFinding], baseline: Counter, root: Path
+) -> list[LintFinding]:
+    """Findings not absorbed by the baseline multiset."""
+    remaining = Counter(baseline)
+    fresh = []
+    for finding in findings:
+        key = _finding_key(finding, root)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            fresh.append(finding)
+    return fresh

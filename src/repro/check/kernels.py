@@ -1,0 +1,232 @@
+"""Central static classification table for plan op kinds.
+
+This is the vetting register the plan verifier audits against: every op
+kind an :class:`~repro.runtime.plan.ExecutionPlan` may contain must have
+a row here describing
+
+- whether the op needs a live ``Module`` (its kernel reads parameters),
+- its *batch-invariance* class (may K fault variants be stacked along
+  the batch axis without changing a bit?), and
+- its abstract shape rule (per-sample shapes, no batch dimension).
+
+The batch-invariance classification deliberately **re-derives** the
+answer from the kernel dispatch rules in :func:`repro.nn.functional.conv2d`
+rather than importing :func:`repro.runtime.plan._batch_invariant` — the
+point of the audit is that capture-time flags and this table are two
+independent encodings of the same contract, so a drift in either one is
+caught (rule ``P120``).  A kind with no row here fails ``P121``: new
+kernels must be vetted before they can be captured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+Shape = tuple[int, ...]
+
+
+class ShapeError(ValueError):
+    """Abstract shape propagation cannot execute the op (rule P104)."""
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"non-positive conv output extent ({out}) for size={size}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    return out
+
+
+def _want_rank(shapes: list[Shape], rank: int, kind: str) -> None:
+    for shape in shapes:
+        if len(shape) != rank:
+            raise ShapeError(
+                f"{kind} expects rank-{rank} per-sample input, got {shape}"
+            )
+
+
+def _conv_shape(op, shapes: list[Shape]) -> Shape:
+    _want_rank(shapes, 3, op.kind)
+    c, h, w = shapes[0]
+    m = op.module
+    if m.in_channels != c:
+        raise ShapeError(
+            f"conv expects {m.in_channels} input channels, got {c}"
+        )
+    k = m.kernel_size
+    expect = (m.out_channels, m.in_channels // m.groups, k, k)
+    if tuple(m.weight.data.shape) != expect:
+        raise ShapeError(
+            f"conv weight shape {tuple(m.weight.data.shape)} != {expect}"
+        )
+    if op.kind == "conv2d_bn":
+        bn = op.params.get("bn")
+        if bn is None or bn.num_features != m.out_channels:
+            raise ShapeError(
+                "fused conv2d_bn needs a bn module matching out_channels "
+                f"({m.out_channels})"
+            )
+    return (
+        m.out_channels,
+        _conv_out(h, k, m.stride, m.padding),
+        _conv_out(w, k, m.stride, m.padding),
+    )
+
+
+def _bn_shape(op, shapes: list[Shape]) -> Shape:
+    _want_rank(shapes, 3, op.kind)
+    c, h, w = shapes[0]
+    m = op.module
+    if m.num_features != c:
+        raise ShapeError(
+            f"batchnorm over {m.num_features} features applied to {c} channels"
+        )
+    for name in ("running_mean", "running_var"):
+        if getattr(m, name).shape != (c,):
+            raise ShapeError(f"batchnorm {name} shape != ({c},)")
+    return (c, h, w)
+
+
+def _linear_shape(op, shapes: list[Shape]) -> Shape:
+    _want_rank(shapes, 1, op.kind)
+    (f,) = shapes[0]
+    m = op.module
+    if m.in_features != f:
+        raise ShapeError(f"linear expects {m.in_features} features, got {f}")
+    if tuple(m.weight.data.shape) != (m.out_features, m.in_features):
+        raise ShapeError(
+            f"linear weight shape {tuple(m.weight.data.shape)} != "
+            f"({m.out_features}, {m.in_features})"
+        )
+    return (m.out_features,)
+
+
+def _avg_pool_shape(op, shapes: list[Shape]) -> Shape:
+    _want_rank(shapes, 3, op.kind)
+    c, h, w = shapes[0]
+    k = op.module.kernel
+    if h % k or w % k:
+        raise ShapeError(f"avg_pool2d kernel {k} must divide {h}x{w}")
+    return (c, h // k, w // k)
+
+
+def _same_shape(op, shapes: list[Shape]) -> Shape:
+    return shapes[0]
+
+
+def _global_pool_shape(op, shapes: list[Shape]) -> Shape:
+    _want_rank(shapes, 3, op.kind)
+    return (shapes[0][0],)
+
+
+def _flatten_shape(op, shapes: list[Shape]) -> Shape:
+    total = 1
+    for extent in shapes[0]:
+        total *= extent
+    return (total,)
+
+
+def _add_shape(op, shapes: list[Shape]) -> Shape:
+    if len(shapes) != 2 or shapes[0] != shapes[1]:
+        raise ShapeError(f"add expects two equal shapes, got {shapes}")
+    return shapes[0]
+
+
+def _subsample_shape(op, shapes: list[Shape]) -> Shape:
+    _want_rank(shapes, 3, op.kind)
+    c, h, w = shapes[0]
+    stride = op.params.get("stride")
+    if not isinstance(stride, int) or stride < 1:
+        raise ShapeError(f"subsample2d stride must be a positive int, got {stride!r}")
+    return (c, -(-h // stride), -(-w // stride))
+
+
+def _pad_channels_shape(op, shapes: list[Shape]) -> Shape:
+    _want_rank(shapes, 3, op.kind)
+    c, h, w = shapes[0]
+    before, after = op.params.get("before"), op.params.get("after")
+    for value in (before, after):
+        if not isinstance(value, int) or value < 0:
+            raise ShapeError(
+                f"pad_channels padding must be non-negative ints, got "
+                f"before={before!r} after={after!r}"
+            )
+    return (c + before + after, h, w)
+
+
+def _conv_batch_invariant(op) -> bool:
+    # Mirrors the dispatch in F.conv2d: pointwise and groups==1 im2col
+    # reduce to a per-sample 3-D matmul (batch-stable); depthwise and
+    # grouped convs go through einsum(optimize=True), whose contraction
+    # order may change with the batch extent.
+    m = op.module
+    if m.kernel_size == 1 and m.padding == 0 and m.groups == 1:
+        return True
+    if m.groups == m.in_channels and m.out_channels == m.in_channels:
+        return False
+    return m.groups == 1
+
+
+def _never_batch_invariant(op) -> bool:
+    return False  # 2-D GEMM: BLAS blocking depends on the batch extent
+
+
+def _always_batch_invariant(op) -> bool:
+    return True  # elementwise / reduction over fixed axes / reshape
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Static traits of one op kind."""
+
+    kind: str
+    requires_module: bool
+    batch_invariant: Callable[[object], bool]
+    infer_shape: Callable[[object, list], Shape]
+
+
+KERNEL_TABLE: dict[str, KernelSpec] = {
+    spec.kind: spec
+    for spec in (
+        KernelSpec("conv2d", True, _conv_batch_invariant, _conv_shape),
+        KernelSpec("conv2d_bn", True, _conv_batch_invariant, _conv_shape),
+        KernelSpec("batchnorm2d", True, _always_batch_invariant, _bn_shape),
+        KernelSpec("linear", True, _never_batch_invariant, _linear_shape),
+        KernelSpec("relu", False, _always_batch_invariant, _same_shape),
+        KernelSpec("relu6", False, _always_batch_invariant, _same_shape),
+        KernelSpec("avg_pool2d", True, _always_batch_invariant, _avg_pool_shape),
+        KernelSpec(
+            "global_avg_pool2d", False, _always_batch_invariant, _global_pool_shape
+        ),
+        KernelSpec("flatten", False, _always_batch_invariant, _flatten_shape),
+        KernelSpec("add", False, _always_batch_invariant, _add_shape),
+        KernelSpec("subsample2d", False, _always_batch_invariant, _subsample_shape),
+        KernelSpec(
+            "pad_channels", False, _always_batch_invariant, _pad_channels_shape
+        ),
+    )
+}
+
+
+def param_dtype_issues(op) -> list[str]:
+    """Non-float32 parameter arrays reachable by *op*'s kernel (P105)."""
+    issues: list[str] = []
+    modules = [op.module] if op.module is not None else []
+    bn = op.params.get("bn")
+    if bn is not None:
+        modules.append(bn)
+    for module in modules:
+        for name in ("weight", "bias"):
+            param = getattr(module, name, None)
+            if param is not None and param.data.dtype != np.float32:
+                issues.append(f"{type(module).__name__}.{name} is {param.data.dtype}")
+        for name in ("running_mean", "running_var"):
+            buf = getattr(module, name, None)
+            if buf is not None and buf.dtype != np.float32:
+                issues.append(f"{type(module).__name__}.{name} is {buf.dtype}")
+    return issues

@@ -1,0 +1,436 @@
+"""AST-based determinism linter for the repro codebase.
+
+Bit-identical distributed merges (PR 3) and plan/module engine
+equivalence (PR 4) rest on the absence of a handful of bug classes that
+never show up in unit tests but wreck reproducibility at campaign
+scale.  This linter encodes them as static rules:
+
+========  ==============================================================
+ rule     finding
+========  ==============================================================
+ D201     unseeded RNG (``np.random.*`` legacy API, ``default_rng()``
+          with no seed, stdlib ``random``)
+ D202     iteration over a ``set``/``frozenset`` in an ordered context
+ D203     wall clock (``time.time``/``datetime.now``/…) used in a
+          function that also serializes or hashes data
+ D204     file writes bypassing the :mod:`repro.store` atomic helpers
+ D205     ``json.dump``/``json.dumps`` without ``sort_keys=True``
+ D206     unsorted directory listings (``glob``/``iterdir``/``listdir``)
+          iterated in an ordered context
+========  ==============================================================
+
+A finding on line *N* is suppressed by a ``# repro-check: ignore[RULE]``
+comment on that line; suppressions should carry a justification and are
+forbidden under ``src/repro/runtime`` (enforced by tests).  CI compares
+findings against a committed baseline (:mod:`repro.check.baseline`) so
+only *new* findings fail the build.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.check.diagnostics import LINT_RULES
+
+_IGNORE_RE = re.compile(r"#\s*repro-check:\s*ignore\[([A-Z]?\d+(?:\s*,\s*[A-Z]?\d+)*)\]")
+
+#: repro.store helpers that make a write atomic (rule D204's allow-list).
+_ATOMIC_HELPERS = frozenset(
+    {
+        "atomic_write",
+        "atomic_write_bytes",
+        "atomic_append_line",
+        "atomic_savez",
+        "save_verified_npz",
+        "write_manifest",
+    }
+)
+
+#: Calls whose result (or side effect) is serialized/hashed output —
+#: a wall-clock read in the same function can leak into artifacts (D203).
+_SERIALIZATION_SINKS = frozenset(
+    {"dump", "dumps", "sha256", "sha1", "md5", "blake2b", "blake2s"}
+) | _ATOMIC_HELPERS
+
+_WALL_CLOCK = frozenset({"time", "time_ns", "now", "utcnow", "today"})
+_WALL_CLOCK_BASES = frozenset({"time", "datetime", "date", "dt"})
+
+_LISTING_CALLS = frozenset({"glob", "rglob", "iterdir", "listdir", "scandir"})
+
+#: Wrappers that erase iteration order (or impose one), so an unordered
+#: iterable inside them is fine for D202/D206.
+_ORDER_SAFE_WRAPPERS = frozenset(
+    {"sorted", "set", "frozenset", "len", "sum", "min", "max", "any", "all",
+     "Counter"}
+)
+
+_RNG_SAFE_ATTRS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One determinism-lint finding."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _call_name(node: ast.Call) -> str:
+    """Trailing name of the called expression (``json.dumps`` -> ``dumps``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _dotted(node: ast.expr) -> str:
+    """Best-effort dotted name for an expression (``np.random.rand``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return isinstance(node, ast.Call) and _call_name(node) in ("set", "frozenset")
+
+
+def _is_listing_call(node: ast.expr) -> bool:
+    return isinstance(node, ast.Call) and _call_name(node) in _LISTING_CALLS
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: Path, source: str, tree: ast.AST) -> None:
+        self.path = path
+        self.lines = source.splitlines()
+        self.findings: list[LintFinding] = []
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        # Per-scope bookkeeping for D203: scopes (functions + module)
+        # that contain serialization sinks, and their wall-clock reads.
+        self._scope_stack: list[dict] = [{"sinks": False, "clocks": []}]
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _add(self, rule: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        snippet = self.lines[line - 1] if 0 < line <= len(self.lines) else ""
+        self.findings.append(
+            LintFinding(
+                rule=rule,
+                path=str(self.path),
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                snippet=snippet.strip(),
+            )
+        )
+
+    def _enclosing_call_names(self, node: ast.AST, limit: int = 4) -> list[str]:
+        """Names of call expressions wrapping *node* (innermost first)."""
+        names = []
+        current = self._parents.get(node)
+        while current is not None and limit > 0:
+            if isinstance(current, ast.Call):
+                names.append(_call_name(current))
+                limit -= 1
+            elif isinstance(current, ast.stmt):
+                break
+            current = self._parents.get(current)
+        return names
+
+    def _in_order_safe_wrapper(self, node: ast.AST) -> bool:
+        return any(
+            name in _ORDER_SAFE_WRAPPERS
+            for name in self._enclosing_call_names(node)
+        )
+
+    # -- scopes (D203) ----------------------------------------------------
+
+    def _visit_scope(self, node: ast.AST) -> None:
+        self._scope_stack.append({"sinks": False, "clocks": []})
+        self.generic_visit(node)
+        scope = self._scope_stack.pop()
+        if scope["sinks"]:
+            for clock_node, name in scope["clocks"]:
+                self._add(
+                    "D203",
+                    clock_node,
+                    f"wall-clock read {name}() in a scope that serializes/"
+                    "hashes data — timestamps must not reach fingerprints "
+                    "or artifact contents",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    # -- imports (D201) ---------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if any(alias.name == "random" for alias in node.names):
+            self._add(
+                "D201",
+                node,
+                "stdlib random imported — use seeded np.random.Generator "
+                "substreams instead",
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self._add(
+                "D201",
+                node,
+                "stdlib random imported — use seeded np.random.Generator "
+                "substreams instead",
+            )
+        self.generic_visit(node)
+
+    # -- calls (D201, D203, D204, D205, D206 wrappers) -------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        name = _call_name(node)
+
+        # D201: unseeded RNG.
+        parts = dotted.split(".")
+        if (
+            len(parts) >= 2
+            and parts[-2] == "random"
+            and parts[0] in ("np", "numpy", "random")
+        ):
+            if parts[-1] not in _RNG_SAFE_ATTRS:
+                self._add(
+                    "D201",
+                    node,
+                    f"{dotted}() draws from an implicitly seeded global "
+                    "stream — results become run-order dependent",
+                )
+        if name == "default_rng" and not node.args and not node.keywords:
+            self._add(
+                "D201",
+                node,
+                "default_rng() without a seed draws OS entropy — thread a "
+                "SeedSequence substream instead",
+            )
+
+        # D203 bookkeeping: sinks + wall-clock reads in this scope.
+        scope = self._scope_stack[-1]
+        if name in _SERIALIZATION_SINKS:
+            scope["sinks"] = True
+        base = dotted.split(".")[0] if "." in dotted else ""
+        if name in _WALL_CLOCK and base in _WALL_CLOCK_BASES:
+            scope["clocks"].append((node, dotted))
+
+        # D204: writes bypassing repro.store atomic helpers.
+        if name == "open":
+            mode = None
+            # builtin open(path, mode) vs Path.open(mode)
+            mode_index = 0 if isinstance(node.func, ast.Attribute) else 1
+            if len(node.args) > mode_index and isinstance(
+                node.args[mode_index], ast.Constant
+            ):
+                mode = node.args[mode_index].value
+            for kw in node.keywords:
+                if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                    mode = kw.value.value
+            if isinstance(mode, str) and any(c in mode for c in "wax+"):
+                self._add(
+                    "D204",
+                    node,
+                    f"open(..., {mode!r}) writes without the repro.store "
+                    "temp+fsync+rename discipline — a crash leaves a torn "
+                    "file",
+                )
+        elif name in ("write_text", "write_bytes"):
+            self._add(
+                "D204",
+                node,
+                f".{name}() writes in place — use repro.store.atomic_write "
+                "helpers",
+            )
+        elif dotted in ("np.save", "np.savez", "np.savez_compressed",
+                        "numpy.save", "numpy.savez", "numpy.savez_compressed"):
+            if not self._writes_to_memory_buffer(node):
+                self._add(
+                    "D204",
+                    node,
+                    f"{dotted}() writes a file in place — use "
+                    "repro.store.atomic_savez / save_verified_npz",
+                )
+
+        # D205: json serialization without a canonical key order.
+        if dotted in ("json.dump", "json.dumps"):
+            sort_kw = next(
+                (kw for kw in node.keywords if kw.arg == "sort_keys"), None
+            )
+            unsorted = sort_kw is None or (
+                isinstance(sort_kw.value, ast.Constant)
+                and not sort_kw.value.value
+            )
+            if unsorted:
+                self._add(
+                    "D205",
+                    node,
+                    f"{dotted}() without sort_keys=True — dict insertion "
+                    "order leaks into serialized bytes",
+                )
+
+        # D202/D206: unordered iterables materialised into ordered
+        # containers (list(...)/tuple(...) of a set or dir listing).
+        if name in ("list", "tuple", "enumerate") and node.args:
+            arg = node.args[0]
+            if _is_set_expr(arg):
+                self._add(
+                    "D202",
+                    arg,
+                    f"{name}() over a set has undefined element order",
+                )
+            if _is_listing_call(arg):
+                self._add(
+                    "D206",
+                    arg,
+                    f"{name}() over a directory listing has filesystem-"
+                    "dependent order — wrap it in sorted()",
+                )
+
+        self.generic_visit(node)
+
+    def _writes_to_memory_buffer(self, node: ast.Call) -> bool:
+        """np.save*(buf, ...) into an io.BytesIO is not a file write."""
+        if not node.args:
+            return False
+        target = node.args[0]
+        if isinstance(target, ast.Call):
+            return _call_name(target) in ("BytesIO", "StringIO")
+        if isinstance(target, ast.Name):
+            # Heuristic: conventional buffer names used with BytesIO.
+            return target.id in ("buf", "buffer", "bio", "stream", "fh")
+        return False
+
+    # -- iteration contexts (D202, D206) ---------------------------------
+
+    def _check_iter(self, iter_node: ast.expr, unordered_ok: bool) -> None:
+        if _is_set_expr(iter_node) and not unordered_ok:
+            self._add(
+                "D202",
+                iter_node,
+                "iterating a set — element order is undefined and may flow "
+                "into ordered output",
+            )
+        if _is_listing_call(iter_node) and not unordered_ok:
+            self._add(
+                "D206",
+                iter_node,
+                "iterating an unsorted directory listing — wrap it in "
+                "sorted()",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter, unordered_ok=False)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node, unordered_result: bool) -> None:
+        for gen in node.generators:
+            safe = unordered_result or self._in_order_safe_wrapper(node)
+            self._check_iter(gen.iter, unordered_ok=safe)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comp(node, unordered_result=False)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comp(node, unordered_result=False)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comp(node, unordered_result=True)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comp(node, unordered_result=True)
+
+
+def _suppressed_rules(line: str) -> set[str]:
+    match = _IGNORE_RE.search(line)
+    if not match:
+        return set()
+    return {part.strip() for part in match.group(1).split(",")}
+
+
+def lint_source(source: str, path: Path) -> list[LintFinding]:
+    """Lint one file's source text; suppression comments are honoured."""
+    tree = ast.parse(source, filename=str(path))
+    linter = _Linter(path, source, tree)
+    linter.visit(tree)
+    # Module scope participates in D203 too.
+    scope = linter._scope_stack[0]
+    if scope["sinks"]:
+        for clock_node, name in scope["clocks"]:
+            linter._add(
+                "D203",
+                clock_node,
+                f"wall-clock read {name}() at module scope alongside "
+                "serialization calls",
+            )
+    lines = source.splitlines()
+    kept = []
+    for finding in sorted(linter.findings, key=lambda f: (f.line, f.col, f.rule)):
+        line = lines[finding.line - 1] if finding.line <= len(lines) else ""
+        if finding.rule in _suppressed_rules(line):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_file(path: Path) -> list[LintFinding]:
+    return lint_source(path.read_text(encoding="utf-8"), path)
+
+
+def lint_paths(paths: list[Path]) -> list[LintFinding]:
+    """Lint files and (recursively) directories, in sorted order."""
+    findings: list[LintFinding] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                findings.extend(lint_file(file))
+        else:
+            findings.extend(lint_file(path))
+    return findings
+
+
+def rule_catalog() -> dict[str, str]:
+    return dict(LINT_RULES)

@@ -15,6 +15,8 @@
 - ``repro-dist`` — sharded campaigns over a file-backed work queue:
   ``submit`` / ``work`` / ``status`` / ``merge``, drainable by any
   number of workers on any host sharing the queue directory.
+- ``repro-check`` — static analysis: verify captured execution plans
+  (``plan``) and run the determinism linter (``lint``).
 
 Entry points that do real work (`plan`, `run`, `analyze`, `train`) share
 the ``--trace``/``--metrics-out`` telemetry flags via
@@ -35,6 +37,7 @@ __all__ = [
     "verify",
     "stats",
     "dist",
+    "check",
     "add_telemetry_arguments",
     "telemetry_from_args",
     "finish_telemetry",

@@ -1,0 +1,198 @@
+"""``repro-check``: static plan verification and determinism linting.
+
+Three subcommands:
+
+- ``repro-check plan`` — capture and verify execution plans for
+  registered models (``--all-models`` covers the zoo, fused and
+  unfused).  Exit 1 if any plan has errors; ``--strict`` also fails on
+  warnings.  ``--timings-out`` records per-plan verifier wall time.
+- ``repro-check lint`` — run the determinism rules (D201–D206) over
+  source paths, honouring ``# repro-check: ignore[RULE]`` suppressions
+  and an optional committed baseline.  ``--write-baseline`` adopts the
+  current findings.
+- ``repro-check rules`` — print the rule catalogue (both passes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.check import LINT_RULES, PLAN_RULES, verify_plan
+from repro.check.baseline import load_baseline, new_findings, save_baseline
+from repro.check.lint import lint_paths
+from repro.models import MODELS, create_model
+from repro.runtime.plan import capture_plan
+from repro.store import atomic_write_bytes
+
+_DEFAULT_BASELINE = "check-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="Static checks: plan verifier and determinism linter.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser("plan", help="verify captured execution plans")
+    plan.add_argument(
+        "--model",
+        action="append",
+        choices=sorted(MODELS),
+        help="model to capture and verify (repeatable)",
+    )
+    plan.add_argument(
+        "--all-models",
+        action="store_true",
+        help="verify every registered model",
+    )
+    plan.add_argument(
+        "--fuse",
+        choices=["unfused", "fused", "both"],
+        default="both",
+        help="which plan variants to verify (default: both)",
+    )
+    plan.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings (over-approximation, dead ops) as failures",
+    )
+    plan.add_argument(
+        "--timings-out",
+        metavar="JSON",
+        default=None,
+        help="write per-plan verifier wall-time measurements to this file",
+    )
+
+    lint = sub.add_parser("lint", help="run the determinism linter")
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="JSON",
+        default=None,
+        help="committed baseline of known findings (default: "
+        f"{_DEFAULT_BASELINE} when it exists)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="adopt the current findings into the baseline file and exit 0",
+    )
+
+    sub.add_parser("rules", help="print the rule catalogue")
+    return parser
+
+
+def _cmd_plan(args) -> int:
+    names = sorted(MODELS) if args.all_models else (args.model or [])
+    if not names:
+        print(
+            "repro-check plan: name models with --model or use --all-models",
+            file=sys.stderr,
+        )
+        return 2
+    variants = {
+        "unfused": [False],
+        "fused": [True],
+        "both": [False, True],
+    }[args.fuse]
+    failed = False
+    timings = []
+    for name in names:
+        for fuse in variants:
+            model = create_model(name)
+            # capture_plan verifies internally; verify again explicitly
+            # to report diagnostics (including warnings) and wall time.
+            plan = capture_plan(model, fuse=fuse)
+            start = time.perf_counter()
+            diagnostics = verify_plan(plan)
+            seconds = time.perf_counter() - start
+            errors = [d for d in diagnostics if d.severity == "error"]
+            warnings = [d for d in diagnostics if d.severity == "warning"]
+            verdict = "ok"
+            if errors or (args.strict and warnings):
+                verdict = "FAIL"
+                failed = True
+            elif warnings:
+                verdict = "warn"
+            print(
+                f"{verdict:4s} {name:18s} fused={str(fuse):5s} "
+                f"ops={len(plan):3d} verify={1e3 * seconds:6.2f} ms"
+            )
+            for diagnostic in diagnostics:
+                print(f"     {diagnostic}")
+            timings.append(
+                {
+                    "model": name,
+                    "fused": fuse,
+                    "ops": len(plan),
+                    "verify_seconds": seconds,
+                    "errors": len(errors),
+                    "warnings": len(warnings),
+                }
+            )
+    if args.timings_out:
+        payload = {
+            "plans": timings,
+            "max_verify_seconds": max(t["verify_seconds"] for t in timings),
+        }
+        serialized = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        atomic_write_bytes(Path(args.timings_out), serialized.encode("utf-8"))
+    return 1 if failed else 0
+
+
+def _cmd_lint(args) -> int:
+    root = Path.cwd()
+    findings = lint_paths([Path(p) for p in args.paths])
+    baseline_path = args.baseline
+    if baseline_path is None and Path(_DEFAULT_BASELINE).exists():
+        baseline_path = _DEFAULT_BASELINE
+    if args.write_baseline:
+        target = Path(baseline_path or _DEFAULT_BASELINE)
+        save_baseline(target, findings, root)
+        print(f"wrote {len(findings)} finding(s) to {target}")
+        return 0
+    if baseline_path is not None:
+        baseline = load_baseline(Path(baseline_path))
+        findings = new_findings(findings, baseline, root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(
+            f"\n{len(findings)} new finding(s); fix them or suppress a "
+            "justified one with  # repro-check: ignore[RULE]"
+        )
+        return 1
+    print("determinism lint: clean")
+    return 0
+
+
+def _cmd_rules(args) -> int:
+    print("Plan verifier (repro-check plan):")
+    for rule in sorted(PLAN_RULES):
+        print(f"  {rule}  {PLAN_RULES[rule]}")
+    print("\nDeterminism linter (repro-check lint):")
+    for rule in sorted(LINT_RULES):
+        print(f"  {rule}  {LINT_RULES[rule]}")
+    return 0
+
+
+_COMMANDS = {"plan": _cmd_plan, "lint": _cmd_lint, "rules": _cmd_rules}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

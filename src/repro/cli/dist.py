@@ -229,6 +229,10 @@ def _cmd_submit(args) -> int:
         "fuse": bool(args.fuse),
         "golden_accuracy": engine.golden_accuracy,
     }
+    if getattr(engine, "plan_fingerprint", None) is not None:
+        # Pin the verified plan structure: the merge refuses shard
+        # results that do not attest this fingerprint.
+        runtime["plan_sha256"] = engine.plan_fingerprint
     if args.kind == "exhaustive":
         config, specs = make_exhaustive_shards(
             engine, space, shards=args.shards
@@ -279,6 +283,15 @@ def _cmd_work(args) -> int:
     telemetry = telemetry_from_args(args)
     if config["kind"] == "exhaustive":
         engine, space = _build_engine(runtime, telemetry=telemetry)
+        expected_plan = runtime.get("plan_sha256")
+        rebuilt_plan = getattr(engine, "plan_fingerprint", None)
+        if expected_plan is not None and rebuilt_plan != expected_plan:
+            raise DistError(
+                "execution-plan mismatch: the campaign was submitted "
+                f"for verified plan {expected_plan[:12]}, this worker "
+                f"captured {str(rebuilt_plan)[:12]} — refusing to "
+                "classify shards"
+            )
         context = ExhaustiveContext(engine, space)
         verify_context_config(context, config)
     else:

@@ -12,7 +12,6 @@ from repro.cli import (
 )
 from repro.faults import FaultSpace
 from repro.models import MODELS, create_model
-from repro.telemetry import resolve_telemetry
 from repro.sfi import (
     DataAwareSFI,
     DataUnawareSFI,
@@ -20,6 +19,7 @@ from repro.sfi import (
     NetworkWiseSFI,
 )
 from repro.stats import proportional_allocation
+from repro.telemetry import resolve_telemetry
 
 
 def build_parser() -> argparse.ArgumentParser:

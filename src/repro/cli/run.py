@@ -3,7 +3,13 @@
 from __future__ import annotations
 
 import argparse
+import sys
 
+from repro.cli import (
+    add_telemetry_arguments,
+    finish_telemetry,
+    telemetry_from_args,
+)
 from repro.faults import InferenceOracle, TableOracle
 from repro.models import MODELS
 from repro.sfi import (
@@ -13,13 +19,6 @@ from repro.sfi import (
     LayerWiseSFI,
     NetworkWiseSFI,
     validate_campaign,
-)
-import sys
-
-from repro.cli import (
-    add_telemetry_arguments,
-    finish_telemetry,
-    telemetry_from_args,
 )
 from repro.sfi.artifacts import load_or_run_exhaustive
 from repro.store import CorruptArtifactError

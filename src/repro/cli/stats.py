@@ -88,7 +88,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"repro-stats: error: no events for run id {args.run!r}")
             return 1
     if args.json:
-        print(json.dumps([_to_json(s) for s in summaries], indent=2))
+        print(json.dumps([_to_json(s) for s in summaries], indent=2, sort_keys=True))
         return 0
     names = ", ".join(str(j) for j in args.journals)
     print(f"{names}: {len(events)} events, {len(summaries)} campaign(s)")

@@ -18,8 +18,9 @@ def iterate_batches(
 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
     """Yield ``(images, labels)`` mini-batches.
 
-    With ``shuffle=True`` a permutation drawn from *rng* (or a default
-    generator) reorders the data each call.  ``drop_last`` discards a final
+    With ``shuffle=True`` a permutation drawn from *rng* reorders the
+    data each call; the rng is required so epoch order always derives
+    from the caller's seed plumbing.  ``drop_last`` discards a final
     ragged batch.
     """
     if batch_size <= 0:
@@ -31,7 +32,11 @@ def iterate_batches(
     count = len(images)
     order = np.arange(count)
     if shuffle:
-        rng = rng or np.random.default_rng()
+        if rng is None:
+            raise ValueError(
+                "shuffle=True requires a seeded rng — an OS-entropy "
+                "default would make epoch order unreproducible"
+            )
         rng.shuffle(order)
     for start in range(0, count, batch_size):
         idx = order[start : start + batch_size]

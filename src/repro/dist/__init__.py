@@ -54,6 +54,7 @@ from repro.dist.worker import (
     ExhaustiveContext,
     SampledContext,
     ShardWorker,
+    plan_attestation_runtime,
     verify_context_config,
 )
 
@@ -76,6 +77,7 @@ __all__ = [
     "make_sampled_shards",
     "merge_exhaustive",
     "merge_sampled",
+    "plan_attestation_runtime",
     "plan_hash",
     "run_sharded_campaign",
     "run_sharded_exhaustive",

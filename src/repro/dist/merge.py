@@ -11,6 +11,10 @@ shard was re-dispatched after a kill.
 
 from __future__ import annotations
 
+import os
+
+import numpy as np
+
 from repro.dist.queue import ShardQueue
 from repro.dist.spec import EXHAUSTIVE, SAMPLED, DistError
 from repro.dist.worker import arrays_to_tallies, spec_metadata_matches
@@ -21,9 +25,6 @@ from repro.ieee754 import format_by_name
 from repro.sfi.granularity import Granularity
 from repro.sfi.results import CampaignResult
 from repro.telemetry import Telemetry, resolve_telemetry
-
-import numpy as np
-import os
 
 
 class MergeError(DistError):
@@ -60,8 +61,26 @@ def _ready_campaign(
     return queue, campaign
 
 
+def _expected_plan_attestation(campaign: dict) -> str | None:
+    """Plan fingerprint every shard must attest, or None if not required.
+
+    Plan-engine campaigns submitted by this version record the verified
+    plan's structural sha256 in the campaign runtime; older queues (or
+    module-engine campaigns) carry none and are merged as before.  Only
+    exhaustive shards are gated: sampled shards may legitimately replay
+    from a cached outcome table without holding any plan at all.
+    """
+    if campaign.get("config", {}).get("kind") != EXHAUSTIVE:
+        return None
+    runtime = campaign.get("runtime") or {}
+    if runtime.get("engine") == "plan":
+        return runtime.get("plan_sha256")
+    return None
+
+
 def _shard_results(queue: ShardQueue, campaign: dict):
     """Yield each done shard's (meta, arrays), refusing foreign results."""
+    expected_plan = _expected_plan_attestation(campaign)
     for shard_id in campaign["shards"]:
         if not queue.result_path(shard_id).is_file():
             continue  # allow_partial merges skip missing shards
@@ -77,6 +96,18 @@ def _shard_results(queue: ShardQueue, campaign: dict):
             raise MergeError(
                 f"refusing to merge {queue.result_path(shard_id)}: {problem}"
             )
+        if expected_plan is not None:
+            attested = meta.get("plan_sha256")
+            if attested != expected_plan or not meta.get("plan_verified"):
+                raise MergeError(
+                    f"refusing to merge {queue.result_path(shard_id)}: the "
+                    "shard does not attest the campaign's verified "
+                    f"execution plan (campaign plan {expected_plan[:12]}, "
+                    f"shard attests {str(attested)[:12]} "
+                    f"verified={bool(meta.get('plan_verified'))}) — it was "
+                    "produced by a worker whose plan never passed "
+                    "repro-check verification"
+                )
         yield shard_id, meta, arrays
 
 

@@ -226,15 +226,18 @@ class ShardQueue:
         arrays: dict[str, np.ndarray],
         *,
         lease: Lease | None = None,
+        meta: dict | None = None,
     ) -> Path:
         """Persist a shard's result and retire the spec.
 
         The result lands in ``done/`` through the verified store (atomic
         write + ``MANIFEST.json`` checksum), stamped with the shard's
         identity so the merge can refuse results from a different
-        campaign.  Completion is idempotent: a worker whose lease
-        expired mid-run may finish after a re-dispatch already did, and
-        simply overwrites the identical result.
+        campaign.  *meta* adds worker-side attestations (e.g. the
+        verified plan fingerprint) to that stamp.  Completion is
+        idempotent: a worker whose lease expired mid-run may finish
+        after a re-dispatch already did, and simply overwrites the
+        identical result.
         """
         payload = dict(arrays)
         payload["shard"] = np.frombuffer(
@@ -251,7 +254,9 @@ class ShardQueue:
                     ],
                     "seed": spec.seed,
                     "attempts": spec.attempts,
-                }
+                    **(meta or {}),
+                },
+                sort_keys=True,
             ).encode("utf-8"),
             dtype=np.uint8,
         )
@@ -306,7 +311,10 @@ class ShardQueue:
         per attempt (capped), written into the spec's ``not_before`` so
         every worker observes it.
         """
-        now = time.time() if now is None else now
+        # The backoff deadline is wall-clock by design: every worker must
+        # observe the same real-time gate.  It lands in the spec's
+        # not_before field, never in a fingerprint.
+        now = time.time() if now is None else now  # repro-check: ignore[D203]
         attempts = spec.attempts + 1
         delay = min(backoff_base * (2 ** (attempts - 1)), backoff_cap)
         updated = spec.with_failure(error, not_before=now + delay)

@@ -27,6 +27,7 @@ from repro.dist.worker import (
     ExhaustiveContext,
     SampledContext,
     ShardWorker,
+    plan_attestation_runtime,
 )
 from repro.faults.engine import FaultInjectionEngine
 from repro.faults.space import FaultSpace
@@ -220,6 +221,7 @@ def run_sharded_exhaustive(
     queue = ShardQueue(root)
     config, specs = make_exhaustive_shards(engine, space, shards=shards)
     extras = {"golden_accuracy": engine.golden_accuracy}
+    extras.update(plan_attestation_runtime(engine))
     if runtime:
         extras.update(runtime)
     queue.submit(specs, config=config, runtime=extras)

@@ -67,6 +67,22 @@ def arrays_to_tallies(
     return tallies, assumed
 
 
+def plan_attestation_runtime(engine) -> dict:
+    """Submit-side runtime entries pinning the verified plan's identity.
+
+    Recorded alongside the campaign so that the merge can demand every
+    shard result attest the same verified plan fingerprint.  Engines
+    without a plan (module engine) contribute nothing.
+    """
+    fingerprint = getattr(engine, "plan_fingerprint", None)
+    if fingerprint is None:
+        return {}
+    return {
+        "engine": getattr(engine, "kind", "plan"),
+        "plan_sha256": fingerprint,
+    }
+
+
 class ExhaustiveContext:
     """Executes exhaustive shards: one (layer, bit) cell per unit."""
 
@@ -75,6 +91,23 @@ class ExhaustiveContext:
     def __init__(self, engine: FaultInjectionEngine, space: FaultSpace) -> None:
         self.engine = engine
         self.space = space
+
+    def attestation(self) -> dict:
+        """Worker-side stamp embedded in every completed shard result.
+
+        Plan engines attest the structural fingerprint their verified
+        plan carries; the merge refuses results from workers whose plan
+        never passed :func:`repro.check.check_plan`.
+        """
+        fingerprint = getattr(self.engine, "plan_fingerprint", None)
+        if fingerprint is None:
+            return {}
+        from repro.check import is_plan_verified
+
+        return {
+            "plan_sha256": fingerprint,
+            "plan_verified": bool(is_plan_verified(fingerprint)),
+        }
 
     def run_shard(
         self, spec: ShardSpec, telemetry: Telemetry, heartbeat
@@ -105,6 +138,18 @@ class SampledContext:
         self.oracle = oracle
         self.space = space
         self.plan = plan
+
+    def attestation(self) -> dict:
+        engine = getattr(self.oracle, "engine", None)
+        fingerprint = getattr(engine, "plan_fingerprint", None)
+        if fingerprint is None:
+            return {}
+        from repro.check import is_plan_verified
+
+        return {
+            "plan_sha256": fingerprint,
+            "plan_verified": bool(is_plan_verified(fingerprint)),
+        }
 
     def run_shard(
         self, spec: ShardSpec, telemetry: Telemetry, heartbeat
@@ -285,7 +330,8 @@ class ShardWorker:
                 continue
             finally:
                 self._keeper.lease = None
-            self.queue.complete(spec, arrays, lease=lease)
+            attestation = getattr(self.context, "attestation", dict)()
+            self.queue.complete(spec, arrays, lease=lease, meta=attestation)
             completed += 1
             if self.telemetry.enabled:
                 self.telemetry.emit(

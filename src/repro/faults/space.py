@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
 
-from repro.faults.model import Fault, FaultModel, STUCK_AT_MODELS
+from repro.faults.model import STUCK_AT_MODELS, Fault, FaultModel
 from repro.faults.targets import WeightLayer, enumerate_weight_layers
 from repro.ieee754 import FLOAT32, FloatFormat
 from repro.nn import Module

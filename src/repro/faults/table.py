@@ -486,7 +486,8 @@ class OutcomeTable:
         """
         arrays = {f"layer{i}": arr for i, arr in enumerate(self.outcomes)}
         arrays["metadata"] = np.frombuffer(
-            json.dumps(self.metadata).encode("utf-8"), dtype=np.uint8
+            json.dumps(self.metadata, sort_keys=True).encode("utf-8"),
+            dtype=np.uint8,
         )
         save_verified_npz(path, arrays)
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.models.mobilenet import mobilenetv2, mobilenetv2_mini
-from repro.models.resnet import resnet8_mini, resnet14_mini, resnet20, resnet20_mini
+from repro.models.resnet import resnet14_mini, resnet20, resnet20_mini, resnet8_mini
 from repro.models.vgg import vgg_mini
 from repro.nn import Module, load_state
 from repro.utils import artifacts_dir

@@ -18,7 +18,6 @@ from repro.nn import (
     GlobalAvgPool2d,
     Linear,
     Module,
-    ReLU,
     Sequential,
 )
 from repro.nn import functional as F

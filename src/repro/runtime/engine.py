@@ -47,8 +47,8 @@ from repro.faults.model import Fault
 from repro.ieee754 import FLOAT32, FloatFormat
 from repro.nn import Module
 from repro.runtime.plan import OpSpec, capture_plan
-from repro.tensor.im2col import conv_output_size, im2col
 from repro.telemetry import Telemetry
+from repro.tensor.im2col import conv_output_size, im2col
 
 #: Default number of same-layer faults evaluated per stacked tail pass.
 DEFAULT_BATCH_SIZE = 16
@@ -132,6 +132,19 @@ class PlanEngine(FaultInjectionEngine):
         )
         self.plan = capture_plan(model, fuse=fuse)
         self.fusions = self.plan.fusions
+        # Re-verify at the engine trust boundary (capture already did,
+        # but the engine is also handed pre-built plans in tests) and
+        # pin the verified structure's fingerprint — distributed shard
+        # results attest this value so merges can refuse outcomes from
+        # plans that never passed verification.
+        from repro.check import check_plan  # lazy: check reasons about runtime
+
+        if self.telemetry.enabled:
+            with self.telemetry.span("check.verify_plan", emit=True):
+                self.plan_fingerprint = check_plan(self.plan)
+            self.telemetry.counter("check.plans_verified").add(1)
+        else:
+            self.plan_fingerprint = check_plan(self.plan)
         self.batch_size = int(batch_size)
         # im2col workspaces are an allocation-level optimisation only the
         # fused engine opts into; unfused plans allocate exactly like

@@ -351,10 +351,19 @@ def capture_plan(model: Module, *, fuse: bool = False) -> ExecutionPlan:
     The model must implement :meth:`~repro.nn.Module.capture` (all zoo
     models do).  With ``fuse=True`` the captured plan additionally goes
     through :func:`fuse_plan` — numeric-changing, see its docstring.
+
+    Every captured plan is statically verified (O(ops²), milliseconds)
+    before it crosses this trust boundary; a plan that fails raises
+    :class:`~repro.check.PlanVerificationError` instead of silently
+    miscomputing campaigns later.
     """
     builder = PlanBuilder()
     output = model.capture(builder, builder.input_slot)
     plan = builder.build(output)
+    # Lazy import: repro.check.plan reasons *about* this module.
+    from repro.check import check_plan
+
+    check_plan(plan)
     if fuse:
         plan = fuse_plan(plan)
     return plan
@@ -406,10 +415,16 @@ def fuse_plan(plan: ExecutionPlan) -> ExecutionPlan:
                 batch_invariant=op.batch_invariant,
             )
         )
-    return ExecutionPlan(
+    fused = ExecutionPlan(
         ops,
         num_slots=plan.num_slots,
         output_slot=plan.output_slot,
         input_slot=plan.input_slot,
         fusions=("bn_fold", "im2col_workspace"),
     )
+    # The rewrite changed dataflow (dropped bn ops, rewired slots):
+    # re-verify rather than trusting the transformation.
+    from repro.check import check_plan
+
+    check_plan(fused)
+    return fused

@@ -10,7 +10,7 @@ from collections.abc import Callable, Iterable
 import numpy as np
 
 from repro.faults.engine import FaultInjectionEngine, FaultOutcome
-from repro.faults.model import FaultModel, STUCK_AT_MODELS
+from repro.faults.model import STUCK_AT_MODELS, FaultModel
 from repro.faults.oracle import Oracle
 from repro.faults.space import FaultSpace
 from repro.faults.table import OutcomeTable, resolve_workers

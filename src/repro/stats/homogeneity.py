@@ -11,8 +11,8 @@ cannot reject it across weights within one (bit, layer) cell.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 from scipy.stats import chi2

@@ -55,7 +55,7 @@ def _save_manifest(directory: Path, entries: dict) -> None:
     }
     atomic_write_bytes(
         manifest_path(directory),
-        (json.dumps(payload, indent=2) + "\n").encode("utf-8"),
+        (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8"),
     )
 
 

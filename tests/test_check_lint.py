@@ -1,0 +1,221 @@
+"""Determinism linter: rule units, suppression, baseline, and the
+self-audit that src/repro itself lints clean with no baseline debt."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.check import (
+    LINT_RULES,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    new_findings,
+    rule_catalog,
+    save_baseline,
+)
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+
+
+def findings_for(code: str):
+    return lint_source(textwrap.dedent(code), Path("snippet.py"))
+
+
+def rules_of(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+class TestUnseededRandomness:
+    def test_np_random_legacy_call_flagged(self):
+        assert "D201" in rules_of(
+            findings_for(
+                """
+                import numpy as np
+                x = np.random.rand(3)
+                """
+            )
+        )
+
+    def test_bare_default_rng_flagged_seeded_is_not(self):
+        bad = findings_for("import numpy as np\nr = np.random.default_rng()\n")
+        good = findings_for("import numpy as np\nr = np.random.default_rng(7)\n")
+        assert "D201" in rules_of(bad)
+        assert "D201" not in rules_of(good)
+
+    def test_stdlib_random_import_flagged(self):
+        assert "D201" in rules_of(findings_for("import random\n"))
+
+    def test_generator_methods_are_fine(self):
+        code = """
+        import numpy as np
+        rng = np.random.default_rng(0)
+        rng.shuffle([1, 2, 3])
+        """
+        assert "D201" not in rules_of(findings_for(code))
+
+
+class TestSetIterationOrder:
+    def test_for_over_set_literal_flagged(self):
+        assert "D202" in rules_of(
+            findings_for("for x in {1, 2, 3}:\n    print(x)\n")
+        )
+
+    def test_sorted_wrapper_is_order_safe(self):
+        assert "D202" not in rules_of(
+            findings_for("for x in sorted({1, 2, 3}):\n    print(x)\n")
+        )
+
+    def test_list_of_set_flagged(self):
+        assert "D202" in rules_of(findings_for("xs = list({1, 2, 3})\n"))
+
+    def test_set_comprehension_result_is_unordered_anyway(self):
+        assert "D202" not in rules_of(
+            findings_for("ys = {x for x in {1, 2, 3}}\n")
+        )
+
+
+class TestWallClock:
+    def test_clock_near_serialization_flagged(self):
+        code = """
+        import json
+        import time
+
+        def stamp(payload, fh):
+            payload["at"] = time.time()
+            json.dump(payload, fh, sort_keys=True)
+        """
+        assert "D203" in rules_of(findings_for(code))
+
+    def test_clock_without_sink_is_fine(self):
+        code = """
+        import time
+
+        def elapsed(start):
+            return time.time() - start
+        """
+        assert "D203" not in rules_of(findings_for(code))
+
+    def test_clock_in_sibling_function_is_fine(self):
+        code = """
+        import json
+        import time
+
+        def now():
+            return time.time()
+
+        def save(payload, fh):
+            json.dump(payload, fh, sort_keys=True)
+        """
+        assert "D203" not in rules_of(findings_for(code))
+
+
+class TestDirectWrites:
+    def test_open_for_write_flagged(self):
+        assert "D204" in rules_of(
+            findings_for('fh = open("out.txt", "w")\n')
+        )
+
+    def test_open_for_read_is_fine(self):
+        assert "D204" not in rules_of(findings_for('fh = open("in.txt")\n'))
+
+    def test_path_write_text_flagged(self):
+        code = 'from pathlib import Path\nPath("o.txt").write_text("hi")\n'
+        assert "D204" in rules_of(findings_for(code))
+
+    def test_numpy_save_to_path_flagged_buffer_is_fine(self):
+        bad = 'import numpy as np\nnp.savez("o.npz", a=1)\n'
+        good = (
+            "import io\nimport numpy as np\n"
+            "buf = io.BytesIO()\nnp.savez(buf, a=1)\n"
+        )
+        assert "D204" in rules_of(findings_for(bad))
+        assert "D204" not in rules_of(findings_for(good))
+
+
+class TestJsonKeyOrder:
+    def test_dumps_without_sort_keys_flagged(self):
+        assert "D205" in rules_of(
+            findings_for('import json\ns = json.dumps({"b": 1, "a": 2})\n')
+        )
+
+    def test_dumps_with_sort_keys_is_fine(self):
+        assert "D205" not in rules_of(
+            findings_for("import json\ns = json.dumps({}, sort_keys=True)\n")
+        )
+
+
+class TestFilesystemListing:
+    def test_unsorted_glob_iteration_flagged(self):
+        code = (
+            "from pathlib import Path\n"
+            'for p in Path(".").glob("*.json"):\n    print(p)\n'
+        )
+        assert "D206" in rules_of(findings_for(code))
+
+    def test_sorted_glob_is_fine(self):
+        code = (
+            "from pathlib import Path\n"
+            'for p in sorted(Path(".").glob("*.json")):\n    print(p)\n'
+        )
+        assert "D206" not in rules_of(findings_for(code))
+
+
+class TestSuppression:
+    def test_matching_ignore_comment_suppresses(self):
+        code = (
+            "import json\n"
+            "s = json.dumps({})  # repro-check: ignore[D205]\n"
+        )
+        assert findings_for(code) == []
+
+    def test_ignore_for_a_different_rule_does_not_suppress(self):
+        code = (
+            "import json\n"
+            "s = json.dumps({})  # repro-check: ignore[D201]\n"
+        )
+        assert "D205" in rules_of(findings_for(code))
+
+
+class TestBaseline:
+    def test_round_trip_and_new_finding_detection(self, tmp_path):
+        source = tmp_path / "mod.py"
+        source.write_text("import json\ns = json.dumps({})\n")
+        findings = lint_paths([source])
+        assert rules_of(findings) == {"D205"}
+
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(baseline_path, findings, root=tmp_path)
+        baseline = load_baseline(baseline_path)
+        assert new_findings(findings, baseline, root=tmp_path) == []
+
+        source.write_text(
+            "import json\ns = json.dumps({})\nt = json.dumps([])\n"
+        )
+        grown = lint_paths([source])
+        fresh = new_findings(grown, baseline, root=tmp_path)
+        assert len(fresh) == 1
+        assert fresh[0].rule == "D205"
+
+
+class TestSelfAudit:
+    def test_src_repro_lints_clean(self):
+        assert lint_paths([SRC]) == []
+
+    def test_committed_baseline_is_empty(self):
+        baseline = load_baseline(REPO / "check-baseline.json")
+        assert sum(baseline.values()) == 0
+
+    def test_runtime_package_has_zero_suppressions(self):
+        hits = [
+            path
+            for path in sorted((SRC / "runtime").rglob("*.py"))
+            if "repro-check: ignore" in path.read_text()
+        ]
+        assert hits == []
+
+    def test_catalog_documents_every_rule(self):
+        catalog = rule_catalog()
+        assert set(LINT_RULES) <= set(catalog)
