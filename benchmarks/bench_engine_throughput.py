@@ -1,19 +1,25 @@
-"""Engine throughput trajectory: module vs plan vs batched plan.
+"""Engine throughput trajectory: module vs plan vs vectorized plan.
 
-Times the three execution strategies on the same deterministic,
+Times the four execution strategies on the same deterministic,
 campaign-representative fault sample from ``resnet14_mini`` (layers drawn
 proportionally to their weight count, all 32 bit positions, both stuck-at
 models — the population the committed exhaustive artifact enumerates) and
 writes ``BENCH_engine.json`` so CI can track faults/sec across commits:
 
-- ``module``       — stage-granular prefix caching, one fault at a time,
-- ``plan``         — op-granular prefix caching, one fault at a time,
-- ``plan_batched`` — op-granular caching plus K same-layer faults per
-                     stacked tail pass.
+- ``module``          — stage-granular prefix caching, one fault at a
+                        time,
+- ``plan``            — op-granular prefix caching, one fault at a time,
+- ``plan_batched``    — op-granular caching plus K same-layer faults per
+                        stacked tail pass,
+- ``plan_vectorized`` — certified variant-axis stacking: no-flip
+                        certification retires most rows, survivors run
+                        cache-blocked stacked kernels.
 
-Unfused outcomes are bit-identical across all three (asserted here); the
+Unfused outcomes are bit-identical across all four (asserted here); the
 run aborts if they ever diverge, so a throughput number never ships for
-an engine that changed the science.
+an engine that changed the science.  The run also aborts if the plan
+engine at batch_size=1 falls below the module engine — the regression
+this trajectory exists to keep fixed.
 
 Usage::
 
@@ -33,7 +39,8 @@ import numpy as np
 from repro.data import SynthCIFAR
 from repro.faults import Fault, FaultModel
 from repro.models import create_model, pretrained_path
-from repro.runtime import create_engine
+from repro.runtime import DEFAULT_VEC_BATCH_SIZE, create_engine
+from repro.store import atomic_write_bytes
 from repro.train import train_reference_model
 
 MODEL = "resnet14_mini"
@@ -105,6 +112,13 @@ def main(argv: list[str] | None = None) -> int:
             kind="plan",
             batch_size=args.batch_size,
         ),
+        "plan_vectorized": create_engine(
+            model,
+            data.images,
+            data.labels,
+            kind="plan_vectorized",
+            batch_size=DEFAULT_VEC_BATCH_SIZE,
+        ),
     }
     faults = sample_faults(engines["module"], args.faults)
 
@@ -143,11 +157,21 @@ def main(argv: list[str] | None = None) -> int:
         "outcomes_identical": True,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    serialized = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    atomic_write_bytes(args.out, serialized.encode("utf-8"))
     print(f"wrote {args.out}")
 
+    unbatched = payload["speedup_vs_module"]["plan"]
+    if unbatched < 1.0:
+        raise SystemExit(
+            f"plan engine at batch_size=1 is {unbatched:.2f}x the module "
+            "engine — the unbatched throughput regression is back"
+        )
     batched = payload["speedup_vs_module"]["plan_batched"]
+    vectorized = payload["speedup_vs_module"]["plan_vectorized"]
+    print(f"plan (bs=1) speedup vs module:  {unbatched:.2f}x")
     print(f"plan_batched speedup vs module: {batched:.2f}x")
+    print(f"plan_vectorized speedup vs module: {vectorized:.2f}x")
     return 0
 
 

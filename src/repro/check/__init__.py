@@ -23,7 +23,13 @@ from repro.check.diagnostics import (
     Diagnostic,
     PlanVerificationError,
 )
-from repro.check.kernels import KERNEL_TABLE, KernelSpec, ShapeError
+from repro.check.kernels import (
+    ABSORPTION_KINDS,
+    KERNEL_TABLE,
+    KernelSpec,
+    ShapeError,
+    absorption_spec,
+)
 from repro.check.lint import (
     LintFinding,
     lint_file,
@@ -31,13 +37,19 @@ from repro.check.lint import (
     lint_source,
     rule_catalog,
 )
+from repro.check.conformance import ConformanceReport, run_conformance
 from repro.check.plan import (
     DEFAULT_INPUT_SHAPE,
     check_plan,
+    check_plan_vectorized,
+    compatible_fingerprints,
+    declare_fingerprints_compatible,
+    fingerprints_compatible,
     is_plan_verified,
     mark_plan_verified,
     plan_fingerprint,
     verify_plan,
+    verify_plan_vectorized,
 )
 
 __all__ = [
@@ -45,9 +57,13 @@ __all__ = [
     "PLAN_RULES",
     "Diagnostic",
     "PlanVerificationError",
+    "ABSORPTION_KINDS",
+    "ConformanceReport",
     "KERNEL_TABLE",
     "KernelSpec",
     "ShapeError",
+    "absorption_spec",
+    "run_conformance",
     "LintFinding",
     "lint_file",
     "lint_paths",
@@ -58,8 +74,13 @@ __all__ = [
     "save_baseline",
     "DEFAULT_INPUT_SHAPE",
     "check_plan",
+    "check_plan_vectorized",
+    "compatible_fingerprints",
+    "declare_fingerprints_compatible",
+    "fingerprints_compatible",
     "is_plan_verified",
     "mark_plan_verified",
     "plan_fingerprint",
     "verify_plan",
+    "verify_plan_vectorized",
 ]

@@ -1,0 +1,175 @@
+"""Conformance suite: vectorized engine vs the exact plan engine.
+
+The vectorized engine's throughput comes from *not* running kernels for
+rows it can certify; its correctness claim is that the predictions it
+reports are nevertheless bit-identical to the exact engine's.  That
+claim is attested structurally (``check_plan_vectorized`` declares the
+fingerprints compatible) — this module is the empirical check behind
+the attestation: run both engines over the same campaign-representative
+fault sample and compare the full per-fault prediction matrices and
+classified outcomes row by row.
+
+A *flip* is any (fault, image) cell where the two engines predict
+different classes; an *outcome flip* is a fault whose campaign
+classification differs.  ``tolerance`` is the permitted flip fraction —
+``0.0`` by default, and forced to ``0.0`` whenever the engines attest
+bit-exactness (the fingerprint-compatibility claim admits no slack).
+
+``repro-check conform`` is the CLI front end; CI runs it on the mini
+reference models and fails the build on any out-of-tolerance flip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """Outcome of one vectorized-vs-exact conformance run."""
+
+    model: str
+    faults: int
+    eval_size: int
+    #: (fault, image) cells predicting different classes.
+    prediction_flips: int
+    #: Faults whose campaign outcome classification differs.
+    outcome_flips: int
+    #: Permitted flip fraction (0.0 when bit-exactness is attested).
+    tolerance: float
+    #: Engines declared their fingerprints compatible (bit-exact claim).
+    bit_exact_attested: bool
+    #: Faults fully retired by pre-certification (no kernel work).
+    precertified: int
+    #: (fault, image) rows certified during seeding or the suffix walk.
+    certified_rows: int
+    #: Rows that ran the full suffix and were argmax-classified.
+    survivor_rows: int
+    ok: bool
+    #: Fault indices of out-of-tolerance outcome flips (first 32).
+    flipped_faults: tuple[int, ...] = field(default=())
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "faults": self.faults,
+            "eval_size": self.eval_size,
+            "prediction_flips": self.prediction_flips,
+            "outcome_flips": self.outcome_flips,
+            "tolerance": self.tolerance,
+            "bit_exact_attested": self.bit_exact_attested,
+            "precertified": self.precertified,
+            "certified_rows": self.certified_rows,
+            "survivor_rows": self.survivor_rows,
+            "ok": self.ok,
+            "flipped_faults": list(self.flipped_faults),
+        }
+
+
+def _sample_faults(engine, count: int, seed: int) -> list:
+    """Campaign-representative fault sample (mirrors the throughput bench).
+
+    Layers proportional to weight count, bits uniform over all 32
+    positions, both stuck-at models, masked faults excluded — the same
+    population the exhaustive artifacts enumerate.
+    """
+    from repro.faults import Fault, FaultModel
+
+    rng = np.random.default_rng(seed)
+    layers = engine.layers
+    sizes = np.array([layer.size for layer in layers], dtype=np.float64)
+    weights = sizes / sizes.sum()
+    models = [FaultModel.STUCK_AT_0, FaultModel.STUCK_AT_1]
+    faults: list = []
+    while len(faults) < count:
+        layer = int(rng.choice(len(layers), p=weights))
+        fault = Fault(
+            layer=layer,
+            index=int(rng.integers(layers[layer].size)),
+            bit=int(rng.integers(0, 32)),
+            model=models[int(rng.integers(2))],
+        )
+        if not engine.injector.is_masked(fault):
+            faults.append(fault)
+    return faults
+
+
+def run_conformance(
+    model,
+    *,
+    eval_size: int = 64,
+    faults: int = 128,
+    seed: int = 0,
+    tolerance: float = 0.0,
+    batch_size: int = 16,
+) -> ConformanceReport:
+    """Compare vectorized and exact plan engines fault by fault.
+
+    *model* is either a model name from the registry (the pretrained
+    reference checkpoint is used, training it first if absent) or an
+    already-built :class:`~repro.nn.module.Module`.
+    """
+    # Lazy: check is imported by runtime's plan layer; the engines pull
+    # in the whole runtime stack.
+    from repro.data import SynthCIFAR
+    from repro.runtime import PlanEngine, VectorizedPlanEngine
+
+    if isinstance(model, str):
+        name = model
+        from repro.models import create_model, pretrained_path
+        from repro.train import train_reference_model
+
+        if not pretrained_path(name).is_file():
+            train_reference_model(name)
+        model = create_model(name, pretrained=True)
+    else:
+        name = type(model).__name__
+
+    data = SynthCIFAR("test", size=eval_size, seed=1234)
+    exact = PlanEngine(
+        model, data.images, data.labels, batch_size=batch_size
+    )
+    vectorized = VectorizedPlanEngine(
+        model, data.images, data.labels, batch_size=batch_size
+    )
+    from repro.check.plan import fingerprints_compatible
+
+    attested = fingerprints_compatible(
+        vectorized.plan_fingerprint, exact.plan_fingerprint
+    )
+    if attested:
+        tolerance = 0.0
+
+    sample = _sample_faults(exact, faults, seed)
+    preds_exact = exact.predictions_for_faults(sample)
+    preds_vec = vectorized.predictions_for_faults(sample)
+    cells = np.asarray(preds_exact) != np.asarray(preds_vec)
+    prediction_flips = int(cells.sum())
+
+    outcomes_exact = exact.classify_many(sample)
+    outcomes_vec = vectorized.classify_many(sample)
+    flipped = [
+        i
+        for i, (a, b) in enumerate(zip(outcomes_exact, outcomes_vec))
+        if a != b
+    ]
+    flip_fraction = len(flipped) / max(len(sample), 1)
+    ok = flip_fraction <= tolerance and (
+        not attested or prediction_flips == 0
+    )
+    return ConformanceReport(
+        model=name,
+        faults=len(sample),
+        eval_size=eval_size,
+        prediction_flips=prediction_flips,
+        outcome_flips=len(flipped),
+        tolerance=tolerance,
+        bit_exact_attested=attested,
+        precertified=vectorized.precertified,
+        certified_rows=vectorized.certified_rows,
+        survivor_rows=vectorized.survivor_rows,
+        ok=ok,
+        flipped_faults=tuple(flipped[:32]),
+    )

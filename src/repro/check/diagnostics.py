@@ -33,6 +33,12 @@ PLAN_RULES: dict[str, str] = {
     "classification table",
     "P121": "op kind is not classified in the kernel table (new kernels "
     "must be vetted for batch invariance before capture)",
+    "P122": "vectorized mode requires an unfused plan: fused numerics "
+    "carry no absorption certificates and break the exact-twin "
+    "fingerprint compatibility claim",
+    "P123": "no absorption row for this op: the vectorized certifier "
+    "cannot bound fault propagation through it, so rows reaching it "
+    "never certify (exact fallback, correct but no speedup)",
 }
 
 #: Determinism-linter rules (see :mod:`repro.check.lint`).

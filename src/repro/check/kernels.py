@@ -213,6 +213,107 @@ KERNEL_TABLE: dict[str, KernelSpec] = {
 }
 
 
+#: Op kinds carrying an absorption row in :func:`absorption_spec` — the
+#: vetting register for the *vectorized* execution mode: rows reaching an
+#: op without one can never be certified and fall through to exact
+#: execution (rule ``P123``).
+ABSORPTION_KINDS = frozenset(
+    {
+        "conv2d",
+        "batchnorm2d",
+        "linear",
+        "relu",
+        "relu6",
+        "avg_pool2d",
+        "global_avg_pool2d",
+        "flatten",
+        "add",
+        "subsample2d",
+        "pad_channels",
+    }
+)
+
+
+def absorption_spec(
+    op,
+    *,
+    mean: bool,
+    in_positions: int = 1,
+    out_positions: int = 1,
+    input_rank: int = 3,
+):
+    """Sound channelwise delta-bound transfer for one op kind.
+
+    This is the vectorized engine's certification calculus, kept here —
+    next to the batch-invariance register — as the verifier-owned
+    encoding of each kernel's analytic behaviour.  For a per-sample,
+    per-channel bound ``b[c]`` on the magnitude of an activation delta,
+    the returned spec describes a bound on the op output's delta:
+
+    - ``("id",)``      — ``b`` carries through unchanged (contractions:
+      relu/relu6 clip, pooling averages, channel subsampling),
+    - ``("scale", s)`` — ``b * s``,
+    - ``("diag", v)``  — ``b * v`` channelwise (batchnorm affine),
+    - ``("mat", A)``   — ``A @ b`` (conv absorbed over the kernel
+      window, linear absorbed over ``|W|``),
+    - ``("pad", before, after)`` — channels pass through at an offset,
+    - ``None``         — no sound row (the certifier must treat the op
+      as absorbing nothing, i.e. an infinite bound).
+
+    Two chains are maintained: with ``mean=False`` the bound is the
+    per-channel *max* of ``|delta|`` over spatial positions; with
+    ``mean=True`` it is the per-channel *mean*.  The mean chain needs
+    the spatial position counts: an op that maps ``in_positions`` input
+    positions onto ``out_positions`` output positions concentrates the
+    summed delta by at most ``in_positions / out_positions`` (strided
+    convs and subsampling), while ``global_avg_pool2d`` maps the mean
+    bound straight onto its single output position — which is what makes
+    the dual-chain bound sharp after relu gating spikes the max.
+    """
+    kind = op.kind
+    if kind == "conv2d":
+        weight = np.abs(op.module.weight.data).sum(axis=(2, 3))
+        matrix = weight.astype(np.float64)
+        if op.module.groups != 1:
+            # Grouped/depthwise kernels: expand the (out_c, in_c/groups)
+            # block-diagonal structure to a dense (out_c, in_c) matrix.
+            out_c, in_pg = matrix.shape
+            in_c = in_pg * op.module.groups
+            dense = np.zeros((out_c, in_c), dtype=np.float64)
+            out_pg = out_c // op.module.groups
+            for g in range(op.module.groups):
+                dense[
+                    g * out_pg : (g + 1) * out_pg,
+                    g * in_pg : (g + 1) * in_pg,
+                ] = matrix[g * out_pg : (g + 1) * out_pg]
+            matrix = dense
+        if mean and out_positions:
+            matrix = matrix * (in_positions / out_positions)
+        return ("mat", matrix)
+    if kind == "batchnorm2d":
+        m = op.module
+        scale = np.abs(
+            m.weight.data / np.sqrt(m.running_var + m.eps)
+        ).astype(np.float64)
+        return ("diag", scale)
+    if kind == "linear":
+        return ("mat", np.abs(op.module.weight.data).astype(np.float64))
+    if kind == "subsample2d":
+        if mean and out_positions:
+            return ("scale", in_positions / out_positions)
+        return ("id",)
+    if kind == "flatten":
+        # Only the trivial rank-1 flatten (post-GAP) preserves the
+        # per-channel bound; flattening spatial extents would need a
+        # channel-grouped expansion nothing in the zoo requires.
+        return ("id",) if input_rank <= 1 else None
+    if kind in ("relu", "relu6", "avg_pool2d", "global_avg_pool2d", "add"):
+        return ("id",)
+    if kind == "pad_channels":
+        return ("pad", op.params["before"], op.params["after"])
+    return None
+
+
 def param_dtype_issues(op) -> list[str]:
     """Non-float32 parameter arrays reachable by *op*'s kernel (P105)."""
     issues: list[str] = []

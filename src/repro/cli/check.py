@@ -10,6 +10,9 @@ Three subcommands:
   source paths, honouring ``# repro-check: ignore[RULE]`` suppressions
   and an optional committed baseline.  ``--write-baseline`` adopts the
   current findings.
+- ``repro-check conform`` — run the vectorized-vs-exact conformance
+  suite (:func:`repro.check.run_conformance`) on reference models;
+  exit 1 on any out-of-tolerance outcome flip.
 - ``repro-check rules`` — print the rule catalogue (both passes).
 """
 
@@ -72,8 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "paths",
         nargs="*",
-        default=["src/repro"],
-        help="files or directories to lint (default: src/repro)",
+        default=["src/repro", "benchmarks"],
+        help="files or directories to lint "
+        "(default: src/repro benchmarks)",
     )
     lint.add_argument(
         "--baseline",
@@ -86,6 +90,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="adopt the current findings into the baseline file and exit 0",
+    )
+
+    conform = sub.add_parser(
+        "conform",
+        help="vectorized-vs-exact engine conformance on reference models",
+    )
+    conform.add_argument(
+        "--model",
+        action="append",
+        choices=sorted(MODELS),
+        help="model to check (repeatable; default: resnet14_mini)",
+    )
+    conform.add_argument(
+        "--faults",
+        type=int,
+        default=128,
+        help="campaign-representative faults per model (default: 128)",
+    )
+    conform.add_argument(
+        "--eval-size", type=int, default=64, help="evaluation set size"
+    )
+    conform.add_argument("--seed", type=int, default=0)
+    conform.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        help="permitted outcome-flip fraction; forced to 0 when the "
+        "engines attest bit-exactness (default: 0)",
+    )
+    conform.add_argument(
+        "--out",
+        metavar="JSON",
+        default=None,
+        help="write the per-model conformance reports to this file",
     )
 
     sub.add_parser("rules", help="print the rule catalogue")
@@ -176,6 +214,42 @@ def _cmd_lint(args) -> int:
     return 0
 
 
+def _cmd_conform(args) -> int:
+    from repro.check.conformance import run_conformance
+
+    names = args.model or ["resnet14_mini"]
+    reports = []
+    failed = False
+    for name in names:
+        report = run_conformance(
+            name,
+            eval_size=args.eval_size,
+            faults=args.faults,
+            seed=args.seed,
+            tolerance=args.tolerance,
+        )
+        reports.append(report)
+        verdict = "ok" if report.ok else "FAIL"
+        failed = failed or not report.ok
+        attest = "bit-exact" if report.bit_exact_attested else (
+            f"tolerance={report.tolerance}"
+        )
+        print(
+            f"{verdict:4s} {report.model:18s} faults={report.faults:4d} "
+            f"flips={report.outcome_flips}/{report.faults} "
+            f"cells={report.prediction_flips} [{attest}] "
+            f"precertified={report.precertified} "
+            f"survivors={report.survivor_rows}"
+        )
+        if report.flipped_faults:
+            print(f"     flipped fault indices: {list(report.flipped_faults)}")
+    if args.out:
+        payload = {"reports": [r.to_dict() for r in reports]}
+        serialized = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        atomic_write_bytes(Path(args.out), serialized.encode("utf-8"))
+    return 1 if failed else 0
+
+
 def _cmd_rules(args) -> int:
     print("Plan verifier (repro-check plan):")
     for rule in sorted(PLAN_RULES):
@@ -186,7 +260,12 @@ def _cmd_rules(args) -> int:
     return 0
 
 
-_COMMANDS = {"plan": _cmd_plan, "lint": _cmd_lint, "rules": _cmd_rules}
+_COMMANDS = {
+    "plan": _cmd_plan,
+    "lint": _cmd_lint,
+    "conform": _cmd_conform,
+    "rules": _cmd_rules,
+}
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -127,9 +127,9 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--engine",
         default="plan",
-        choices=("plan", "module"),
-        help="execution engine; unfused plan and module outcomes are "
-        "bit-identical (default: plan)",
+        choices=("plan", "plan_vectorized", "module"),
+        help="execution engine; unfused plan, vectorized and module "
+        "outcomes are bit-identical (default: plan)",
     )
     submit.add_argument(
         "--fuse",
@@ -184,6 +184,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="sampled campaigns: really inject each fault instead of "
         "replaying the cached exhaustive outcomes",
+    )
+    work.add_argument(
+        "--engine",
+        default=None,
+        choices=("plan", "plan_vectorized"),
+        help="exhaustive campaigns: run this worker's shards on a "
+        "different engine than the campaign was submitted with; "
+        "accepted only when the verifier attests both engines' "
+        "fingerprints outcome-compatible",
     )
     add_telemetry_arguments(work)
 
@@ -282,19 +291,33 @@ def _cmd_work(args) -> int:
     runtime = campaign.get("runtime", {})
     telemetry = telemetry_from_args(args)
     if config["kind"] == "exhaustive":
+        if args.engine:
+            runtime = dict(runtime, engine=args.engine)
         engine, space = _build_engine(runtime, telemetry=telemetry)
-        expected_plan = runtime.get("plan_sha256")
+        expected_plan = campaign.get("runtime", {}).get("plan_sha256")
         rebuilt_plan = getattr(engine, "plan_fingerprint", None)
         if expected_plan is not None and rebuilt_plan != expected_plan:
-            raise DistError(
-                "execution-plan mismatch: the campaign was submitted "
-                f"for verified plan {expected_plan[:12]}, this worker "
-                f"captured {str(rebuilt_plan)[:12]} — refusing to "
-                "classify shards"
-            )
+            # A mixed-engine fleet is legitimate exactly when the
+            # verifier attested both plans bit-identical in outcomes.
+            from repro.check import fingerprints_compatible
+
+            if not fingerprints_compatible(
+                str(rebuilt_plan), expected_plan
+            ):
+                raise DistError(
+                    "execution-plan mismatch: the campaign was submitted "
+                    f"for verified plan {expected_plan[:12]}, this worker "
+                    f"captured {str(rebuilt_plan)[:12]} — refusing to "
+                    "classify shards (not attested outcome-compatible)"
+                )
         context = ExhaustiveContext(engine, space)
         verify_context_config(context, config)
     else:
+        if args.engine:
+            raise DistError(
+                "--engine only applies to exhaustive campaigns; sampled "
+                "workers replay or inject under the submitted engine"
+            )
         engine, space = _build_engine(runtime, telemetry=telemetry)
         plan = _build_plan(runtime, space)
         rebuilt = sampled_config(

@@ -61,10 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--engine",
         default="plan",
-        choices=("plan", "module"),
+        choices=("plan", "plan_vectorized", "module"),
         help="fault-evaluation engine: 'plan' (op-granular caching, "
-        "batched faults; default) or 'module' (stage-granular "
-        "reference). Unfused outcomes are bit-identical either way.",
+        "batched faults; default), 'plan_vectorized' (certified "
+        "variant-axis stacking) or 'module' (stage-granular "
+        "reference). Unfused outcomes are bit-identical in all three.",
     )
     parser.add_argument(
         "--fuse",

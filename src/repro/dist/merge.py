@@ -73,7 +73,7 @@ def _expected_plan_attestation(campaign: dict) -> str | None:
     if campaign.get("config", {}).get("kind") != EXHAUSTIVE:
         return None
     runtime = campaign.get("runtime") or {}
-    if runtime.get("engine") == "plan":
+    if runtime.get("engine") in ("plan", "plan_vectorized"):
         return runtime.get("plan_sha256")
     return None
 
@@ -98,7 +98,25 @@ def _shard_results(queue: ShardQueue, campaign: dict):
             )
         if expected_plan is not None:
             attested = meta.get("plan_sha256")
-            if attested != expected_plan or not meta.get("plan_verified"):
+            # Mixed-engine fleets are fine exactly when a verifier
+            # attested the engines bit-identical: a vectorized worker's
+            # fingerprint is accepted against an exact campaign (and
+            # vice versa) only via the explicit compatibility registry
+            # check_plan_vectorized populates.  The registry is
+            # process-local, so the shard also carries the worker's own
+            # declarations — a standalone merge process, which never
+            # built either plan, honours those.
+            from repro.check import fingerprints_compatible
+
+            matches = attested == expected_plan or (
+                attested is not None
+                and (
+                    fingerprints_compatible(attested, expected_plan)
+                    or expected_plan
+                    in meta.get("plan_compatible_with", ())
+                )
+            )
+            if not matches or not meta.get("plan_verified"):
                 raise MergeError(
                     f"refusing to merge {queue.result_path(shard_id)}: the "
                     "shard does not attest the campaign's verified "
@@ -106,7 +124,8 @@ def _shard_results(queue: ShardQueue, campaign: dict):
                     f"shard attests {str(attested)[:12]} "
                     f"verified={bool(meta.get('plan_verified'))}) — it was "
                     "produced by a worker whose plan never passed "
-                    "repro-check verification"
+                    "repro-check verification or whose engine is not "
+                    "attested outcome-compatible with the campaign's"
                 )
         yield shard_id, meta, arrays
 

@@ -137,7 +137,7 @@ class FaultInjectionEngine:
         #: across engines).
         self.inference_count = 0
 
-    def fingerprint(self) -> str:
+    def fingerprint(self, *, kind: str | None = None) -> str:
         """SHA-256 over the campaign's full classification identity.
 
         Covers the golden weight bits and eval images *and* everything
@@ -147,6 +147,11 @@ class FaultInjectionEngine:
         classify every fault identically; checkpoints and distributed
         shards compare it so progress recorded under different weights,
         policies or fused numerics is never resumed or merged.
+
+        *kind* substitutes another engine kind into the identity — used
+        by engines whose outcomes are attested bit-identical to a twin
+        (e.g. the vectorized engine declaring compatibility with the
+        exact plan engine's fingerprint) without building the twin.
         """
         digest = hashlib.sha256()
         header = json.dumps(
@@ -154,7 +159,7 @@ class FaultInjectionEngine:
                 "fmt": self.injector.fmt.name,
                 "policy": self.policy,
                 "threshold": self.threshold,
-                "engine": self.kind,
+                "engine": self.kind if kind is None else kind,
                 "fusions": list(self.fusions),
             },
             sort_keys=True,
@@ -219,25 +224,12 @@ class FaultInjectionEngine:
         return self._classify_many(faults)
 
     def _classify_many(self, faults: Sequence[Fault]) -> list[FaultOutcome]:
-        if self.batch_size == 1:
-            # Non-batching engines keep the bare sequential hot loop —
-            # the grouping below would only add per-fault bookkeeping.
-            outcomes_seq: list[FaultOutcome] = []
-            for fault in faults:
-                if self.injector.is_masked(fault):
-                    outcomes_seq.append(FaultOutcome.MASKED)
-                    continue
-                predictions = self.predictions_with_fault(fault)
-                outcomes_seq.append(
-                    classify_predictions(
-                        predictions,
-                        self.golden_predictions,
-                        self.labels,
-                        policy=self.policy,
-                        threshold=self.threshold,
-                    )
-                )
-            return outcomes_seq
+        # Faults are grouped by target layer at *every* batch size, not
+        # just on batching engines: per-layer workspaces (the plan
+        # engine's im2col columns cache, prefix materialisations) are
+        # reused across consecutive same-layer faults, where a shuffled
+        # campaign order would rebuild them per fault.  Outcomes are
+        # scattered back by position, so results are order-independent.
         outcomes: list[FaultOutcome | None] = [None] * len(faults)
         by_layer: dict[int, list[int]] = {}
         for pos, fault in enumerate(faults):
@@ -246,6 +238,20 @@ class FaultInjectionEngine:
             else:
                 by_layer.setdefault(fault.layer, []).append(pos)
         for positions in by_layer.values():
+            if self.batch_size == 1:
+                # Keep the grouping (workspace reuse) but skip the
+                # batched dispatch: predictions_for_faults would
+                # np.stack every single-row result, which is measurable
+                # against the <2% NullTelemetry overhead budget.
+                for pos in positions:
+                    outcomes[pos] = classify_predictions(
+                        self.predictions_with_fault(faults[pos]),
+                        self.golden_predictions,
+                        self.labels,
+                        policy=self.policy,
+                        threshold=self.threshold,
+                    )
+                continue
             for start in range(0, len(positions), self.batch_size):
                 chunk = positions[start : start + self.batch_size]
                 rows = self.predictions_for_faults([faults[p] for p in chunk])

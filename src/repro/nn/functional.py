@@ -140,3 +140,22 @@ def softmax(x: np.ndarray) -> np.ndarray:
     z = x - x.max(axis=1, keepdims=True)
     exp = np.exp(z)
     return exp / exp.sum(axis=1, keepdims=True)
+
+
+def channel_abs_stats(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-sample, per-channel ``(max, mean)`` of ``|x|``, in float64.
+
+    The basis vectors of the vectorized engine's dual delta-bound
+    chains (see :func:`repro.check.kernels.absorption_spec`): spatial
+    axes are reduced away, rank-2 inputs (post-GAP activations, logits)
+    pass through with max == mean.  float64 keeps the certification
+    arithmetic's own rounding far below the margins it compares against.
+    """
+    a = np.abs(x)
+    if a.ndim <= 2:
+        a = a.astype(np.float64)
+        return a, a
+    axes = tuple(range(2, a.ndim))
+    # max of float32 values is exact; mean accumulates in float64 — no
+    # full-array float64 cast needed for a sound bound.
+    return a.max(axis=axes).astype(np.float64), a.mean(axis=axes, dtype=np.float64)

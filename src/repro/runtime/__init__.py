@@ -22,15 +22,23 @@ from repro.runtime.plan import (
     capture_plan,
     fuse_plan,
 )
+from repro.runtime.vectorized import (
+    DEFAULT_OP_BUDGET,
+    DEFAULT_VEC_BATCH_SIZE,
+    VectorizedPlanEngine,
+)
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_OP_BUDGET",
+    "DEFAULT_VEC_BATCH_SIZE",
     "ExecutionPlan",
     "FUSED_OP_KINDS",
     "OP_KINDS",
     "OpSpec",
     "PlanBuilder",
     "PlanEngine",
+    "VectorizedPlanEngine",
     "capture_plan",
     "create_engine",
     "fuse_plan",

@@ -648,11 +648,37 @@ def create_engine(
     """Build a fault-classification engine of the requested *kind*.
 
     ``kind="plan"`` (default) returns the op-granular, batching
-    :class:`PlanEngine`; ``kind="module"`` returns the stage-granular
-    reference :class:`repro.faults.InferenceEngine`.  Unfused plan and
+    :class:`PlanEngine`; ``kind="plan_vectorized"`` the certified
+    variant-axis :class:`~repro.runtime.vectorized.VectorizedPlanEngine`;
+    ``kind="module"`` the stage-granular reference
+    :class:`repro.faults.InferenceEngine`.  Unfused plan, vectorized and
     module engines produce bit-identical outcomes; *fuse* requires the
-    plan engine.
+    plain plan engine (vectorized certificates are stated against exact
+    numerics).
     """
+    if kind == "plan_vectorized":
+        if fuse:
+            raise ValueError(
+                "the vectorized engine certifies against exact numerics; "
+                "fusion changes them (use kind='plan' for fused runs)"
+            )
+        from repro.runtime.vectorized import (
+            DEFAULT_VEC_BATCH_SIZE,
+            VectorizedPlanEngine,
+        )
+
+        return VectorizedPlanEngine(
+            model,
+            images,
+            labels,
+            fmt=fmt,
+            policy=policy,
+            threshold=threshold,
+            telemetry=telemetry,
+            batch_size=(
+                DEFAULT_VEC_BATCH_SIZE if batch_size is None else batch_size
+            ),
+        )
     if kind == "plan":
         return PlanEngine(
             model,
@@ -682,4 +708,7 @@ def create_engine(
             threshold=threshold,
             telemetry=telemetry,
         )
-    raise ValueError(f"unknown engine kind {kind!r} (expected 'plan' or 'module')")
+    raise ValueError(
+        f"unknown engine kind {kind!r} "
+        "(expected 'plan', 'plan_vectorized' or 'module')"
+    )

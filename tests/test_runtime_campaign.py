@@ -187,6 +187,26 @@ class TestDistRefusal:
         assert config["engine"] == "plan"
         verify_context_config(ExhaustiveContext(plan_engine, space), config)
 
+    def test_module_refusal_survives_vectorized_attestation(
+        self, campaign_setup
+    ):
+        """The vectorized engine declares itself compatible with *both*
+        the plan and module engines; those pairwise declarations must
+        not transitively whitelist module workers on plan campaigns."""
+        from repro.runtime import VectorizedPlanEngine
+
+        module_engine, plan_engine, space = campaign_setup
+        VectorizedPlanEngine(
+            plan_engine.model,
+            plan_engine.images,
+            plan_engine.labels,
+            fmt=FLOAT16,
+        )
+        config = exhaustive_config(plan_engine, space)
+        context = ExhaustiveContext(module_engine, space)
+        with pytest.raises(DistError, match="fingerprint mismatch"):
+            verify_context_config(context, config)
+
 
 class TestCliWiring:
     def test_repro_run_engine_flags(self):
