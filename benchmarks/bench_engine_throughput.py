@@ -86,6 +86,43 @@ def time_engine(engine, faults: list[Fault]) -> tuple[float, list]:
     return time.perf_counter() - start, outcomes
 
 
+def _appended_history(out: Path, payload: dict) -> list[dict]:
+    """Prior runs' engine rates plus this one, oldest first.
+
+    The bench file carries its own trajectory instead of being
+    overwritten, so engine-throughput drift is visible across commits.
+    Entries are keyed by run order, not wall time — the repo's
+    determinism lint forbids clock reads next to serialization, and the
+    git history already dates each entry.
+    """
+    history: list[dict] = []
+    if out.is_file():
+        try:
+            with open(out, encoding="utf-8") as stream:
+                previous = json.load(stream)
+        except (OSError, json.JSONDecodeError):
+            previous = {}
+        history = list(previous.get("history", []))
+        if not history and "engines" in previous:
+            # Upgrade a pre-history file: its latest block becomes the
+            # first trajectory entry.
+            history = [
+                {
+                    "engines": previous["engines"],
+                    "faults": previous.get("faults"),
+                    "speedup_vs_module": previous.get("speedup_vs_module"),
+                }
+            ]
+    history.append(
+        {
+            "engines": payload["engines"],
+            "faults": payload["faults"],
+            "speedup_vs_module": payload["speedup_vs_module"],
+        }
+    )
+    return history
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=Path, default=Path("BENCH_engine.json"))
@@ -157,9 +194,14 @@ def main(argv: list[str] | None = None) -> int:
         "outcomes_identical": True,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
+    payload["history"] = _appended_history(args.out, payload)
     serialized = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     atomic_write_bytes(args.out, serialized.encode("utf-8"))
-    print(f"wrote {args.out}")
+    print(
+        f"wrote {args.out} "
+        f"({len(payload['history'])} history entr"
+        f"{'y' if len(payload['history']) == 1 else 'ies'})"
+    )
 
     unbatched = payload["speedup_vs_module"]["plan"]
     if unbatched < 1.0:

@@ -11,9 +11,18 @@ shard lifecycle:
   config fingerprint before classifying anything;
 - ``status`` — show pending/leased/done/poisoned shards and lease
   deadlines;
+- ``rebalance`` — observe per-worker pace from the lease files and
+  split oversized *pending* shards for stragglers (the merge stays
+  bit-identical: splitting only re-partitions work units along the
+  stable shard-id rules);
 - ``merge`` — deterministically reassemble the shard results into the
   campaign result (bit-identical to a serial run), refusing incomplete
   queues and mismatched config fingerprints.
+
+``submit --auto`` closes the telemetry loop: a cost model fitted from a
+measured journal (``--fit``) picks the engine kind, batch size and shard
+granularity, and the resulting prediction is recorded with the campaign
+so ``repro-stats`` can report predicted-vs-actual error afterwards.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 from repro.cli import (
@@ -32,6 +42,7 @@ from repro.data import SynthCIFAR
 from repro.dist import (
     DistError,
     ExhaustiveContext,
+    Rebalancer,
     SampledContext,
     ShardQueue,
     ShardWorker,
@@ -54,6 +65,14 @@ from repro.sfi import (
     DataUnawareSFI,
     LayerWiseSFI,
     NetworkWiseSFI,
+)
+from repro.telemetry import (
+    CostModel,
+    CostModelError,
+    choose_submit_settings,
+    fit_cost_model,
+    load_bench,
+    summarize_journal,
 )
 
 _PLANNERS = {
@@ -149,6 +168,54 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--error-margin", type=float, default=0.01)
     submit.add_argument("--confidence", type=float, default=0.99)
     submit.add_argument("--seed", type=int, default=0)
+    auto = submit.add_argument_group(
+        "cost-model tuning (submit --auto)"
+    )
+    auto.add_argument(
+        "--auto",
+        action="store_true",
+        help="pick engine kind, batch size and shard granularity from a "
+        "cost model fitted from measured telemetry (needs --fit or "
+        "--cost-model; exhaustive campaigns only)",
+    )
+    auto.add_argument(
+        "--fit",
+        type=Path,
+        action="append",
+        default=None,
+        metavar="JOURNAL",
+        help="fit the cost model from this telemetry journal (repeatable)",
+    )
+    auto.add_argument(
+        "--cost-model",
+        type=Path,
+        default=None,
+        metavar="JSON",
+        help="load a saved cost model instead of fitting",
+    )
+    auto.add_argument(
+        "--bench",
+        type=Path,
+        default=None,
+        metavar="JSON",
+        help="engine-throughput bench for relative engine speeds "
+        "(default: BENCH_engine.json when present)",
+    )
+    auto.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker count the fleet will run with (shapes the --auto "
+        "shard choice and the recorded prediction; default: 1)",
+    )
+    auto.add_argument(
+        "--target-shard-seconds",
+        type=float,
+        default=30.0,
+        help="target predicted wall time per shard for --auto "
+        "(default: 30)",
+    )
+    add_telemetry_arguments(submit)
 
     work = sub.add_parser(
         "work", help="claim and execute shards until the queue is drained"
@@ -194,6 +261,15 @@ def build_parser() -> argparse.ArgumentParser:
         "accepted only when the verifier attests both engines' "
         "fingerprints outcome-compatible",
     )
+    work.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="minimum seconds between worker_heartbeat events (default: "
+        "REPRO_HEARTBEAT_INTERVAL env, else one event per completed "
+        "unit; leases renew per unit regardless)",
+    )
     add_telemetry_arguments(work)
 
     status = sub.add_parser("status", help="show the queue's state")
@@ -201,6 +277,47 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+
+    rebalance = sub.add_parser(
+        "rebalance",
+        help="split oversized pending shards for stragglers (one pass, "
+        "or --watch until the queue drains)",
+    )
+    rebalance.add_argument("root", type=Path, help="queue directory")
+    rebalance.add_argument(
+        "--target-shard-seconds",
+        type=float,
+        default=30.0,
+        help="split pending shards predicted to exceed this wall time "
+        "at the observed fleet pace (default: 30)",
+    )
+    rebalance.add_argument(
+        "--straggler-ratio",
+        type=float,
+        default=0.5,
+        help="a worker below this fraction of the median unit rate is a "
+        "straggler; the slowest pace then prices pending shards "
+        "(default: 0.5)",
+    )
+    rebalance.add_argument(
+        "--min-units",
+        type=int,
+        default=2,
+        help="never produce child shards smaller than this many units "
+        "(default: 2)",
+    )
+    rebalance.add_argument(
+        "--watch",
+        action="store_true",
+        help="keep rebalancing until the queue drains instead of one pass",
+    )
+    rebalance.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between --watch passes (default: 1)",
+    )
+    add_telemetry_arguments(rebalance)
 
     merge = sub.add_parser(
         "merge", help="reassemble shard results into the campaign result"
@@ -220,7 +337,57 @@ def build_parser() -> argparse.ArgumentParser:
 # -- submit ----------------------------------------------------------------
 
 
+def _submit_cost_model(args) -> CostModel | None:
+    """Build the submit-time cost model, or ``None`` when not asked for."""
+    if args.cost_model is not None:
+        model = CostModel.load(args.cost_model)
+    elif args.fit:
+        summaries = []
+        for journal in args.fit:
+            summaries.extend(summarize_journal(journal))
+        model = fit_cost_model(summaries)
+    elif args.auto:
+        raise CostModelError(
+            "submit --auto needs measurements: pass --fit <journal> "
+            "(a campaign run with --trace) or --cost-model <json>"
+        )
+    else:
+        return None
+    bench_path = args.bench
+    if bench_path is None and Path("BENCH_engine.json").is_file():
+        bench_path = Path("BENCH_engine.json")
+    if bench_path is not None:
+        model.engine_rates = dict(load_bench(bench_path))
+    return model
+
+
 def _cmd_submit(args) -> int:
+    cost_model = _submit_cost_model(args)
+    if args.auto:
+        if args.kind != "exhaustive":
+            raise DistError(
+                "submit --auto tunes exhaustive campaigns; sampled "
+                "campaigns are priced by their plan instead"
+            )
+        # The auto choice needs the fault space before the engine is
+        # built; the module-engine space is identical (same model), so
+        # build cheap, choose, then rebuild with the chosen engine.
+        probe_model = create_model(args.model, pretrained=True)
+        choice = choose_submit_settings(
+            cost_model,
+            FaultSpace(probe_model),
+            workers=args.workers,
+            target_shard_seconds=args.target_shard_seconds,
+            model=args.model,
+        )
+        args.engine = choice.engine
+        args.shards = choice.shards
+        print(
+            f"auto: engine={choice.engine} batch={choice.batch_size} "
+            f"shards={choice.shards} -> predicted "
+            f"{choice.prediction.wall_seconds:.2f}s wall at "
+            f"{args.workers} worker(s)"
+        )
     engine, space = _build_engine(
         {
             "model": args.model,
@@ -268,8 +435,37 @@ def _cmd_submit(args) -> int:
             confidence=args.confidence,
             seed=args.seed,
         )
+    prediction = None
+    if cost_model is not None:
+        if args.kind == "exhaustive":
+            prediction = cost_model.predict_exhaustive(
+                space,
+                engine=args.engine,
+                workers=args.workers,
+                shards=len(specs),
+                model=args.model,
+            )
+        else:
+            prediction = cost_model.predict_sampled(
+                plan,
+                engine=args.engine,
+                workers=args.workers,
+                shards=len(specs),
+                model=args.model,
+            )
+        # Recorded with the campaign AND journalled, so repro-stats can
+        # hold the model to account once the fleet has run.
+        runtime["prediction"] = prediction.to_dict()
+        print(
+            f"predicted: {prediction.wall_seconds:.2f}s wall at "
+            f"{args.workers} worker(s), {prediction.fault_evals:,} "
+            "fault-evals"
+        )
     queue = ShardQueue(args.root)
     enqueued = queue.submit(specs, config=config, runtime=runtime)
+    telemetry = telemetry_from_args(args)
+    if telemetry is not None and telemetry.enabled and prediction is not None:
+        telemetry.emit("campaign_predicted", **prediction.event_fields())
     status = queue.status()
     print(
         f"submitted {args.kind} campaign "
@@ -278,6 +474,7 @@ def _cmd_submit(args) -> int:
         f"({len(status.done)} already done)"
     )
     print(f"drain it with: repro-dist work {args.root}")
+    finish_telemetry(telemetry, args)
     return 0
 
 
@@ -357,6 +554,7 @@ def _cmd_work(args) -> int:
         worker_id=args.worker_id,
         lease_seconds=args.lease_seconds,
         max_attempts=args.max_attempts,
+        heartbeat_interval=args.heartbeat_interval,
         telemetry=telemetry,
     )
     completed = worker.run(max_shards=args.max_shards, wait=not args.no_wait)
@@ -427,6 +625,74 @@ def _cmd_status(args) -> int:
     return 0
 
 
+# -- rebalance -------------------------------------------------------------
+
+
+def _prior_seconds_per_unit(campaign: dict) -> float | None:
+    """Pace prior from the campaign's recorded submit-time prediction.
+
+    Lets the rebalancer split a too-coarse campaign before any lease has
+    been observed.  Exhaustive campaigns only: the unit count (cells) is
+    derivable from the config, a sampled plan's item count is not.
+    """
+    runtime = campaign.get("runtime", {})
+    prediction = runtime.get("prediction")
+    config = campaign.get("config", {})
+    if not prediction or config.get("kind") != "exhaustive":
+        return None
+    layer_sizes = config.get("layer_sizes")
+    bits = config.get("bits")
+    serial = prediction.get("serial_seconds")
+    if not layer_sizes or not bits or not serial:
+        return None
+    cells = len(layer_sizes) * int(bits)
+    if cells <= 0:
+        return None
+    return float(serial) / cells
+
+
+def _cmd_rebalance(args) -> int:
+    queue = ShardQueue(args.root)
+    campaign = queue.campaign()
+    telemetry = telemetry_from_args(args)
+    rebalancer = Rebalancer(
+        queue,
+        target_shard_seconds=args.target_shard_seconds,
+        straggler_ratio=args.straggler_ratio,
+        min_units=args.min_units,
+        seconds_per_unit=_prior_seconds_per_unit(campaign),
+        telemetry=telemetry,
+    )
+    while True:
+        report = rebalancer.tick()
+        for shard_id in report.recovered:
+            print(f"recovered interrupted split of {shard_id}")
+        pace = (
+            f"{report.seconds_per_unit:.3f}s/unit"
+            if report.seconds_per_unit
+            else "unknown pace"
+        )
+        stragglers = (
+            f", stragglers: {', '.join(report.stragglers)}"
+            if report.stragglers
+            else ""
+        )
+        print(
+            f"observed {len(report.rates)} lease(s) ({pace}{stragglers}); "
+            f"split {report.split_count} shard(s)"
+        )
+        for parent, children in report.splits:
+            print(f"  {parent} -> {', '.join(children)}")
+        if not args.watch:
+            break
+        status = queue.status()
+        if not status.pending and not status.leased:
+            break
+        time.sleep(args.interval)
+    finish_telemetry(telemetry, args)
+    return 0
+
+
 # -- merge -----------------------------------------------------------------
 
 
@@ -464,6 +730,7 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "work": _cmd_work,
     "status": _cmd_status,
+    "rebalance": _cmd_rebalance,
     "merge": _cmd_merge,
 }
 
@@ -472,7 +739,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except DistError as exc:
+    except (DistError, CostModelError) as exc:
         print(f"repro-dist: error: {exc}", file=sys.stderr)
         return 2
 

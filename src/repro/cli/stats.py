@@ -18,7 +18,13 @@ import dataclasses
 import json
 from pathlib import Path
 
-from repro.telemetry import format_summary, read_journal, summarize_journal
+from repro.telemetry import (
+    format_comparisons,
+    format_summary,
+    predicted_vs_actual,
+    read_journal,
+    summarize_journal,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,34 +73,47 @@ def _to_json(summary) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    events = []
+    keyed = []
     for journal in args.journals:
         if not journal.is_file():
             print(f"repro-stats: error: no journal at {journal}")
             return 1
-        events.extend(read_journal(journal))
-    if not events:
+        for line_no, event in enumerate(read_journal(journal)):
+            keyed.append((event, str(journal), line_no))
+    if not keyed:
         names = ", ".join(str(j) for j in args.journals)
         print(f"repro-stats: error: {names} hold(s) no intact events")
         return 1
     if len(args.journals) > 1:
         # Per-worker journals interleave; monotonic t is system-wide on
         # Linux, so a timestamp sort rebuilds the fleet's one timeline.
-        events.sort(key=lambda e: e.t)
+        # Equal timestamps (clock granularity) tie-break on (journal
+        # path, line number) so the merged timeline is stable no matter
+        # the argument order.
+        keyed.sort(key=lambda ke: (ke[0].t, ke[1], ke[2]))
+    events = [event for event, _path, _line in keyed]
     summaries = summarize_journal(events)
     if args.run is not None:
         summaries = [s for s in summaries if s.run_id == args.run]
         if not summaries:
             print(f"repro-stats: error: no events for run id {args.run!r}")
             return 1
+    comparisons = predicted_vs_actual(summaries)
     if args.json:
-        print(json.dumps([_to_json(s) for s in summaries], indent=2, sort_keys=True))
+        payload = {
+            "campaigns": [_to_json(s) for s in summaries],
+            "predicted_vs_actual": [c.to_dict() for c in comparisons],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     names = ", ".join(str(j) for j in args.journals)
     print(f"{names}: {len(events)} events, {len(summaries)} campaign(s)")
     for summary in summaries:
         print()
         print(format_summary(summary, top_cells=args.top))
+    if comparisons:
+        print()
+        print(format_comparisons(comparisons))
     return 0
 
 

@@ -20,7 +20,11 @@ into self-describing shards drained through a file-backed work queue:
   :class:`~repro.faults.OutcomeTable` / :class:`~repro.sfi.CampaignResult`
   bit-identical to a serial run, refusing mismatched config fingerprints;
 - :mod:`repro.dist.supervisor` — retry policy, lease expiry ticks and
-  the single-host submit→fleet→merge convenience wrappers.
+  the single-host submit→fleet→merge convenience wrappers;
+- :mod:`repro.dist.rebalance` — the elastic pass: observes per-worker
+  pace from lease files and splits oversized *pending* shards for
+  stragglers along the stable shard-id rules, so the merge stays
+  bit-identical while slow workers stop gating the wall clock.
 
 The ``repro-dist`` CLI (``submit`` / ``work`` / ``status`` / ``merge``)
 exposes the same lifecycle across processes and hosts.
@@ -33,7 +37,8 @@ from repro.dist.merge import (
     merge_sampled,
     save_merged_table,
 )
-from repro.dist.queue import QueueStatus, ShardQueue
+from repro.dist.queue import QueueStatus, ShardQueue, expand_splits
+from repro.dist.rebalance import RebalanceReport, Rebalancer, WorkerRate
 from repro.dist.spec import (
     DistError,
     ShardSpec,
@@ -43,6 +48,7 @@ from repro.dist.spec import (
     make_sampled_shards,
     plan_hash,
     sampled_config,
+    split_shard,
 )
 from repro.dist.supervisor import (
     RetryPolicy,
@@ -55,6 +61,7 @@ from repro.dist.worker import (
     SampledContext,
     ShardWorker,
     plan_attestation_runtime,
+    resolve_heartbeat_interval,
     verify_context_config,
 )
 
@@ -65,23 +72,29 @@ __all__ = [
     "LeaseKeeper",
     "MergeError",
     "QueueStatus",
+    "RebalanceReport",
+    "Rebalancer",
     "RetryPolicy",
     "SampledContext",
     "ShardQueue",
     "ShardSpec",
     "ShardWorker",
     "Supervisor",
+    "WorkerRate",
     "config_hash",
     "exhaustive_config",
+    "expand_splits",
     "make_exhaustive_shards",
     "make_sampled_shards",
     "merge_exhaustive",
     "merge_sampled",
     "plan_attestation_runtime",
     "plan_hash",
+    "resolve_heartbeat_interval",
     "run_sharded_campaign",
     "run_sharded_exhaustive",
     "sampled_config",
     "save_merged_table",
+    "split_shard",
     "verify_context_config",
 ]

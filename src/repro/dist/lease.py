@@ -34,6 +34,9 @@ class Lease:
     lease_seconds: float
     deadline: float = 0.0
     heartbeats: int = 0
+    #: Wall clock of the first lease write; with ``heartbeats`` it gives
+    #: observers a per-worker progress rate (the rebalancer's input).
+    acquired: float = 0.0
     #: Renewals are throttled to a fraction of the lease so a per-cell
     #: heartbeat storm does not turn into a file-write storm.
     _last_write: float = 0.0
@@ -54,7 +57,9 @@ class Lease:
             worker=worker,
             lease_seconds=lease_seconds,
         )
-        lease._write(time.time())
+        now = time.time()
+        lease.acquired = now
+        lease._write(now)
         return lease
 
     def _write(self, now: float) -> None:
@@ -71,6 +76,7 @@ class Lease:
                         "lease_seconds": self.lease_seconds,
                         "deadline": self.deadline,
                         "heartbeats": self.heartbeats,
+                        "acquired": self.acquired,
                     },
                     sort_keys=True,
                 )

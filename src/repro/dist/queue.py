@@ -29,10 +29,44 @@ from pathlib import Path
 import numpy as np
 
 from repro.dist.lease import Lease, lease_deadline, read_lease
-from repro.dist.spec import DistError, ShardSpec, config_hash
+from repro.dist.spec import DistError, ShardSpec, config_hash, split_shard
 from repro.store import atomic_write_bytes, load_verified_npz, save_verified_npz
 
 CAMPAIGN_NAME = "campaign.json"
+
+#: Suffix marking a pending spec mid-split.  Workers claim via
+#: ``glob("*.json")``, so the renamed file is invisible to them — the
+#: rename is the rebalancer's atomic "claim" on the shard.
+SPLITTING_SUFFIX = ".json.splitting"
+
+
+def expand_splits(
+    specs: list[ShardSpec], splits: dict[str, dict]
+) -> list[ShardSpec]:
+    """Replay recorded splits over freshly derived shard specs.
+
+    A resubmitted campaign re-derives the *original* partition from its
+    config; any shard the rebalancer split since must be expanded into
+    the same children (splits are pure functions of (spec, parts), so
+    the recorded part count reproduces the recorded child ids exactly).
+    Recursive: a child split again expands again.
+    """
+    expanded: list[ShardSpec] = []
+    for spec in specs:
+        record = splits.get(spec.shard_id)
+        if not record:
+            expanded.append(spec)
+            continue
+        children = split_shard(spec, int(record["parts"]))
+        derived = [child.shard_id for child in children]
+        if derived != list(record["children"]):
+            raise DistError(
+                f"recorded split of shard {spec.shard_id} does not "
+                f"reproduce (expected {record['children']}, derived "
+                f"{derived}); the queue metadata is corrupt"
+            )
+        expanded.extend(expand_splits(children, splits))
+    return expanded
 
 
 @dataclass
@@ -111,6 +145,7 @@ class ShardQueue:
                     f"shard {spec.shard_id} was built for config "
                     f"{spec.config_hash[:12]}, not {cfg_hash[:12]}"
                 )
+        splits: dict[str, dict] = {}
         if self.campaign_path.exists():
             existing = self.campaign()
             if existing.get("config_hash") != cfg_hash:
@@ -120,6 +155,11 @@ class ShardQueue:
                     f"different config fingerprint; refusing to mix "
                     f"shards (use a fresh directory)"
                 )
+            # The resume path must honour rebalancer splits recorded by
+            # the earlier submission: re-enqueue the children, never the
+            # split parents.
+            splits = existing.get("splits", {})
+            specs = expand_splits(specs, splits)
         for directory in (
             self.pending_dir,
             self.leased_dir,
@@ -134,6 +174,8 @@ class ShardQueue:
             "shards": [spec.shard_id for spec in specs],
             "runtime": runtime or {},
         }
+        if splits:
+            record["splits"] = splits
         atomic_write_bytes(
             self.campaign_path,
             (json.dumps(record, indent=2, sort_keys=True) + "\n").encode(
@@ -155,6 +197,144 @@ class ShardQueue:
             atomic_write_bytes(path, (spec.to_json() + "\n").encode("utf-8"))
             enqueued += 1
         return enqueued
+
+    # -- rebalancing -------------------------------------------------------
+
+    def splitting_path(self, shard_id: str) -> Path:
+        return self.pending_dir / f"{shard_id}{SPLITTING_SUFFIX}"
+
+    def begin_split(self, shard_id: str) -> ShardSpec | None:
+        """Atomically take one *pending* shard out of workers' sight.
+
+        Renames ``pending/<id>.json`` to the ``.splitting`` name (which
+        no worker globs) and returns the spec, or ``None`` if the shard
+        was claimed/completed first — the split loses claim races by
+        design, a running worker beats a re-partition.
+        """
+        source = self.pending_dir / f"{shard_id}.json"
+        target = self.splitting_path(shard_id)
+        try:
+            os.rename(source, target)
+        except OSError:
+            return None
+        spec = self._read_spec(target)
+        if spec is None:
+            self.abort_split(shard_id)  # torn spec: leave it to fail()
+            return None
+        return spec
+
+    def abort_split(self, shard_id: str) -> None:
+        """Put an un-committed split's parent back into the queue."""
+        try:
+            os.rename(
+                self.splitting_path(shard_id),
+                self.pending_dir / f"{shard_id}.json",
+            )
+        except OSError:
+            pass
+
+    def commit_split(
+        self, spec: ShardSpec, children: list[ShardSpec]
+    ) -> None:
+        """Replace a split parent with its children, atomically.
+
+        The campaign.json rewrite is the commit point: the parent id is
+        replaced in ``shards`` (order preserved) and the split recorded
+        under ``splits`` so resubmissions and crash recovery re-derive
+        the same children.  Only then are the child specs enqueued and
+        the parent's ``.splitting`` file dropped — a crash in between
+        leaves a committed record from which :meth:`recover_splits`
+        re-derives the missing children deterministically.
+
+        Single-writer by contract: the supervisor's rebalance pass is
+        the only thing that rewrites campaign.json after submission.
+        """
+        campaign = self.campaign()
+        shards = list(campaign.get("shards", []))
+        if spec.shard_id not in shards:
+            raise DistError(
+                f"cannot split shard {spec.shard_id}: not part of the "
+                f"campaign at {self.root}"
+            )
+        for child in children:
+            if child.config_hash != campaign.get("config_hash"):
+                raise DistError(
+                    f"split child {child.shard_id} belongs to config "
+                    f"{child.config_hash[:12]}, campaign is "
+                    f"{str(campaign.get('config_hash'))[:12]}"
+                )
+        at = shards.index(spec.shard_id)
+        campaign["shards"] = (
+            shards[:at]
+            + [child.shard_id for child in children]
+            + shards[at + 1 :]
+        )
+        splits = campaign.setdefault("splits", {})
+        splits[spec.shard_id] = {
+            "children": [child.shard_id for child in children],
+            "parts": len(children),
+        }
+        atomic_write_bytes(
+            self.campaign_path,
+            (json.dumps(campaign, indent=2, sort_keys=True) + "\n").encode(
+                "utf-8"
+            ),
+        )
+        self._enqueue_children(children)
+        try:
+            self.splitting_path(spec.shard_id).unlink()
+        except OSError:
+            pass
+
+    def _enqueue_children(self, children: list[ShardSpec]) -> None:
+        done = self.done_ids()
+        for child in children:
+            if child.shard_id in done:
+                continue
+            path = self.pending_dir / f"{child.shard_id}.json"
+            if path.exists():
+                continue
+            if (self.leased_dir / f"{child.shard_id}.json").exists():
+                continue
+            atomic_write_bytes(
+                path, (child.to_json() + "\n").encode("utf-8")
+            )
+
+    def recover_splits(self) -> list[str]:
+        """Repair splits interrupted by a crash; returns touched ids.
+
+        Two windows exist.  Before the campaign.json rewrite the split
+        never happened — the ``.splitting`` parent goes straight back to
+        pending.  After it, the split is committed — the children are
+        re-derived from the parent spec and the recorded part count
+        (pure, so ids match the record) and any missing ones enqueued.
+        """
+        if not self.pending_dir.is_dir():
+            return []
+        recovered = []
+        try:
+            campaign = self.campaign()
+        except DistError:
+            campaign = {}
+        splits = campaign.get("splits", {})
+        for path in sorted(self.pending_dir.glob(f"*{SPLITTING_SUFFIX}")):
+            shard_id = path.name[: -len(SPLITTING_SUFFIX)]
+            record = splits.get(shard_id)
+            if record is None:
+                self.abort_split(shard_id)
+                recovered.append(shard_id)
+                continue
+            spec = self._read_spec(path)
+            if spec is not None:
+                self._enqueue_children(
+                    split_shard(spec, int(record["parts"]))
+                )
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            recovered.append(shard_id)
+        return recovered
 
     # -- claiming ----------------------------------------------------------
 

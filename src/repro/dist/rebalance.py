@@ -1,0 +1,224 @@
+"""Elastic shard rebalancing: split oversized pending work for stragglers.
+
+Leases already tell the fleet *who* owns *what*; since they also record
+when they were acquired and how many heartbeats (completed units) have
+landed, any observer can derive per-worker throughput without touching
+the workers.  The :class:`Rebalancer` turns that into a scheduling pass:
+when the observed fleet pace says a pending shard would take longer than
+the target wall time — because a straggler drags the pace down, or the
+shard was simply cut too coarse — the shard is re-partitioned into
+smaller children so idle workers can steal a share.
+
+Correctness is inherited, not re-proved: children are produced by
+:func:`repro.dist.spec.split_shard` (pure, stable ids, round-robin unit
+order) and only *pending* shards are touched (a rename races a worker's
+claim atomically, and the claim wins by design).  The merged result is
+therefore bit-identical to the unsplit campaign — rebalancing changes
+who computes which cell, never what is computed.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import time
+from dataclasses import dataclass, field
+
+from repro.dist.lease import read_lease
+from repro.dist.queue import ShardQueue
+from repro.dist.spec import split_shard
+from repro.telemetry import Telemetry, resolve_telemetry
+
+#: Ignore a lease's implied rate until it has been observed this long —
+#: a worker one heartbeat into its shard is not yet a rate sample.
+MIN_OBSERVATION_SECONDS = 0.5
+
+
+@dataclass(frozen=True)
+class WorkerRate:
+    """One leased shard's observed progress."""
+
+    worker: str
+    shard_id: str
+    units_done: int
+    elapsed: float
+
+    @property
+    def rate(self) -> float:
+        """Units per second (0.0 while nothing has completed)."""
+        if self.elapsed <= 0:
+            return 0.0
+        return self.units_done / self.elapsed
+
+
+@dataclass
+class RebalanceReport:
+    """What one rebalance pass observed and did."""
+
+    rates: list[WorkerRate] = field(default_factory=list)
+    stragglers: list[str] = field(default_factory=list)  # worker names
+    seconds_per_unit: float | None = None
+    recovered: list[str] = field(default_factory=list)  # crash-repaired ids
+    splits: list[tuple[str, list[str]]] = field(default_factory=list)
+
+    @property
+    def split_count(self) -> int:
+        return len(self.splits)
+
+
+class Rebalancer:
+    """Observes fleet throughput and splits oversized pending shards.
+
+    Parameters
+    ----------
+    queue:
+        The campaign's shard queue.  The rebalancer must be the only
+        writer of ``campaign.json`` after submission (the supervisor
+        runs one rebalance pass per tick; do not run two supervisors
+        against one queue).
+    target_shard_seconds:
+        Split any pending shard predicted to take longer than this at
+        the observed pace.
+    straggler_ratio:
+        A worker is a straggler when its unit rate falls below this
+        fraction of the fleet's median rate.  While stragglers are
+        present the *slowest* observed pace prices pending shards
+        (pessimistic: the straggler may claim them); otherwise the
+        median does.
+    min_units:
+        Never produce children smaller than this many units — below
+        that, per-shard overhead (claim, attestation, merge) dominates.
+    seconds_per_unit:
+        Prior pace used before any lease has been observed (e.g. from a
+        fitted :class:`~repro.telemetry.costmodel.CostModel`).  Without
+        observations or a prior the pass never splits.
+    """
+
+    def __init__(
+        self,
+        queue: ShardQueue,
+        *,
+        target_shard_seconds: float = 30.0,
+        straggler_ratio: float = 0.5,
+        min_units: int = 2,
+        seconds_per_unit: float | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if target_shard_seconds <= 0:
+            raise ValueError(
+                f"target_shard_seconds must be positive, "
+                f"got {target_shard_seconds}"
+            )
+        self.queue = queue
+        self.target_shard_seconds = target_shard_seconds
+        self.straggler_ratio = straggler_ratio
+        self.min_units = max(1, int(min_units))
+        self.seconds_per_unit = seconds_per_unit
+        self.telemetry = resolve_telemetry(telemetry)
+
+    # -- observation -------------------------------------------------------
+
+    def observe(self, *, now: float | None = None) -> list[WorkerRate]:
+        """Per-worker progress rates read from the live lease files."""
+        now = time.time() if now is None else now
+        rates = []
+        if not self.queue.leased_dir.is_dir():
+            return rates
+        for path in sorted(self.queue.leased_dir.glob("*.lease.json")):
+            record = read_lease(path)
+            if record is None:
+                continue
+            acquired = record.get("acquired")
+            if not isinstance(acquired, (int, float)) or acquired <= 0:
+                continue  # pre-upgrade lease without an acquire stamp
+            elapsed = now - float(acquired)
+            if elapsed < MIN_OBSERVATION_SECONDS:
+                continue
+            rates.append(
+                WorkerRate(
+                    worker=str(record.get("worker", "unknown")),
+                    shard_id=str(record.get("shard_id", path.stem)),
+                    units_done=int(record.get("heartbeats", 0)),
+                    elapsed=elapsed,
+                )
+            )
+        return rates
+
+    def _pace(
+        self, rates: list[WorkerRate]
+    ) -> tuple[float | None, list[str]]:
+        """(seconds per unit, straggler workers) from observed rates.
+
+        Uses only leases that have completed at least one unit (a rate
+        of zero is indistinguishable from "just started").  With
+        stragglers present the slowest pace wins — a pending shard must
+        stay small enough for its *worst* potential claimant.
+        """
+        observed = [r for r in rates if r.units_done > 0]
+        if not observed:
+            return self.seconds_per_unit, []
+        median_rate = statistics.median(r.rate for r in observed)
+        stragglers = [
+            r.worker
+            for r in observed
+            if r.rate < self.straggler_ratio * median_rate
+        ]
+        pace_rate = (
+            min(r.rate for r in observed) if stragglers else median_rate
+        )
+        if pace_rate <= 0:
+            return self.seconds_per_unit, stragglers
+        return 1.0 / pace_rate, stragglers
+
+    # -- the pass ----------------------------------------------------------
+
+    def tick(self, *, now: float | None = None) -> RebalanceReport:
+        """One rebalance pass: recover, observe, split.  Idempotent."""
+        now = time.time() if now is None else now
+        report = RebalanceReport()
+        report.recovered = self.queue.recover_splits()
+        report.rates = self.observe(now=now)
+        seconds_per_unit, report.stragglers = self._pace(report.rates)
+        report.seconds_per_unit = seconds_per_unit
+        if seconds_per_unit is None or seconds_per_unit <= 0:
+            return report  # nothing observed, no prior: never split blind
+        if not self.queue.pending_dir.is_dir():
+            return report
+        for path in sorted(self.queue.pending_dir.glob("*.json")):
+            spec = self.queue._read_spec(path)
+            if spec is None:
+                continue
+            split = self._maybe_split(spec, seconds_per_unit)
+            if split is not None:
+                report.splits.append(split)
+        return report
+
+    def _maybe_split(
+        self, spec, seconds_per_unit: float
+    ) -> tuple[str, list[str]] | None:
+        units = len(spec.units)
+        predicted = units * seconds_per_unit
+        if predicted <= self.target_shard_seconds:
+            return None
+        max_parts = units // self.min_units
+        if max_parts < 2:
+            return None  # already as fine as the floor allows
+        parts = math.ceil(predicted / self.target_shard_seconds)
+        parts = int(min(max(2, parts), max_parts))
+        claimed = self.queue.begin_split(spec.shard_id)
+        if claimed is None:
+            return None  # a worker claimed it first: it wins
+        children = split_shard(claimed, parts)
+        self.queue.commit_split(claimed, children)
+        child_ids = [child.shard_id for child in children]
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "shard_split",
+                shard=spec.shard_id,
+                children=child_ids,
+                parts=len(children),
+                units=units,
+                predicted_seconds=predicted,
+                seconds_per_unit=seconds_per_unit,
+            )
+        return spec.shard_id, child_ids

@@ -204,6 +204,53 @@ def _partition(units: list, shards: int) -> list[list]:
     return [units[i::shards] for i in range(shards)]
 
 
+def split_shard(spec: ShardSpec, parts: int) -> list[ShardSpec]:
+    """Re-partition one shard's pending units into *parts* child shards.
+
+    Pure and deterministic: the same (spec, parts) always yields the
+    same children, with ids derived through the standard
+    :func:`_shard_id` rules — so a rebalancer on any host splits a
+    straggling campaign identically, and a merge over split shards stays
+    bit-identical to the unsplit run (children cover exactly the
+    parent's units, in the parent's round-robin order).
+
+    Children keep the parent's ``index``/``total`` (their position in
+    the *original* partition) and append a sub-index; identity comes
+    from the unit tuple, which differs per child.  Attempt counts and
+    failure history carry over so a poison-bound shard cannot dodge its
+    quarantine by being split.
+    """
+    if parts < 2:
+        raise ValueError(f"split needs >= 2 parts, got {parts}")
+    if parts > len(spec.units):
+        parts = len(spec.units)
+    if parts < 2:
+        raise DistError(
+            f"shard {spec.shard_id} has {len(spec.units)} unit(s); "
+            "nothing to split"
+        )
+    children = []
+    for sub, unit_part in enumerate(_partition(list(spec.units), parts)):
+        units = tuple(unit_part)
+        children.append(
+            replace(
+                spec,
+                shard_id=_shard_id(
+                    spec.config_hash,
+                    spec.kind,
+                    spec.index,
+                    spec.total,
+                    units,
+                    spec.seed,
+                ),
+                units=units,
+                history=spec.history
+                + (f"split {sub + 1}/{parts} of {spec.shard_id}",),
+            )
+        )
+    return children
+
+
 def make_exhaustive_shards(
     engine: FaultInjectionEngine, space: FaultSpace, *, shards: int
 ) -> tuple[dict, list[ShardSpec]]:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.dist.merge import merge_exhaustive, merge_sampled
 from repro.dist.queue import ShardQueue
+from repro.dist.rebalance import Rebalancer
 from repro.dist.spec import (
     DistError,
     make_exhaustive_shards,
@@ -62,13 +63,20 @@ class Supervisor:
         *,
         policy: RetryPolicy | None = None,
         telemetry: Telemetry | None = None,
+        rebalancer: Rebalancer | None = None,
     ) -> None:
         self.queue = queue
         self.policy = policy or RetryPolicy()
         self.telemetry = resolve_telemetry(telemetry)
+        self.rebalancer = rebalancer
 
     def tick(self, *, now: float | None = None) -> list[tuple[str, str]]:
-        """Release expired leases once; returns ``[(shard_id, outcome)]``."""
+        """Release expired leases once; returns ``[(shard_id, outcome)]``.
+
+        When an elastic :class:`Rebalancer` is attached, each tick also
+        runs one rebalance pass — observing fleet pace from the lease
+        files and splitting oversized pending shards for stragglers.
+        """
         released = self.queue.release_expired(
             lease_seconds=self.policy.lease_seconds,
             max_attempts=self.policy.max_attempts,
@@ -83,6 +91,8 @@ class Supervisor:
                     shard=shard_id,
                     reason="lease expired",
                 )
+        if self.rebalancer is not None:
+            self.rebalancer.tick(now=now)
         return released
 
     def wait(
@@ -130,6 +140,7 @@ def _drain_with_local_fleet(
     workers: int,
     policy: RetryPolicy,
     telemetry: Telemetry | None,
+    rebalancer: Rebalancer | None = None,
 ) -> None:
     """Fork *workers* local processes and drain the queue to completion.
 
@@ -173,7 +184,9 @@ def _drain_with_local_fleet(
     ]
     for proc in procs:
         proc.start()
-    supervisor = Supervisor(queue, policy=policy, telemetry=telemetry)
+    supervisor = Supervisor(
+        queue, policy=policy, telemetry=telemetry, rebalancer=rebalancer
+    )
     try:
         while True:
             supervisor.tick()
@@ -207,6 +220,7 @@ def run_sharded_exhaustive(
     policy: RetryPolicy | None = None,
     telemetry: Telemetry | None = None,
     runtime: dict | None = None,
+    rebalancer: Rebalancer | None = None,
 ) -> OutcomeTable:
     """Submit, execute and merge a sharded exhaustive campaign locally.
 
@@ -244,6 +258,7 @@ def run_sharded_exhaustive(
         workers=workers,
         policy=policy,
         telemetry=telemetry,
+        rebalancer=rebalancer,
     )
     _raise_on_poison(queue)
     table = merge_exhaustive(queue, telemetry=telemetry)
@@ -270,6 +285,7 @@ def run_sharded_campaign(
     telemetry: Telemetry | None = None,
     golden_sha256: str | None = None,
     runtime: dict | None = None,
+    rebalancer: Rebalancer | None = None,
 ) -> CampaignResult:
     """Submit, execute and merge a sharded sampled campaign locally.
 
@@ -303,6 +319,7 @@ def run_sharded_campaign(
         workers=workers,
         policy=policy,
         telemetry=telemetry,
+        rebalancer=rebalancer,
     )
     _raise_on_poison(queue)
     result = merge_sampled(queue, space, telemetry=telemetry)

@@ -67,6 +67,27 @@ def arrays_to_tallies(
     return tallies, assumed
 
 
+def resolve_heartbeat_interval(interval: float | None = None) -> float:
+    """Heartbeat-event spacing: explicit arg, else env, else per-unit.
+
+    Mirrors :func:`repro.faults.table.resolve_workers`: an explicit
+    argument wins, then ``REPRO_HEARTBEAT_INTERVAL`` (seconds), and the
+    default of ``0.0`` emits one ``worker_heartbeat`` event per
+    completed unit.  Negative values are clamped to 0.
+    """
+    if interval is None:
+        raw = os.environ.get("REPRO_HEARTBEAT_INTERVAL", "").strip()
+        if not raw:
+            return 0.0
+        try:
+            interval = float(raw)
+        except ValueError as exc:
+            raise ValueError(
+                f"REPRO_HEARTBEAT_INTERVAL={raw!r} is not a number"
+            ) from exc
+    return max(0.0, float(interval))
+
+
 def _plan_attestation(fingerprint: str) -> dict:
     """Worker-side plan stamp embedded in every completed shard result.
 
@@ -201,6 +222,12 @@ class ShardWorker:
         Lease lifetime; the worker heartbeats (and renews) once per
         completed unit, so a shard whose units take longer than this to
         classify individually will be treated as stuck.
+    heartbeat_interval:
+        Minimum seconds between ``worker_heartbeat`` *events* (default
+        0.0: one event per completed unit).  Raising it thins the
+        journal on fast campaigns; the lease deadline still advances on
+        every unit either way, through the direct renewal path.
+        Resolved from ``REPRO_HEARTBEAT_INTERVAL`` when not given.
     max_attempts / backoff_base / backoff_cap:
         Retry policy applied both to this worker's own failures and to
         expired peer leases it releases.
@@ -222,6 +249,7 @@ class ShardWorker:
         backoff_base: float = 0.5,
         backoff_cap: float = 30.0,
         poll_seconds: float = 0.05,
+        heartbeat_interval: float | None = None,
         telemetry: Telemetry | None = None,
         on_unit=None,
     ) -> None:
@@ -233,10 +261,14 @@ class ShardWorker:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self.poll_seconds = poll_seconds
+        self.heartbeat_interval = resolve_heartbeat_interval(
+            heartbeat_interval
+        )
         self.telemetry = resolve_telemetry(telemetry)
         self.on_unit = on_unit
         self._keeper = LeaseKeeper()
         self._units_done = 0
+        self._last_heartbeat_t = 0.0  # monotonic; 0.0 = never emitted
 
     # -- heartbeating ------------------------------------------------------
 
@@ -249,7 +281,13 @@ class ShardWorker:
         directly — the deadline must move either way.
         """
         self._units_done += 1
-        if self.telemetry.enabled:
+        now_t = time.monotonic()
+        due = (
+            self._last_heartbeat_t == 0.0
+            or now_t - self._last_heartbeat_t >= self.heartbeat_interval
+        )
+        if self.telemetry.enabled and due:
+            self._last_heartbeat_t = now_t
             self.telemetry.emit(
                 "worker_heartbeat",
                 worker=self.worker_id,
@@ -257,9 +295,26 @@ class ShardWorker:
                 units_done=self._units_done,
             )
         else:
+            # Event throttled (or telemetry off): the lease deadline
+            # must still move with every completed unit.
             lease.maybe_renew()
         if self.on_unit is not None:
             self.on_unit(spec)
+
+    def _emit_idle(self, reason: str) -> None:
+        """Record that this worker stopped for lack of work, not speed.
+
+        The cost model reads ``worker_idle`` to distinguish a starved
+        fleet (queue drained while capacity remained — submit finer
+        shards) from a slow one (workers busy to the end).
+        """
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                "worker_idle",
+                worker=self.worker_id,
+                reason=reason,
+                units_done=self._units_done,
+            )
 
     # -- main loop ---------------------------------------------------------
 
@@ -294,8 +349,11 @@ class ShardWorker:
             if claimed is None:
                 status = self.queue.status()
                 if not status.pending and not status.leased:
-                    break  # complete (or only poison left) — nothing to wait on
+                    # Complete (or only poison left) — nothing to wait on.
+                    self._emit_idle("drained")
+                    break
                 if not wait:
+                    self._emit_idle("no_claimable")
                     break
                 time.sleep(self.poll_seconds)
                 continue

@@ -17,12 +17,29 @@ The fault-injection stack is instrumented end to end, off by default:
   through the stack, and the zero-cost :class:`NullTelemetry` default.
 - :mod:`repro.telemetry.stats` — journal summarisation (cell wall
   times, faults/sec, worker utilisation) behind the ``repro-stats`` CLI.
+- :mod:`repro.telemetry.costmodel` — the campaign cost model fitted
+  from those summaries: predicts wall clock and fault-evaluations per
+  engine/batch/worker choice, tunes ``repro-dist submit --auto``, and
+  is validated by predicted-vs-actual accounting in ``repro-stats``.
 
 Instrumented call sites accept ``telemetry=None`` and gate on
 ``telemetry.enabled``, so the disabled path costs one attribute read per
 cell/batch — never per fault — and allocates nothing.
 """
 
+from repro.telemetry.costmodel import (
+    CampaignPrediction,
+    CostModel,
+    CostModelError,
+    EngineRate,
+    PredictionComparison,
+    SubmitChoice,
+    choose_submit_settings,
+    fit_cost_model,
+    format_comparisons,
+    load_bench,
+    predicted_vs_actual,
+)
 from repro.telemetry.core import (
     NULL_TELEMETRY,
     NullTelemetry,
@@ -50,18 +67,29 @@ __all__ = [
     "NULL_SPAN",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "CampaignPrediction",
     "CampaignSummary",
     "CellTiming",
+    "CostModel",
+    "CostModelError",
     "Counter",
+    "EngineRate",
     "Gauge",
     "MetricsRegistry",
+    "PredictionComparison",
     "Span",
     "SpanStats",
+    "SubmitChoice",
     "Telemetry",
     "Timer",
     "WorkerStats",
+    "choose_submit_settings",
+    "fit_cost_model",
+    "format_comparisons",
     "format_summary",
+    "load_bench",
     "new_run_id",
+    "predicted_vs_actual",
     "progress_printer",
     "read_journal",
     "resolve_telemetry",

@@ -41,7 +41,10 @@ EVENT_TYPES = frozenset(
         "shard_fail",  # ... or failed it (error, requeued/poisoned)
         "shard_requeue",  # an expired/failed shard went back to pending
         "shard_poison",  # a shard exhausted its attempts and was quarantined
+        "shard_split",  # a pending shard was re-partitioned for stragglers
         "merge_done",  # shard results reassembled into one campaign result
+        "campaign_predicted",  # cost-model prediction issued before a run
+        "worker_idle",  # a worker found nothing claimable (queue drained)
     }
 )
 

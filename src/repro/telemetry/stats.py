@@ -80,8 +80,20 @@ class CampaignSummary:
     shards_done: int = 0
     shards_requeued: int = 0
     shards_poisoned: int = 0
+    shards_split: int = 0
     shard_workers: list[str] = field(default_factory=list)
     merged: bool = False
+    # Idle accounting (starvation vs slowness for the cost model).
+    idle_events: int = 0
+    idle_workers: list[str] = field(default_factory=list)
+    # Cost-model predictions issued in this run (``campaign_predicted``
+    # event fields, plus the event's monotonic ``t``).
+    predictions: list[dict] = field(default_factory=list)
+    # Monotonic window of actual campaign *work* (cell/shard/progress
+    # events) — lets a fleet of per-worker summaries be aggregated into
+    # one actual wall clock for predicted-vs-actual accounting.
+    work_t_first: float | None = None
+    work_t_last: float | None = None
     # Profiling.
     spans: list[SpanStats] = field(default_factory=list)
     # Anything the campaign_start event carried (model, method, ...).
@@ -167,6 +179,20 @@ def _split_campaigns(events: list[Event]) -> list[list[Event]]:
     return segments
 
 
+_WORK_EVENTS = frozenset(
+    {
+        "cell_start",
+        "cell_done",
+        "checkpoint_write",
+        "progress",
+        "shard_claim",
+        "shard_done",
+        "shard_fail",
+        "worker_heartbeat",
+    }
+)
+
+
 def _summarize_run(run_id: str, events: list[Event]) -> CampaignSummary:
     summary = CampaignSummary(run_id=run_id, kind="unknown")
     start_t: float | None = None
@@ -178,6 +204,10 @@ def _summarize_run(run_id: str, events: list[Event]) -> CampaignSummary:
 
     for event in events:
         f = event.fields
+        if event.type in _WORK_EVENTS:
+            if summary.work_t_first is None:
+                summary.work_t_first = event.t
+            summary.work_t_last = event.t
         if event.type == "campaign_start":
             start_t = event.t
             summary.started_wall = event.wall
@@ -198,10 +228,12 @@ def _summarize_run(run_id: str, events: list[Event]) -> CampaignSummary:
                 if key != "elapsed_seconds":
                     summary.info.setdefault(key, value)
         elif event.type == "cell_done":
+            if "layer" not in f or "bit" not in f:
+                continue  # torn or foreign record: summarise what's present
             timing = CellTiming(
                 layer=int(f["layer"]),
                 bit=int(f["bit"]),
-                seconds=float(f["seconds"]),
+                seconds=float(f.get("seconds", 0.0)),
                 faults=int(f.get("faults", 0)),
                 inferences=int(f.get("inferences", 0)),
                 pid=event.pid,
@@ -231,9 +263,20 @@ def _summarize_run(run_id: str, events: list[Event]) -> CampaignSummary:
             summary.shards_requeued += 1
         elif event.type == "shard_poison":
             summary.shards_poisoned += 1
+        elif event.type == "shard_split":
+            summary.shards_split += 1
         elif event.type == "merge_done":
             summary.merged = True
+        elif event.type == "campaign_predicted":
+            summary.predictions.append({**f, "t": event.t})
+        elif event.type == "worker_idle":
+            summary.idle_events += 1
+            worker = f.get("worker")
+            if worker and worker not in summary.idle_workers:
+                summary.idle_workers.append(worker)
         elif event.type == "span":
+            if "name" not in f or "seconds" not in f:
+                continue  # span whose end never landed (killed mid-section)
             span_acc.setdefault(f["name"], []).append(float(f["seconds"]))
         elif event.type == "epoch_done":
             summary.kind = "train"
@@ -323,6 +366,8 @@ def format_summary(summary: CampaignSummary, *, top_cells: int = 10) -> str:
             f"{summary.shards_requeued} requeued, "
             f"{summary.shards_poisoned} poisoned"
         )
+        if summary.shards_split:
+            shard_line += f", {summary.shards_split} split"
         if summary.shard_workers:
             shard_line += (
                 f" across {len(summary.shard_workers)} worker(s): "
@@ -331,6 +376,25 @@ def format_summary(summary: CampaignSummary, *, top_cells: int = 10) -> str:
         if summary.merged:
             shard_line += " [merged]"
         lines.append(shard_line)
+    if summary.idle_events:
+        idle = ", ".join(summary.idle_workers) or "unnamed"
+        lines.append(
+            f"  idle: {summary.idle_events} worker_idle event(s) "
+            f"from {idle} (queue drained / starved, not slow)"
+        )
+    if summary.predictions:
+        for prediction in summary.predictions:
+            wall = prediction.get("wall_seconds")
+            evals = prediction.get("fault_evals")
+            lines.append(
+                "  prediction: "
+                f"engine={prediction.get('engine', '?')} "
+                f"batch={prediction.get('batch_size', '?')} "
+                f"workers={prediction.get('workers', '?')} -> "
+                f"{float(wall):.2f}s wall, {int(evals):,} fault-evals"
+                if wall is not None and evals is not None
+                else f"  prediction: {prediction}"
+            )
     if summary.workers:
         lines.append(
             f"  workers ({len(summary.workers)} pids, "

@@ -60,8 +60,9 @@ class TestStatsCLI:
         path, run_id = campaign_journal
         assert stats_main([str(path), "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert len(payload) == 1
-        record = payload[0]
+        assert payload["predicted_vs_actual"] == []
+        assert len(payload["campaigns"]) == 1
+        record = payload["campaigns"][0]
         assert record["run_id"] == run_id
         assert record["kind"] == "exhaustive"
         assert record["faults_classified"] == 1000
@@ -97,3 +98,84 @@ class TestStatsCLI:
         path.write_text('{"type": "campaign_start", "run\n')
         assert stats_main([str(path)]) == 1
         assert "no intact events" in capsys.readouterr().out
+
+
+class TestMultiJournalMerge:
+    def fleet_journals(self, tmp_path, *, same_t: bool):
+        """Two per-worker journals from one synthetic campaign."""
+        a, b = tmp_path / "w1.jsonl", tmp_path / "w2.jsonl"
+        tele_a = Telemetry(journal=Journal(a, run_id="fleet"))
+        tele_b = Telemetry(journal=Journal(b, run_id="fleet"))
+        tele_a.emit("campaign_start", kind="exhaustive", total=500)
+        tele_a.emit("cell_done", layer=0, bit=0, seconds=1.0, faults=250)
+        tele_b.emit("cell_done", layer=1, bit=0, seconds=1.0, faults=250)
+        tele_a.emit("campaign_end", elapsed_seconds=2.0, faults=500)
+        if same_t:
+            # Force identical timestamps (coarse clocks do this for
+            # real): only the (path, line) tie-break orders them now.
+            for path in (a, b):
+                lines = [
+                    json.loads(line)
+                    for line in path.read_text().splitlines()
+                ]
+                for record in lines:
+                    record["t"] = 1000.0
+                path.write_text(
+                    "".join(json.dumps(r) + "\n" for r in lines)
+                )
+        return a, b
+
+    def test_argument_order_does_not_change_output(self, tmp_path, capsys):
+        a, b = self.fleet_journals(tmp_path, same_t=False)
+        assert stats_main([str(a), str(b), "--json"]) == 0
+        forward = capsys.readouterr().out
+        assert stats_main([str(b), str(a), "--json"]) == 0
+        backward = capsys.readouterr().out
+        assert json.loads(forward) == json.loads(backward)
+
+    def test_equal_timestamps_tie_break_deterministically(
+        self, tmp_path, capsys
+    ):
+        a, b = self.fleet_journals(tmp_path, same_t=True)
+        assert stats_main([str(a), str(b), "--json"]) == 0
+        forward = json.loads(capsys.readouterr().out)
+        assert stats_main([str(b), str(a), "--json"]) == 0
+        backward = json.loads(capsys.readouterr().out)
+        assert forward == backward
+        assert forward["campaigns"][0]["faults_classified"] == 500
+
+
+class TestPredictedVsActualSection:
+    def test_prediction_followed_by_work_is_reported(self, tmp_path, capsys):
+        path = tmp_path / "j.jsonl"
+        tele = Telemetry(journal=Journal(path))
+        tele.emit(
+            "campaign_predicted",
+            kind="exhaustive",
+            engine="plan",
+            batch_size=16,
+            workers=2,
+            shards=4,
+            fault_evals=1000,
+            wall_seconds=2.0,
+            serial_seconds=4.0,
+            utilisation=1.0,
+            engine_scale=1.0,
+        )
+        worker = Telemetry(journal=Journal(path))
+        worker.emit("campaign_start", kind="exhaustive", total=1000)
+        worker.emit("cell_done", layer=0, bit=0, seconds=1.5, faults=1000)
+        worker.emit("campaign_end", elapsed_seconds=1.5, faults=1000)
+
+        assert stats_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "predicted vs actual:" in out
+        assert "error: wall" in out
+        assert "1,000 fault-evals" in out
+
+        assert stats_main([str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["predicted_vs_actual"]) == 1
+        comparison = payload["predicted_vs_actual"][0]
+        assert comparison["actual_fault_evals"] == 1000
+        assert comparison["evals_ratio"] == pytest.approx(1.0)

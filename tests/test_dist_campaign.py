@@ -242,3 +242,73 @@ class TestWorkerTelemetry:
             for e in events
             if e.type in {"shard_claim", "shard_done"}
         )
+
+    def test_drained_worker_emits_idle_event(self, campaign_setup, tmp_path):
+        engine, space = campaign_setup
+        queue = ShardQueue(tmp_path / "q")
+        config, specs = make_exhaustive_shards(engine, space, shards=2)
+        queue.submit(specs, config=config)
+        events = []
+        worker = ShardWorker(
+            queue,
+            ExhaustiveContext(engine, space),
+            worker_id="idler",
+            telemetry=Telemetry(on_event=events.append),
+        )
+        worker.run()
+        idle = [e for e in events if e.type == "worker_idle"]
+        assert len(idle) == 1
+        assert idle[0].fields["worker"] == "idler"
+        assert idle[0].fields["reason"] == "drained"
+        assert idle[0].fields["units_done"] == len(space.layers) * space.bits
+        # The idle event is the worker's last word.
+        assert events[-1].type == "worker_idle"
+
+    def test_heartbeat_interval_throttles_events_not_leases(
+        self, campaign_setup, tmp_path
+    ):
+        engine, space = campaign_setup
+        queue = ShardQueue(tmp_path / "q")
+        config, specs = make_exhaustive_shards(engine, space, shards=1)
+        queue.submit(specs, config=config)
+        events = []
+        worker = ShardWorker(
+            queue,
+            ExhaustiveContext(engine, space),
+            worker_id="quiet",
+            telemetry=Telemetry(on_event=events.append),
+            heartbeat_interval=3600.0,  # nothing is due after the first
+        )
+        assert worker.run() == 1
+        heartbeats = [e for e in events if e.type == "worker_heartbeat"]
+        assert len(heartbeats) == 1  # first unit always heartbeats
+        # Lease renewal kept running underneath the throttled events.
+        spec, _arrays = queue.load_result(specs[0].shard_id)
+        assert spec["shard_id"] == specs[0].shard_id
+
+
+class TestHeartbeatIntervalResolution:
+    def test_explicit_argument_wins(self, monkeypatch):
+        from repro.dist import resolve_heartbeat_interval
+
+        monkeypatch.setenv("REPRO_HEARTBEAT_INTERVAL", "9.5")
+        assert resolve_heartbeat_interval(2.0) == 2.0
+        assert resolve_heartbeat_interval() == 9.5
+
+    def test_default_is_per_unit(self, monkeypatch):
+        from repro.dist import resolve_heartbeat_interval
+
+        monkeypatch.delenv("REPRO_HEARTBEAT_INTERVAL", raising=False)
+        assert resolve_heartbeat_interval() == 0.0
+
+    def test_negative_clamps_to_zero(self):
+        from repro.dist import resolve_heartbeat_interval
+
+        assert resolve_heartbeat_interval(-5.0) == 0.0
+
+    def test_bad_env_value_fails_loudly(self, monkeypatch):
+        from repro.dist import resolve_heartbeat_interval
+
+        monkeypatch.setenv("REPRO_HEARTBEAT_INTERVAL", "soon")
+        with pytest.raises(ValueError, match="not a number"):
+            resolve_heartbeat_interval()

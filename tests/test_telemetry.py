@@ -210,6 +210,64 @@ class TestSummarizeMultiCampaignRun:
         assert not sampled.cells
 
 
+class TestSummarizePathologicalJournals:
+    """Damaged journals are a summarising problem, never a crash."""
+
+    def test_empty_journal_summarises_to_nothing(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert summarize_journal(path) == []
+        assert summarize_journal([]) == []
+
+    def test_torn_only_journal_summarises_to_nothing(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            '{"type": "campaign_start", "run\n'
+            '{"type": "cell_done", "layer": 0, \n'
+            "not json at all\n"
+        )
+        assert summarize_journal(path) == []
+
+    def test_campaign_without_end_event_summarises(self, tmp_path):
+        # A crashed campaign never writes campaign_end; its journal must
+        # still summarise (that is exactly when the numbers matter).
+        tele = Telemetry(journal=Journal(tmp_path / "j.jsonl"))
+        tele.emit("campaign_start", kind="exhaustive", total=100)
+        tele.emit("cell_start", layer=0, bit=0)
+        tele.emit("cell_done", layer=0, bit=0, seconds=1.0, faults=100)
+        summaries = summarize_journal(tmp_path / "j.jsonl")
+        assert len(summaries) == 1
+        summary = summaries[0]
+        assert not summary.finished
+        assert summary.faults_classified == 100
+
+    def test_cell_start_without_done_summarises(self, tmp_path):
+        tele = Telemetry(journal=Journal(tmp_path / "j.jsonl"))
+        tele.emit("campaign_start", kind="exhaustive", total=100)
+        tele.emit("cell_start", layer=0, bit=0)
+        tele.emit("cell_start", layer=0, bit=1)
+        summaries = summarize_journal(tmp_path / "j.jsonl")
+        assert len(summaries) == 1
+        assert summaries[0].faults_classified == 0
+
+    def test_work_events_without_campaign_start_summarise(self, tmp_path):
+        # A worker journal whose campaign_start record was torn away.
+        tele = Telemetry(journal=Journal(tmp_path / "j.jsonl"))
+        tele.emit("cell_done", layer=1, bit=3, seconds=0.5, faults=50)
+        tele.emit("worker_heartbeat", cells_done=1)
+        summaries = summarize_journal(tmp_path / "j.jsonl")
+        assert len(summaries) == 1
+        assert summaries[0].faults_classified == 50
+
+    def test_span_missing_fields_summarises(self, tmp_path):
+        tele = Telemetry(journal=Journal(tmp_path / "j.jsonl"))
+        tele.emit("campaign_start", kind="exhaustive", total=10)
+        tele.emit("span")  # neither name nor seconds
+        tele.emit("cell_done", layer=0, bit=0)  # no seconds/faults
+        summaries = summarize_journal(tmp_path / "j.jsonl")
+        assert len(summaries) == 1
+
+
 class TestSummarizeTrainJournal:
     def test_trainer_epochs_journaled(self, tmp_path):
         import numpy as np
