@@ -118,6 +118,7 @@ def _appended_history(out: Path, payload: dict) -> list[dict]:
             "engines": payload["engines"],
             "faults": payload["faults"],
             "speedup_vs_module": payload["speedup_vs_module"],
+            "backend": payload["backend"],
         }
     )
     return history
@@ -181,11 +182,16 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     module_rate = results["module"]["faults_per_sec"]
+    # All four engines run the reference backend here (bit-identity is
+    # asserted above, and only the reference attests it); the stamp keeps
+    # cost-model engine ratios from ever mixing backends.
+    backend = engines["plan"].backend
     payload = {
         "benchmark": "engine_throughput",
         "model": MODEL,
         "eval_size": EVAL_SIZE,
         "faults": len(faults),
+        "backend": {"name": backend.name, "version": backend.version},
         "engines": results,
         "speedup_vs_module": {
             name: round(row["faults_per_sec"] / module_rate, 2)

@@ -37,7 +37,13 @@ from repro.check.lint import (
     lint_source,
     rule_catalog,
 )
-from repro.check.conformance import ConformanceReport, run_conformance
+from repro.check.conformance import (
+    ConformanceReport,
+    OpConformanceResult,
+    run_conformance,
+    run_op_conformance,
+)
+from repro.check.opdb import OP_SAMPLES, OpSample, opdb_kinds, samples_for
 from repro.check.plan import (
     DEFAULT_INPUT_SHAPE,
     check_plan,
@@ -63,7 +69,13 @@ __all__ = [
     "KernelSpec",
     "ShapeError",
     "absorption_spec",
+    "OP_SAMPLES",
+    "OpConformanceResult",
+    "OpSample",
+    "opdb_kinds",
     "run_conformance",
+    "run_op_conformance",
+    "samples_for",
     "LintFinding",
     "lint_file",
     "lint_paths",

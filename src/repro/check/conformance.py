@@ -1,13 +1,29 @@
-"""Conformance suite: vectorized engine vs the exact plan engine.
+"""Conformance suite: engine-level and per-op empirical correctness.
 
-The vectorized engine's throughput comes from *not* running kernels for
-rows it can certify; its correctness claim is that the predictions it
-reports are nevertheless bit-identical to the exact engine's.  That
-claim is attested structurally (``check_plan_vectorized`` declares the
-fingerprints compatible) — this module is the empirical check behind
-the attestation: run both engines over the same campaign-representative
-fault sample and compare the full per-fault prediction matrices and
-classified outcomes row by row.
+**Engine level** (:func:`run_conformance`): the vectorized engine's
+throughput comes from *not* running kernels for rows it can certify;
+its correctness claim is that the predictions it reports are
+nevertheless bit-identical to the exact engine's.  That claim is
+attested structurally (``check_plan_vectorized`` declares the
+fingerprints compatible) — this check runs both engines over the same
+campaign-representative fault sample and compares the full per-fault
+prediction matrices and classified outcomes row by row.  The module
+engine (bit-identical by the capture contract) and the fused engine
+(numeric-changing by design; executed and reported, never gated) ride
+along, so all four engines exercise the backend interface per run.
+With ``backend=`` set to a non-reference backend, the comparison is
+instead that backend's plan engine against the reference plan engine,
+judged by *tolerance* (their fingerprints differ by construction, so no
+bit-exactness is attested).
+
+**Op level** (:func:`run_op_conformance`): the op_db registry
+(:mod:`repro.check.opdb`) supplies deterministic samples per op kind;
+every registered backend runs every sample under three checks —
+cross-backend agreement at the backend's declared tolerance class,
+falsification of claimed batch-invariance (stacked vs separate runs
+must match bitwise), and reference plan-vs-module equivalence.  A
+backend that mis-declares either trait fails here, which is what the
+mutation tests assert.
 
 A *flip* is any (fault, image) cell where the two engines predict
 different classes; an *outcome flip* is a fault whose campaign
@@ -16,7 +32,8 @@ classification differs.  ``tolerance`` is the permitted flip fraction —
 bit-exactness (the fingerprint-compatibility claim admits no slack).
 
 ``repro-check conform`` is the CLI front end; CI runs it on the mini
-reference models and fails the build on any out-of-tolerance flip.
+reference models (and ``conform --ops`` over the op_db) and fails the
+build on any out-of-tolerance flip.
 """
 
 from __future__ import annotations
@@ -50,6 +67,15 @@ class ConformanceReport:
     ok: bool
     #: Fault indices of out-of-tolerance outcome flips (first 32).
     flipped_faults: tuple[int, ...] = field(default=())
+    #: Kernel backend of the engine under test ("numpy" = reference).
+    backend: str = "numpy"
+    #: Module-engine (fault, image) cells differing from the exact plan
+    #: engine; None when the module engine did not run.
+    module_prediction_flips: int | None = None
+    #: Fused-engine outcome flips vs the exact plan engine — reported,
+    #: never gated (BN-folding is numeric-changing by design); None when
+    #: the fused engine did not run.
+    fused_outcome_flips: int | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -65,6 +91,9 @@ class ConformanceReport:
             "survivor_rows": self.survivor_rows,
             "ok": self.ok,
             "flipped_faults": list(self.flipped_faults),
+            "backend": self.backend,
+            "module_prediction_flips": self.module_prediction_flips,
+            "fused_outcome_flips": self.fused_outcome_flips,
         }
 
 
@@ -104,15 +133,26 @@ def run_conformance(
     seed: int = 0,
     tolerance: float = 0.0,
     batch_size: int = 16,
+    backend: str | None = None,
+    include_module: bool | None = None,
+    include_fused: bool | None = None,
 ) -> ConformanceReport:
-    """Compare vectorized and exact plan engines fault by fault.
+    """Compare engines fault by fault over one campaign-representative sample.
 
     *model* is either a model name from the registry (the pretrained
     reference checkpoint is used, training it first if absent) or an
     already-built :class:`~repro.nn.module.Module`.
+
+    With the default (reference) *backend*, the engine under test is the
+    vectorized engine against the exact plan engine, plus — unless
+    disabled — a module-engine bit-identity check (gating) and a
+    fused-engine run (reported only).  With a non-reference *backend*,
+    the engine under test is that backend's plan engine; flips are
+    judged against *tolerance* alone.
     """
     # Lazy: check is imported by runtime's plan layer; the engines pull
     # in the whole runtime stack.
+    from repro.backends import resolve_backend
     from repro.data import SynthCIFAR
     from repro.runtime import PlanEngine, VectorizedPlanEngine
 
@@ -127,38 +167,72 @@ def run_conformance(
     else:
         name = type(model).__name__
 
+    resolved = resolve_backend(backend)
+    reference_run = resolved.is_reference
+    if include_module is None:
+        include_module = reference_run
+    if include_fused is None:
+        include_fused = reference_run
+
     data = SynthCIFAR("test", size=eval_size, seed=1234)
     exact = PlanEngine(
         model, data.images, data.labels, batch_size=batch_size
     )
-    vectorized = VectorizedPlanEngine(
-        model, data.images, data.labels, batch_size=batch_size
-    )
+    if reference_run:
+        under_test = VectorizedPlanEngine(
+            model, data.images, data.labels, batch_size=batch_size
+        )
+    else:
+        under_test = PlanEngine(
+            model, data.images, data.labels, batch_size=batch_size,
+            backend=resolved,
+        )
     from repro.check.plan import fingerprints_compatible
 
     attested = fingerprints_compatible(
-        vectorized.plan_fingerprint, exact.plan_fingerprint
+        under_test.plan_fingerprint, exact.plan_fingerprint
     )
     if attested:
         tolerance = 0.0
 
     sample = _sample_faults(exact, faults, seed)
     preds_exact = exact.predictions_for_faults(sample)
-    preds_vec = vectorized.predictions_for_faults(sample)
-    cells = np.asarray(preds_exact) != np.asarray(preds_vec)
+    preds_test = under_test.predictions_for_faults(sample)
+    cells = np.asarray(preds_exact) != np.asarray(preds_test)
     prediction_flips = int(cells.sum())
 
     outcomes_exact = exact.classify_many(sample)
-    outcomes_vec = vectorized.classify_many(sample)
+    outcomes_test = under_test.classify_many(sample)
     flipped = [
         i
-        for i, (a, b) in enumerate(zip(outcomes_exact, outcomes_vec))
+        for i, (a, b) in enumerate(zip(outcomes_exact, outcomes_test))
         if a != b
     ]
     flip_fraction = len(flipped) / max(len(sample), 1)
     ok = flip_fraction <= tolerance and (
         not attested or prediction_flips == 0
     )
+
+    module_flips = None
+    if include_module:
+        from repro.faults.engine import InferenceEngine
+
+        module_engine = InferenceEngine(model, data.images, data.labels)
+        preds_module = np.asarray(module_engine.predictions_for_faults(sample))
+        module_flips = int((preds_module != np.asarray(preds_exact)).sum())
+        ok = ok and module_flips == 0
+
+    fused_flips = None
+    if include_fused:
+        fused_engine = PlanEngine(
+            model, data.images, data.labels, batch_size=batch_size,
+            fuse=True,
+        )
+        outcomes_fused = fused_engine.classify_many(sample)
+        fused_flips = sum(
+            1 for a, b in zip(outcomes_exact, outcomes_fused) if a != b
+        )
+
     return ConformanceReport(
         model=name,
         faults=len(sample),
@@ -167,9 +241,200 @@ def run_conformance(
         outcome_flips=len(flipped),
         tolerance=tolerance,
         bit_exact_attested=attested,
-        precertified=vectorized.precertified,
-        certified_rows=vectorized.certified_rows,
-        survivor_rows=vectorized.survivor_rows,
+        precertified=getattr(under_test, "precertified", 0),
+        certified_rows=getattr(under_test, "certified_rows", 0),
+        survivor_rows=getattr(under_test, "survivor_rows", 0),
         ok=ok,
         flipped_faults=tuple(flipped[:32]),
+        backend=resolved.name,
+        module_prediction_flips=module_flips,
+        fused_outcome_flips=fused_flips,
     )
+
+
+# -- op-level conformance (op_db driven) -----------------------------------
+
+
+@dataclass(frozen=True)
+class OpConformanceResult:
+    """Verdict of one (backend, kind, sample, check) combination."""
+
+    backend: str
+    kind: str
+    sample: str
+    #: "agreement" | "batch_invariance" | "module_equivalence"
+    check: str
+    ok: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "kind": self.kind,
+            "sample": self.sample,
+            "check": self.check,
+            "ok": self.ok,
+            "detail": self.detail,
+        }
+
+
+def _run_built(backend, built):
+    """Execute one built op_db sample on *backend*."""
+    if built.op is not None:
+        return backend.run_op(built.op, built.inputs)
+    if built.kind == "gemm":
+        return backend.gemm(*built.inputs)
+    if built.kind == "im2col":
+        return backend.im2col(built.inputs[0], *built.args)
+    raise ValueError(f"op_db sample kind {built.kind!r} has no runner")
+
+
+def _outputs_agree(out, ref_out, tolerance_class: str) -> tuple[bool, str]:
+    out = np.asarray(out)
+    ref_out = np.asarray(ref_out)
+    if out.shape != ref_out.shape:
+        return False, f"shape {out.shape} != reference {ref_out.shape}"
+    if tolerance_class == "bitexact":
+        if np.array_equal(out, ref_out):
+            return True, ""
+        bad = int((out != ref_out).sum())
+        return False, f"{bad} element(s) differ bitwise"
+    if np.allclose(out, ref_out, rtol=1e-5, atol=1e-6):
+        return True, ""
+    err = float(np.max(np.abs(out - ref_out)))
+    return False, f"max abs error {err:.3g} beyond relative tolerance"
+
+
+def _claims_invariance(backend, built) -> bool:
+    if built.op is not None:
+        return bool(backend.batch_invariant(built.op))
+    return backend.OP_INVARIANCE[built.kind] == "always"
+
+
+def _check_batch_invariance(backend, built, rng) -> tuple[bool, str]:
+    """Falsify a claimed invariance: stacked run must bit-equal split runs.
+
+    A second batch of fresh inputs (same shapes, same op/parameters) is
+    concatenated along the batch axis; the stacked output's slices must
+    be bitwise equal to the two separate runs.
+    """
+    alt = [
+        rng.standard_normal(x.shape).astype(np.float32) for x in built.inputs
+    ]
+    split_a = np.asarray(_run_built(backend, built))
+    alt_built = type(built)(
+        kind=built.kind, op=built.op, inputs=alt, args=built.args,
+        module=built.module,
+    )
+    split_b = np.asarray(_run_built(backend, alt_built))
+    stacked_built = type(built)(
+        kind=built.kind,
+        op=built.op,
+        inputs=[
+            np.concatenate([x, a], axis=0)
+            for x, a in zip(built.inputs, alt)
+        ],
+        args=built.args,
+        module=built.module,
+    )
+    try:
+        stacked = np.asarray(_run_built(backend, stacked_built))
+    except Exception as exc:  # noqa: BLE001 — any crash falsifies the claim
+        return False, (
+            "claimed batch-invariant but the stacked run raised "
+            f"{type(exc).__name__}: {exc}"
+        )
+    expected = np.concatenate([split_a, split_b], axis=0)
+    if np.array_equal(stacked, expected):
+        return True, ""
+    bad = int((stacked != expected).sum())
+    return False, (
+        f"claimed batch-invariant but stacking changed {bad} element(s)"
+    )
+
+
+def run_op_conformance(
+    *,
+    backends=None,
+    kinds=None,
+    seed: int = 0,
+) -> list[OpConformanceResult]:
+    """Run the op_db suite: every sample × every backend × every check.
+
+    *backends* is a list of backend names or instances (default: every
+    registered backend that constructs — graceful degradation for
+    optional libraries); *kinds* restricts the op kinds.  Returns one
+    :class:`OpConformanceResult` per executed check; a mis-declared
+    tolerance or batch-invariance class surfaces as ``ok=False`` rows.
+    """
+    from repro.backends import Backend, available_backends, get_backend
+    from repro.check.opdb import OP_SAMPLES
+
+    reference = get_backend("numpy")
+    if backends is None:
+        resolved = [get_backend(name) for name in available_backends()]
+    else:
+        resolved = [
+            entry if isinstance(entry, Backend) else get_backend(entry)
+            for entry in backends
+        ]
+    selected = sorted(OP_SAMPLES) if kinds is None else [
+        kind for kind in sorted(OP_SAMPLES) if kind in set(kinds)
+    ]
+
+    results: list[OpConformanceResult] = []
+    for ki, kind in enumerate(selected):
+        for si, sample in enumerate(OP_SAMPLES[kind]):
+            built = sample.build(np.random.default_rng((seed, ki, si)))
+            ref_out = _run_built(reference, built)
+            if built.module is not None:
+                ok = bool(
+                    np.array_equal(
+                        np.asarray(ref_out),
+                        built.module.forward_fast(built.inputs[0]),
+                    )
+                )
+                results.append(
+                    OpConformanceResult(
+                        backend=reference.name,
+                        kind=kind,
+                        sample=sample.name,
+                        check="module_equivalence",
+                        ok=ok,
+                        detail=""
+                        if ok
+                        else "plan kernel != module forward_fast bitwise",
+                    )
+                )
+            for backend in resolved:
+                out = _run_built(backend, built)
+                ok, detail = _outputs_agree(
+                    out, ref_out, backend.tolerance(kind)
+                )
+                results.append(
+                    OpConformanceResult(
+                        backend=backend.name,
+                        kind=kind,
+                        sample=sample.name,
+                        check="agreement",
+                        ok=ok,
+                        detail=detail,
+                    )
+                )
+                if _claims_invariance(backend, built):
+                    ok, detail = _check_batch_invariance(
+                        backend,
+                        built,
+                        np.random.default_rng((seed + 1, ki, si)),
+                    )
+                    results.append(
+                        OpConformanceResult(
+                            backend=backend.name,
+                            kind=kind,
+                            sample=sample.name,
+                            check="batch_invariance",
+                            ok=ok,
+                            detail=detail,
+                        )
+                    )
+    return results

@@ -9,13 +9,20 @@ a row here describing
   the batch axis without changing a bit?), and
 - its abstract shape rule (per-sample shapes, no batch dimension).
 
-The batch-invariance classification deliberately **re-derives** the
-answer from the kernel dispatch rules in :func:`repro.nn.functional.conv2d`
-rather than importing :func:`repro.runtime.plan._batch_invariant` — the
-point of the audit is that capture-time flags and this table are two
-independent encodings of the same contract, so a drift in either one is
-caught (rule ``P120``).  A kind with no row here fails ``P121``: new
-kernels must be vetted before they can be captured.
+The batch-invariance classification encodes the kernel dispatch rules
+of :func:`repro.nn.functional.conv2d` and is the **single source of
+truth** for the reference backend: plan capture
+(:func:`repro.runtime.plan._batch_invariant`) and the ``"kernel"``-class
+entries of :meth:`repro.backends.Backend.batch_invariant` both read
+their verdicts from this table, and the verifier's ``P120`` audit
+re-checks every recorded flag against it — catching post-capture drift
+in fused or hand-built plans rather than divergence between two
+hand-maintained copies of the predicate.  The table's claims themselves
+are kept honest *empirically*: the op_db conformance suite
+(:mod:`repro.check.opdb`) stacks variant batches through every kernel
+and fails if a claimed invariance does not hold bit-for-bit.  A kind
+with no row here fails ``P121``: new kernels must be vetted before they
+can be captured.
 """
 
 from __future__ import annotations

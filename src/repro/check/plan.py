@@ -110,7 +110,9 @@ def _params_signature(params: dict) -> list:
     return out
 
 
-def plan_fingerprint(plan: ExecutionPlan, *, mode: str = "exact") -> str:
+def plan_fingerprint(
+    plan: ExecutionPlan, *, mode: str = "exact", backend=None
+) -> str:
     """Structural sha256 of *plan* (ops, slots, flags — not weight values).
 
     Weight *values* are covered by the engine fingerprint; this one pins
@@ -120,7 +122,17 @@ def plan_fingerprint(plan: ExecutionPlan, *, mode: str = "exact") -> str:
     default, hash-stable with earlier releases) or ``"vectorized"`` —
     the variant-axis certified mode runs the same plan under a distinct
     fingerprint, exactly as fusions already do.
+
+    The kernel backend qualifies the fingerprint the same way: a
+    non-reference backend's attestation (name, version, per-op
+    invariance + tolerance classes — see
+    :meth:`repro.backends.Backend.attestation`) is folded into the
+    payload, so shards computed under different backends can never
+    silently merge.  Reference-backend plans hash exactly as before.
+    *backend* defaults to the plan's own ``backend`` attribute.
     """
+    if backend is None:
+        backend = getattr(plan, "backend", None)
     payload = {
         "num_slots": plan.num_slots,
         "input_slot": plan.input_slot,
@@ -140,6 +152,8 @@ def plan_fingerprint(plan: ExecutionPlan, *, mode: str = "exact") -> str:
     }
     if mode != "exact":
         payload["mode"] = mode
+    if backend is not None and not backend.is_reference:
+        payload["backend"] = backend.attestation()
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

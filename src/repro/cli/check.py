@@ -12,7 +12,10 @@ Three subcommands:
   current findings.
 - ``repro-check conform`` — run the vectorized-vs-exact conformance
   suite (:func:`repro.check.run_conformance`) on reference models;
-  exit 1 on any out-of-tolerance outcome flip.
+  exit 1 on any out-of-tolerance outcome flip.  ``--backend`` checks a
+  non-reference kernel backend against the exact engine; ``--ops``
+  runs the op_db per-kernel suite (:func:`repro.check.run_op_conformance`)
+  over every op kind on every available backend instead.
 - ``repro-check rules`` — print the rule catalogue (both passes).
 """
 
@@ -125,6 +128,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the per-model conformance reports to this file",
     )
+    conform.add_argument(
+        "--backend",
+        default=None,
+        help="kernel backend under test (default: REPRO_BACKEND or numpy)",
+    )
+    conform.add_argument(
+        "--ops",
+        action="store_true",
+        help="run the op_db per-kernel conformance suite instead of the "
+        "model-level engine suite (covers every op kind on every "
+        "available backend, or just --backend when given)",
+    )
 
     sub.add_parser("rules", help="print the rule catalogue")
     return parser
@@ -217,6 +232,8 @@ def _cmd_lint(args) -> int:
 def _cmd_conform(args) -> int:
     from repro.check.conformance import run_conformance
 
+    if args.ops:
+        return _cmd_conform_ops(args)
     names = args.model or ["resnet14_mini"]
     reports = []
     failed = False
@@ -227,6 +244,7 @@ def _cmd_conform(args) -> int:
             faults=args.faults,
             seed=args.seed,
             tolerance=args.tolerance,
+            backend=args.backend,
         )
         reports.append(report)
         verdict = "ok" if report.ok else "FAIL"
@@ -235,7 +253,8 @@ def _cmd_conform(args) -> int:
             f"tolerance={report.tolerance}"
         )
         print(
-            f"{verdict:4s} {report.model:18s} faults={report.faults:4d} "
+            f"{verdict:4s} {report.model:18s} backend={report.backend} "
+            f"faults={report.faults:4d} "
             f"flips={report.outcome_flips}/{report.faults} "
             f"cells={report.prediction_flips} [{attest}] "
             f"precertified={report.precertified} "
@@ -248,6 +267,33 @@ def _cmd_conform(args) -> int:
         serialized = json.dumps(payload, indent=2, sort_keys=True) + "\n"
         atomic_write_bytes(Path(args.out), serialized.encode("utf-8"))
     return 1 if failed else 0
+
+
+def _cmd_conform_ops(args) -> int:
+    from repro.check.conformance import run_op_conformance
+
+    backends = [args.backend] if args.backend else None
+    results = run_op_conformance(backends=backends, seed=args.seed)
+    failures = [r for r in results if not r.ok]
+    per_backend: dict[str, int] = {}
+    for result in results:
+        per_backend[result.backend] = per_backend.get(result.backend, 0) + 1
+    for name in sorted(per_backend):
+        print(f"backend {name}: {per_backend[name]} check(s)")
+    for result in failures:
+        print(
+            f"FAIL {result.backend}/{result.kind} sample={result.sample} "
+            f"check={result.check}: {result.detail}"
+        )
+    if args.out:
+        payload = {"checks": [r.to_dict() for r in results]}
+        serialized = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        atomic_write_bytes(Path(args.out), serialized.encode("utf-8"))
+    if failures:
+        print(f"\nop conformance: {len(failures)}/{len(results)} failed")
+        return 1
+    print(f"op conformance: {len(results)} checks passed")
+    return 0
 
 
 def _cmd_rules(args) -> int:

@@ -103,6 +103,9 @@ def _build_engine(runtime: dict, *, telemetry=None):
         kind=runtime.get("engine", "module"),
         policy=runtime.get("policy", "accuracy_drop"),
         fuse=bool(runtime.get("fuse", False)),
+        # Queues without a "backend" key predate kernel backends (or were
+        # submitted on the reference); the worker's env still applies.
+        backend=runtime.get("backend"),
         telemetry=telemetry,
     )
     return engine, FaultSpace(engine.layers)
@@ -155,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="enable the plan engine's numeric-changing fusions "
         "(BN-folding, workspace reuse); changes the campaign fingerprint",
+    )
+    submit.add_argument(
+        "--backend",
+        default=None,
+        help="kernel backend (default: REPRO_BACKEND or the numpy "
+        "reference); a non-reference backend's attestation joins the "
+        "campaign fingerprint and workers rebuild with the same backend",
     )
     submit.add_argument(
         "--shards", type=int, default=4, help="shard count (default: 4)"
@@ -260,6 +270,14 @@ def build_parser() -> argparse.ArgumentParser:
         "different engine than the campaign was submitted with; "
         "accepted only when the verifier attests both engines' "
         "fingerprints outcome-compatible",
+    )
+    work.add_argument(
+        "--backend",
+        default=None,
+        help="exhaustive campaigns: run this worker's shards on a "
+        "different kernel backend than the campaign was submitted "
+        "with; refused unless the two backend-qualified plan "
+        "fingerprints were declared outcome-compatible",
     )
     work.add_argument(
         "--heartbeat-interval",
@@ -395,6 +413,7 @@ def _cmd_submit(args) -> int:
             "policy": args.policy,
             "engine": args.engine,
             "fuse": args.fuse,
+            "backend": args.backend,
         }
     )
     runtime = {
@@ -405,6 +424,11 @@ def _cmd_submit(args) -> int:
         "fuse": bool(args.fuse),
         "golden_accuracy": engine.golden_accuracy,
     }
+    engine_backend = getattr(engine, "backend", None)
+    if engine_backend is not None and not engine_backend.is_reference:
+        # Pin the resolved backend by name so every worker rebuilds with
+        # it regardless of the worker host's own REPRO_BACKEND.
+        runtime["backend"] = engine_backend.name
     if getattr(engine, "plan_fingerprint", None) is not None:
         # Pin the verified plan structure: the merge refuses shard
         # results that do not attest this fingerprint.
@@ -490,6 +514,8 @@ def _cmd_work(args) -> int:
     if config["kind"] == "exhaustive":
         if args.engine:
             runtime = dict(runtime, engine=args.engine)
+        if args.backend:
+            runtime = dict(runtime, backend=args.backend)
         engine, space = _build_engine(runtime, telemetry=telemetry)
         expected_plan = campaign.get("runtime", {}).get("plan_sha256")
         rebuilt_plan = getattr(engine, "plan_fingerprint", None)
@@ -510,10 +536,11 @@ def _cmd_work(args) -> int:
         context = ExhaustiveContext(engine, space)
         verify_context_config(context, config)
     else:
-        if args.engine:
+        if args.engine or args.backend:
             raise DistError(
-                "--engine only applies to exhaustive campaigns; sampled "
-                "workers replay or inject under the submitted engine"
+                "--engine/--backend only apply to exhaustive campaigns; "
+                "sampled workers replay or inject under the submitted "
+                "engine and backend"
             )
         engine, space = _build_engine(runtime, telemetry=telemetry)
         plan = _build_plan(runtime, space)
@@ -543,6 +570,7 @@ def _cmd_work(args) -> int:
                 policy=runtime.get("policy", "accuracy_drop"),
                 engine_kind=runtime.get("engine", "module"),
                 fuse=bool(runtime.get("fuse", False)),
+                backend=runtime.get("backend"),
                 telemetry=telemetry,
             )
             oracle = TableOracle(table, space)

@@ -76,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
         "with unfused campaigns.",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        help="kernel backend for the plan engine (default: REPRO_BACKEND "
+        "or the numpy reference); non-reference backends cache their "
+        "numerically distinct outcomes under a separate artifact",
+    )
+    parser.add_argument(
         "--batch-size",
         type=int,
         default=None,
@@ -127,6 +134,7 @@ def main(argv: list[str] | None = None) -> int:
             eval_size=args.eval_size,
             engine_kind=args.engine,
             fuse=args.fuse,
+            backend=args.backend,
             batch_size=args.batch_size,
             workers=args.workers,
             shards=args.shards,

@@ -106,8 +106,13 @@ def campaign_config(engine: FaultInjectionEngine, space: FaultSpace) -> dict:
     a mismatching configuration are never merged.  The engine kind and
     fusion list are carried explicitly too, for human-readable refusal
     messages and ``repro-stats`` display.
+
+    A non-reference kernel backend changes the campaign's numerics, so
+    its attestation (name, version, per-op tolerance/invariance claims)
+    joins the config.  The reference backend contributes nothing — the
+    config hash of every existing campaign artifact is unchanged.
     """
-    return {
+    config = {
         "fmt": space.fmt.name,
         "fault_models": [m.value for m in space.fault_models],
         "policy": engine.policy,
@@ -118,6 +123,10 @@ def campaign_config(engine: FaultInjectionEngine, space: FaultSpace) -> dict:
         "fusions": list(getattr(engine, "fusions", ())),
         "golden_sha256": engine.fingerprint(),
     }
+    backend = getattr(engine, "backend", None)
+    if backend is not None and not backend.is_reference:
+        config["backend"] = backend.attestation()
+    return config
 
 
 # Fork-inherited state for pool workers: (engine, space, telemetry).  The

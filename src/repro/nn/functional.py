@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tensor.im2col import conv_output_size, im2col
+from repro.tensor.im2col import conv_output_size, im2col, zero_pad2d
 
 
 def conv2d(
@@ -44,15 +44,8 @@ def conv2d(
         out = np.matmul(weight.reshape(oc, c), x.reshape(n, c, p))
     elif groups == c and oc == c and cg == 1:
         # Depthwise: one kernel per channel over shifted windows.
-        xp = x
-        if padding > 0:
-            xp = np.pad(
-                x,
-                ((0, 0), (0, 0), (padding, padding), (padding, padding)),
-                mode="constant",
-            )
         windows = np.lib.stride_tricks.sliding_window_view(
-            xp, (kh, kw), axis=(2, 3)
+            zero_pad2d(x, padding), (kh, kw), axis=(2, 3)
         )[:, :, ::stride, ::stride]
         out = np.einsum(
             "nchwij,cij->nchw", windows, weight.reshape(c, kh, kw), optimize=True

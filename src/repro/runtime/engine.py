@@ -42,13 +42,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends import Backend, resolve_backend
 from repro.faults.engine import FaultInjectionEngine, InferenceEngine
 from repro.faults.model import Fault
 from repro.ieee754 import FLOAT32, FloatFormat
 from repro.nn import Module
 from repro.runtime.plan import OpSpec, capture_plan
 from repro.telemetry import Telemetry
-from repro.tensor.im2col import conv_output_size, im2col
+from repro.tensor.im2col import conv_output_size
 
 #: Default number of same-layer faults evaluated per stacked tail pass.
 DEFAULT_BATCH_SIZE = 16
@@ -102,6 +103,12 @@ class PlanEngine(FaultInjectionEngine):
         checkpoints and distributed merges refuse to mix them.
     batch_size:
         Same-layer faults evaluated per stacked tail pass (>= 1).
+    backend:
+        Kernel backend (name, instance, or None → ``REPRO_BACKEND`` →
+        numpy reference).  Non-reference backends run every op through
+        the generic dense paths (the channel-sparse fast path is stated
+        against reference BLAS row-GEMM identities) and carry a
+        backend-qualified plan fingerprint.
     """
 
     kind = "plan"
@@ -118,6 +125,7 @@ class PlanEngine(FaultInjectionEngine):
         telemetry: Telemetry | None = None,
         fuse: bool = False,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        backend: Backend | str | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -130,7 +138,8 @@ class PlanEngine(FaultInjectionEngine):
             threshold=threshold,
             telemetry=telemetry,
         )
-        self.plan = capture_plan(model, fuse=fuse)
+        self.backend = resolve_backend(backend)
+        self.plan = capture_plan(model, fuse=fuse, backend=self.backend)
         self.fusions = self.plan.fusions
         # Re-verify at the engine trust boundary (capture already did,
         # but the engine is also handed pre-built plans in tests) and
@@ -160,6 +169,13 @@ class PlanEngine(FaultInjectionEngine):
             (self.golden_predictions == self.labels).mean()
         )
         self._layer_op = self._map_layers_to_ops()
+        # An op's tail pass may stack variants only when both the plan
+        # flag (reference dispatch analysis) and the executing backend's
+        # own attestation say the kernel is batch-invariant.
+        self._stackable = [
+            bool(op.batch_invariant) and self.backend.batch_invariant(op)
+            for op in self.plan.ops
+        ]
         self._free_schedule: dict[int, list[list[int]]] = {}
         self._sparse_cache: dict[int, _SparsePrefix | None] = {}
         # Golden im2col columns of the active fault layer (single entry:
@@ -253,13 +269,17 @@ class PlanEngine(FaultInjectionEngine):
 
         ``None`` when the fault op itself is not row-separable (grouped
         or depthwise convs, fused conv+bn) — those fall back to dense
-        full-recompute evaluation.
+        full-recompute evaluation.  The whole analysis is stated against
+        the reference backend's row-GEMM identities (and the hand-inlined
+        numpy suffix kernels in :meth:`_sparse_batch`), so non-reference
+        backends always take the dense path.
         """
         if op_index in self._sparse_cache:
             return self._sparse_cache[op_index]
         op = self.plan.ops[op_index]
-        eligible = op.kind == "linear" or (
-            op.kind == "conv2d" and op.module.groups == 1
+        eligible = self.backend.is_reference and (
+            op.kind == "linear"
+            or (op.kind == "conv2d" and op.module.groups == 1)
         )
         info = None
         if eligible:
@@ -326,7 +346,7 @@ class PlanEngine(FaultInjectionEngine):
         kk = m.kernel_size
         oh = conv_output_size(x.shape[2], kk, m.stride, m.padding)
         ow = conv_output_size(x.shape[3], kk, m.stride, m.padding)
-        cols = im2col(x, kk, kk, m.stride, m.padding)
+        cols = self.backend.im2col(x, kk, kk, m.stride, m.padding)
         self._cols_cache = (op.index, cols, oh, ow)
         return cols, oh, ow
 
@@ -358,7 +378,7 @@ class PlanEngine(FaultInjectionEngine):
         bias = None if m.bias is None else m.bias.data
         if op.kind == "linear":
             x = self._golden[op.inputs[0]]
-            out = (x @ rows.T)[:, :k]
+            out = self.backend.gemm(x, rows.T)[:, :k]
             if bias is not None:
                 out = out + bias[chans]
             return chans, out
@@ -370,7 +390,7 @@ class PlanEngine(FaultInjectionEngine):
             cols = x.reshape(n, c, oh * ow)
         else:
             cols, oh, ow = self._fault_cols(op)
-        out = np.matmul(rows, cols)[:, :k].reshape(-1, k, oh, ow)
+        out = self.backend.gemm(rows, cols)[:, :k].reshape(-1, k, oh, ow)
         if bias is not None:
             out = out + bias[chans].reshape(1, k, 1, 1)
         return chans, out
@@ -581,7 +601,7 @@ class PlanEngine(FaultInjectionEngine):
             return logits.argmax(axis=1)[None, :]
         for pos in range(start, len(tail)):
             top = self.plan.ops[tail[pos]]
-            if not top.batch_invariant:
+            if not self._stackable[top.index]:
                 # Not bit-stable under batch stacking: run once per
                 # variant so every call is shaped exactly like the
                 # unbatched one.
@@ -644,6 +664,7 @@ def create_engine(
     telemetry: Telemetry | None = None,
     fuse: bool = False,
     batch_size: int | None = None,
+    backend: Backend | str | None = None,
 ) -> FaultInjectionEngine:
     """Build a fault-classification engine of the requested *kind*.
 
@@ -654,7 +675,10 @@ def create_engine(
     :class:`repro.faults.InferenceEngine`.  Unfused plan, vectorized and
     module engines produce bit-identical outcomes; *fuse* requires the
     plain plan engine (vectorized certificates are stated against exact
-    numerics).
+    numerics).  *backend* selects the kernel backend (explicit argument
+    → ``REPRO_BACKEND`` → numpy reference); only the plan engine accepts
+    non-reference backends — the module engine *is* the reference
+    numerics and the vectorized certificates are proved against them.
     """
     if kind == "plan_vectorized":
         if fuse:
@@ -678,6 +702,7 @@ def create_engine(
             batch_size=(
                 DEFAULT_VEC_BATCH_SIZE if batch_size is None else batch_size
             ),
+            backend=backend,
         )
     if kind == "plan":
         return PlanEngine(
@@ -690,6 +715,7 @@ def create_engine(
             telemetry=telemetry,
             fuse=fuse,
             batch_size=DEFAULT_BATCH_SIZE if batch_size is None else batch_size,
+            backend=backend,
         )
     if kind == "module":
         if fuse:
@@ -699,6 +725,12 @@ def create_engine(
             )
         if batch_size not in (None, 1):
             raise ValueError("the module engine evaluates faults one at a time")
+        if not resolve_backend(backend).is_reference:
+            raise ValueError(
+                "the module engine replays forward_fast verbatim — it is "
+                "the reference numerics; use kind='plan' for non-reference "
+                "backends"
+            )
         return InferenceEngine(
             model,
             images,

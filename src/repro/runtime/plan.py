@@ -36,12 +36,12 @@ unbatched call, so bit-exactness survives batching.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 
 import numpy as np
 
-from repro.nn import functional as F
+from repro.backends import Backend, get_backend, resolve_backend
 from repro.nn.module import Module
-from repro.tensor.im2col import conv_output_size
 
 #: Op kinds an unfused capture may emit.
 OP_KINDS = frozenset(
@@ -64,30 +64,22 @@ OP_KINDS = frozenset(
 FUSED_OP_KINDS = frozenset({"conv2d_bn"})
 
 
-def _conv_path_batch_invariant(module) -> bool:
-    """Whether :func:`F.conv2d` takes a batch-stable path for *module*.
-
-    Pointwise and generic im2col convolutions reduce to a 3-D
-    ``np.matmul`` (one fixed-shape GEMM per sample) and are bit-stable
-    under batch stacking; the depthwise and grouped paths go through
-    ``np.einsum(optimize=True)`` whose contraction strategy may change
-    with the batch extent.
-    """
-    k, pad, groups = module.kernel_size, module.padding, module.groups
-    c, oc = module.in_channels, module.out_channels
-    if k == 1 and pad == 0 and groups == 1:
-        return True  # pointwise matmul
-    if groups == c and oc == c:
-        return False  # depthwise einsum
-    return groups == 1  # im2col matmul is stable; grouped einsum is not
-
-
 def _batch_invariant(kind: str, module) -> bool:
-    if kind in ("conv2d", "conv2d_bn"):
-        return _conv_path_batch_invariant(module)
-    if kind == "linear":
-        return False  # 2-D GEMM: BLAS blocking depends on the batch extent
-    return True  # elementwise, pooling reductions, reshapes, padding
+    """Reference-backend batch invariance for *kind*, from the kernel table.
+
+    :data:`repro.check.kernels.KERNEL_TABLE` is the single source of
+    truth for which reference dispatch paths are bit-stable under batch
+    stacking (pointwise/im2col matmul convs are; depthwise/grouped
+    einsum and the 2-D linear GEMM are not).  Capture consults it here;
+    the verifier's P120 then re-checks the recorded flags against the
+    same table, catching post-capture drift in fused or hand-built
+    plans.
+    """
+    # Lazy import: repro.check.plan reasons *about* this module.
+    from repro.check.kernels import KERNEL_TABLE
+
+    predicate = KERNEL_TABLE[kind].batch_invariant
+    return bool(predicate(SimpleNamespace(kind=kind, module=module, params={})))
 
 
 @dataclass
@@ -166,113 +158,18 @@ class PlanBuilder:
         )
 
 
-# -- op kernels ------------------------------------------------------------
-#
-# Unfused kernels call the exact repro.nn.functional routine (same
-# arguments, same order) that the module's forward_fast would — this is
-# the bit-exactness contract.  `workspaces` is threaded through for the
-# fused im2col-workspace optimisation and ignored everywhere else.
-
-
-def _run_conv2d(op: OpSpec, x: np.ndarray, workspaces=None) -> np.ndarray:
-    m = op.module
-    cols_out = None
-    if workspaces is not None:
-        cols_out = _conv_workspace(workspaces, op, m, x)
-    return F.conv2d(
-        x,
-        m.weight.data,
-        None if m.bias is None else m.bias.data,
-        stride=m.stride,
-        padding=m.padding,
-        groups=m.groups,
-        cols_out=cols_out,
-    )
-
-
-def _conv_workspace(workspaces: dict, op: OpSpec, m, x: np.ndarray):
-    """Preallocated im2col column buffer for (op, batch) — fused plans only."""
-    k = m.kernel_size
-    if k == 1 and m.padding == 0 and m.groups == 1:
-        return None  # pointwise path never materialises columns
-    if m.groups == m.in_channels and m.out_channels == m.in_channels:
-        return None  # depthwise path never materialises columns
-    n, c, h, w = x.shape
-    p = conv_output_size(h, k, m.stride, m.padding) * conv_output_size(
-        w, k, m.stride, m.padding
-    )
-    key = (op.index, n)
-    buf = workspaces.get(key)
-    shape = (n, c * k * k, p)
-    if buf is None or buf.shape != shape:
-        buf = np.empty(shape, dtype=np.float32)
-        workspaces[key] = buf
-    return buf
-
-
-def _run_conv2d_bn(op: OpSpec, x: np.ndarray, workspaces=None) -> np.ndarray:
-    """Fused conv + BN: fold the BN affine into the conv weights.
-
-    Numeric-changing (a folded multiply is not bitwise a conv followed
-    by a BN), so this kind only appears in fused plans.
-    """
-    conv, bn = op.module, op.params["bn"]
-    scale = (bn.weight.data / np.sqrt(bn.running_var + bn.eps)).astype(np.float32)
-    shift = (bn.bias.data - bn.running_mean * scale).astype(np.float32)
-    weight = conv.weight.data * scale.reshape(-1, 1, 1, 1)
-    bias = shift if conv.bias is None else shift + scale * conv.bias.data
-    cols_out = None
-    if workspaces is not None:
-        cols_out = _conv_workspace(workspaces, op, conv, x)
-    return F.conv2d(
-        x,
-        weight,
-        bias,
-        stride=conv.stride,
-        padding=conv.padding,
-        groups=conv.groups,
-        cols_out=cols_out,
-    )
-
-
-def _run_batchnorm2d(op: OpSpec, x: np.ndarray, workspaces=None) -> np.ndarray:
-    m = op.module
-    return F.batchnorm2d(
-        x, m.weight.data, m.bias.data, m.running_mean, m.running_var, eps=m.eps
-    )
-
-
-def _run_linear(op: OpSpec, x: np.ndarray, workspaces=None) -> np.ndarray:
-    m = op.module
-    return F.linear(x, m.weight.data, None if m.bias is None else m.bias.data)
-
-
-_KERNELS = {
-    "conv2d": _run_conv2d,
-    "conv2d_bn": _run_conv2d_bn,
-    "batchnorm2d": _run_batchnorm2d,
-    "linear": _run_linear,
-    "relu": lambda op, x, workspaces=None: F.relu(x),
-    "relu6": lambda op, x, workspaces=None: F.relu6(x),
-    "avg_pool2d": lambda op, x, workspaces=None: F.avg_pool2d(x, op.module.kernel),
-    "global_avg_pool2d": lambda op, x, workspaces=None: F.global_avg_pool2d(x),
-    "flatten": lambda op, x, workspaces=None: x.reshape(x.shape[0], -1),
-    "add": lambda op, a, b, workspaces=None: a + b,
-    "subsample2d": lambda op, x, workspaces=None: F.subsample2d(
-        x, op.params["stride"]
-    ),
-    "pad_channels": lambda op, x, workspaces=None: F.pad_channels(
-        x, op.params["before"], op.params["after"]
-    ),
-}
-
-
 class ExecutionPlan:
     """A captured forward pass: ops in execution order over buffer slots.
 
     Slot 0 is the network input; every op writes a fresh slot, so the
     plan is SSA-like and trivially forward-only.  ``fusions`` names the
     numeric-changing rewrites applied (empty for bit-exact plans).
+
+    Kernels live on ``backend`` (see :mod:`repro.backends`): the plan
+    records *what* to compute, the backend supplies *how*.  A bare plan
+    defaults to the numpy reference backend — engine-level selection
+    (``create_engine(backend=...)`` / ``REPRO_BACKEND``) happens at
+    capture, not here, so hand-built plans stay bit-exact by default.
     """
 
     def __init__(
@@ -283,12 +180,14 @@ class ExecutionPlan:
         output_slot: int,
         input_slot: int = 0,
         fusions: tuple[str, ...] = (),
+        backend: Backend | None = None,
     ) -> None:
         self.ops = list(ops)
         self.num_slots = num_slots
         self.input_slot = input_slot
         self.output_slot = output_slot
         self.fusions = tuple(fusions)
+        self.backend = backend if backend is not None else get_backend("numpy")
         self._affected: dict[int, tuple[int, ...]] = {}
 
     def __len__(self) -> int:
@@ -296,7 +195,7 @@ class ExecutionPlan:
 
     def run_op(self, op: OpSpec, inputs: list[np.ndarray], *, workspaces=None):
         """Execute one op on concrete input arrays."""
-        return _KERNELS[op.kind](op, *inputs, workspaces=workspaces)
+        return self.backend.run_op(op, inputs, workspaces=workspaces)
 
     def execute(self, x: np.ndarray) -> np.ndarray:
         """Full forward pass; returns the output-slot array."""
@@ -345,12 +244,20 @@ class ExecutionPlan:
         return result
 
 
-def capture_plan(model: Module, *, fuse: bool = False) -> ExecutionPlan:
+def capture_plan(
+    model: Module,
+    *,
+    fuse: bool = False,
+    backend: Backend | str | None = None,
+) -> ExecutionPlan:
     """Lower *model*'s forward pass into an :class:`ExecutionPlan`.
 
     The model must implement :meth:`~repro.nn.Module.capture` (all zoo
     models do).  With ``fuse=True`` the captured plan additionally goes
     through :func:`fuse_plan` — numeric-changing, see its docstring.
+    *backend* (name, instance, or None → ``REPRO_BACKEND`` → numpy)
+    selects the kernel backend the plan executes on; non-reference
+    backends qualify the plan fingerprint with their attestation.
 
     Every captured plan is statically verified (O(ops²), milliseconds)
     before it crosses this trust boundary; a plan that fails raises
@@ -360,6 +267,8 @@ def capture_plan(model: Module, *, fuse: bool = False) -> ExecutionPlan:
     builder = PlanBuilder()
     output = model.capture(builder, builder.input_slot)
     plan = builder.build(output)
+    if backend is not None:
+        plan.backend = resolve_backend(backend)
     # Lazy import: repro.check.plan reasons *about* this module.
     from repro.check import check_plan
 
@@ -421,6 +330,7 @@ def fuse_plan(plan: ExecutionPlan) -> ExecutionPlan:
         output_slot=plan.output_slot,
         input_slot=plan.input_slot,
         fusions=("bn_fold", "im2col_workspace"),
+        backend=plan.backend,
     )
     # The rewrite changed dataflow (dropped bn ops, rewired slots):
     # re-verify rather than trusting the transformation.

@@ -149,7 +149,17 @@ class VectorizedPlanEngine(PlanEngine):
         telemetry: Telemetry | None = None,
         batch_size: int = DEFAULT_VEC_BATCH_SIZE,
         op_budget: int = DEFAULT_OP_BUDGET,
+        backend=None,
     ) -> None:
+        from repro.backends import resolve_backend
+
+        resolved = resolve_backend(backend)
+        if not resolved.is_reference:
+            raise ValueError(
+                "the vectorized engine's no-flip certificates and dirty-row "
+                f"replay are proved against the reference numerics; backend "
+                f"{resolved.name!r} is not the reference (use kind='plan')"
+            )
         super().__init__(
             model,
             images,
@@ -160,6 +170,7 @@ class VectorizedPlanEngine(PlanEngine):
             telemetry=telemetry,
             fuse=False,
             batch_size=batch_size,
+            backend=resolved,
         )
         if op_budget < 1:
             raise ValueError(f"op_budget must be >= 1, got {op_budget}")

@@ -26,14 +26,19 @@ def exhaustive_table_path(
     eval_size: int = 64,
     policy: str = "accuracy_drop",
     fuse: bool = False,
+    backend: str | None = None,
 ) -> Path:
     """Cache location for one exhaustive configuration.
 
     Unfused plan and module engines share a cache entry (their outcomes
     are bit-identical); fused campaigns are numerically different and
-    cache under a ``_fused`` suffix.
+    cache under a ``_fused`` suffix.  *backend* names a non-reference
+    kernel backend, whose outcomes likewise never share the reference
+    cache (``_via_<backend>`` suffix); pass ``None`` for the reference.
     """
     suffix = "_fused" if fuse else ""
+    if backend is not None:
+        suffix += f"_via_{backend}"
     return (
         artifacts_dir()
         / "exhaustive"
@@ -47,10 +52,15 @@ def exhaustive_checkpoint_path(
     eval_size: int = 64,
     policy: str = "accuracy_drop",
     fuse: bool = False,
+    backend: str | None = None,
 ) -> Path:
     """Checkpoint directory for one exhaustive configuration."""
     path = exhaustive_table_path(
-        model_name, eval_size=eval_size, policy=policy, fuse=fuse
+        model_name,
+        eval_size=eval_size,
+        policy=policy,
+        fuse=fuse,
+        backend=backend,
     )
     return path.with_suffix(".ckpt")
 
@@ -72,6 +82,7 @@ def load_or_run_exhaustive(
     policy: str = "accuracy_drop",
     engine_kind: str = "plan",
     fuse: bool = False,
+    backend: str | None = None,
     batch_size: int | None = None,
     workers: int | None = 1,
     shards: int | None = None,
@@ -94,7 +105,10 @@ def load_or_run_exhaustive(
     module outcomes, so both kinds share the cache.  *fuse* opts into
     the plan engine's numeric-changing fusions and caches under a
     separate ``_fused`` artifact; *batch_size* tunes how many same-layer
-    faults share one tail pass (plan engine only).
+    faults share one tail pass (plan engine only).  *backend* selects
+    the kernel backend (default: ``REPRO_BACKEND`` or the numpy
+    reference); non-reference backends are numerically distinct and
+    cache under their own ``_via_<backend>`` artifact.
 
     With *shards* set the cold-cache campaign instead goes through
     :func:`repro.dist.run_sharded_exhaustive`: the work is split into
@@ -129,12 +143,23 @@ def load_or_run_exhaustive(
         kind=engine_kind,
         policy=policy,
         fuse=fuse,
+        backend=backend,
         batch_size=batch_size,
         telemetry=telemetry,
     )
     space = FaultSpace(engine.layers)
+    engine_backend = getattr(engine, "backend", None)
+    backend_name = (
+        engine_backend.name
+        if engine_backend is not None and not engine_backend.is_reference
+        else None
+    )
     path = exhaustive_table_path(
-        model_name, eval_size=eval_size, policy=policy, fuse=fuse
+        model_name,
+        eval_size=eval_size,
+        policy=policy,
+        fuse=fuse,
+        backend=backend_name,
     )
     if path.is_file():
         with tele.span("artifacts.load_exhaustive", emit=True, model=model_name):
@@ -172,6 +197,11 @@ def load_or_run_exhaustive(
                 "policy": policy,
                 "engine": engine.kind,
                 "fuse": bool(fuse),
+                **(
+                    {"backend": backend_name}
+                    if backend_name is not None
+                    else {}
+                ),
             },
         )
         table.metadata["model"] = model_name
@@ -184,7 +214,11 @@ def load_or_run_exhaustive(
             print(f"  exhaustive {model_name}: {done:,}/{total:,}", flush=True)
     checkpoint = (
         exhaustive_checkpoint_path(
-            model_name, eval_size=eval_size, policy=policy, fuse=fuse
+            model_name,
+            eval_size=eval_size,
+            policy=policy,
+            fuse=fuse,
+            backend=backend_name,
         )
         if resume
         else None

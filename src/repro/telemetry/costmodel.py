@@ -48,6 +48,7 @@ class EngineRate:
     kind: str  # create_engine kind: module / plan / plan_vectorized
     batch_size: int
     faults_per_sec: float
+    backend: str = "numpy"  # kernel backend the bench ran on
 
     def to_dict(self) -> dict:
         return {
@@ -55,6 +56,7 @@ class EngineRate:
             "kind": self.kind,
             "batch_size": self.batch_size,
             "faults_per_sec": self.faults_per_sec,
+            "backend": self.backend,
         }
 
 
@@ -73,11 +75,15 @@ def load_bench(path: str | os.PathLike) -> dict[str, EngineRate]:
 
     Reads the top-level (latest) ``engines`` block; the appended
     ``history`` trajectory is ignored here — the newest measurement is
-    the one that prices future campaigns.
+    the one that prices future campaigns.  Each rate carries the kernel
+    backend the bench ran on (benches written before backend selection
+    existed default to the numpy reference), so relative engine speeds
+    are only ever compared within one backend.
     """
     with open(path, encoding="utf-8") as stream:
         payload = json.load(stream)
     engines = payload.get("engines", {})
+    backend = payload.get("backend", {}).get("name", "numpy")
     rates = {}
     for name in sorted(engines):
         row = engines[name]
@@ -86,6 +92,7 @@ def load_bench(path: str | os.PathLike) -> dict[str, EngineRate]:
             kind=_BENCH_KINDS.get(name, name),
             batch_size=int(row.get("batch_size", 1)),
             faults_per_sec=float(row["faults_per_sec"]),
+            backend=backend,
         )
     return rates
 
@@ -184,13 +191,18 @@ class CostModel:
         """Seconds multiplier from the measured engine to *kind*.
 
         Derived from the bench's relative rates; 1.0 when either side is
-        missing from the bench (prediction falls back to measured cost).
+        missing from the bench (prediction falls back to measured cost),
+        or when the two rates were measured on different kernel backends
+        — a cross-backend ratio mixes backend speed into the engine
+        ratio, so it does not transfer.
         """
         source = self.engine_rates.get(
             _bench_name(self.measured_engine, self.measured_batch_size)
         )
         target = self.engine_rates.get(_bench_name(kind, batch_size))
         if source is None or target is None:
+            return 1.0
+        if source.backend != target.backend:
             return 1.0
         if target.faults_per_sec <= 0:
             return 1.0
@@ -346,6 +358,7 @@ class CostModel:
                 kind=row["kind"],
                 batch_size=int(row["batch_size"]),
                 faults_per_sec=float(row["faults_per_sec"]),
+                backend=row.get("backend", "numpy"),
             )
             for name, row in record.get("engine_rates", {}).items()
         }

@@ -22,6 +22,25 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return out
 
 
+def zero_pad2d(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two trailing spatial axes of ``x`` by *padding*.
+
+    Zero-fill + interior copy: element-for-element what ``np.pad``
+    (``mode="constant"``) produces, without its per-call Python
+    machinery — this runs once per conv in the fault-injection hot
+    loop, so every spatial-padding site (im2col lowering and the
+    depthwise convolution path alike) shares this one kernel.
+    """
+    if padding <= 0:
+        return x
+    n, c, h, w = x.shape
+    padded = np.zeros(
+        (n, c, h + 2 * padding, w + 2 * padding), dtype=x.dtype
+    )
+    padded[:, :, padding : padding + h, padding : padding + w] = x
+    return padded
+
+
 def im2col(
     x: np.ndarray,
     kh: int,
@@ -42,16 +61,7 @@ def im2col(
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kh, stride, padding)
     out_w = conv_output_size(w, kw, stride, padding)
-    if padding > 0:
-        # Zero-fill + interior copy: element-for-element what np.pad
-        # (mode="constant") produces, without its per-call Python
-        # machinery — this runs once per conv in the fault-injection
-        # hot loop.
-        padded = np.zeros(
-            (n, c, h + 2 * padding, w + 2 * padding), dtype=x.dtype
-        )
-        padded[:, :, padding : padding + h, padding : padding + w] = x
-        x = padded
+    x = zero_pad2d(x, padding)
     # windows: (N, C, out_h, out_w, kh, kw) view via stride tricks.
     windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
     windows = windows[:, :, ::stride, ::stride, :, :]
