@@ -12,6 +12,11 @@ runs:
   distributed merge (shards must attest a verified plan fingerprint).
 - :func:`lint_paths` — AST determinism rules (D201–D206) over the
   source tree, with inline suppressions and a committed baseline.
+- :mod:`repro.check.protocol` — the distributed queue protocol, proved
+  two ways: :func:`check_protocol` model-checks every crash
+  interleaving of the abstract queue (Q310–Q314) and
+  :func:`check_effects` statically matches the real ``repro.dist``
+  source against its declared filesystem-effect spec (Q301–Q306).
 
 ``repro-check`` (:mod:`repro.cli.check`) is the CLI front end.
 """
@@ -20,8 +25,20 @@ from repro.check.baseline import load_baseline, new_findings, save_baseline
 from repro.check.diagnostics import (
     LINT_RULES,
     PLAN_RULES,
+    PROTOCOL_RULES,
     Diagnostic,
     PlanVerificationError,
+)
+from repro.check.protocol import (
+    MUTANT_MODELS,
+    ProtocolCheckResult,
+    ProtocolFinding,
+    ProtocolModel,
+    Scenario,
+    Violation,
+    check_effects,
+    check_protocol,
+    render_trace,
 )
 from repro.check.kernels import (
     ABSORPTION_KINDS,
@@ -61,8 +78,18 @@ from repro.check.plan import (
 __all__ = [
     "LINT_RULES",
     "PLAN_RULES",
+    "PROTOCOL_RULES",
     "Diagnostic",
     "PlanVerificationError",
+    "MUTANT_MODELS",
+    "ProtocolCheckResult",
+    "ProtocolFinding",
+    "ProtocolModel",
+    "Scenario",
+    "Violation",
+    "check_effects",
+    "check_protocol",
+    "render_trace",
     "ABSORPTION_KINDS",
     "ConformanceReport",
     "KERNEL_TABLE",

@@ -39,8 +39,15 @@ build on any out-of-tolerance flip.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.backends import Backend
+    from repro.check.opdb import BuiltSample
+    from repro.nn.module import Module
+    from repro.runtime import PlanEngine
 
 
 @dataclass(frozen=True)
@@ -97,7 +104,7 @@ class ConformanceReport:
         }
 
 
-def _sample_faults(engine, count: int, seed: int) -> list:
+def _sample_faults(engine: PlanEngine, count: int, seed: int) -> list:
     """Campaign-representative fault sample (mirrors the throughput bench).
 
     Layers proportional to weight count, bits uniform over all 32
@@ -126,7 +133,7 @@ def _sample_faults(engine, count: int, seed: int) -> list:
 
 
 def run_conformance(
-    model,
+    model: str | Module,
     *,
     eval_size: int = 64,
     faults: int = 128,
@@ -278,7 +285,7 @@ class OpConformanceResult:
         }
 
 
-def _run_built(backend, built):
+def _run_built(backend: Backend, built: BuiltSample) -> Any:
     """Execute one built op_db sample on *backend*."""
     if built.op is not None:
         return backend.run_op(built.op, built.inputs)
@@ -289,7 +296,7 @@ def _run_built(backend, built):
     raise ValueError(f"op_db sample kind {built.kind!r} has no runner")
 
 
-def _outputs_agree(out, ref_out, tolerance_class: str) -> tuple[bool, str]:
+def _outputs_agree(out: Any, ref_out: Any, tolerance_class: str) -> tuple[bool, str]:
     out = np.asarray(out)
     ref_out = np.asarray(ref_out)
     if out.shape != ref_out.shape:
@@ -305,13 +312,15 @@ def _outputs_agree(out, ref_out, tolerance_class: str) -> tuple[bool, str]:
     return False, f"max abs error {err:.3g} beyond relative tolerance"
 
 
-def _claims_invariance(backend, built) -> bool:
+def _claims_invariance(backend: Backend, built: BuiltSample) -> bool:
     if built.op is not None:
         return bool(backend.batch_invariant(built.op))
     return backend.OP_INVARIANCE[built.kind] == "always"
 
 
-def _check_batch_invariance(backend, built, rng) -> tuple[bool, str]:
+def _check_batch_invariance(
+    backend: Backend, built: BuiltSample, rng: np.random.Generator
+) -> tuple[bool, str]:
     """Falsify a claimed invariance: stacked run must bit-equal split runs.
 
     A second batch of fresh inputs (same shapes, same op/parameters) is
@@ -355,8 +364,8 @@ def _check_batch_invariance(backend, built, rng) -> tuple[bool, str]:
 
 def run_op_conformance(
     *,
-    backends=None,
-    kinds=None,
+    backends: list[str | Backend] | None = None,
+    kinds: list[str] | None = None,
     seed: int = 0,
 ) -> list[OpConformanceResult]:
     """Run the op_db suite: every sample × every backend × every check.

@@ -1,9 +1,9 @@
-"""Diagnostic records shared by the plan verifier and determinism linter.
+"""Diagnostic records shared by the static verification passes.
 
-Every finding either pass produces carries a stable rule id (``P1xx``
-for plan rules, ``D2xx`` for determinism-lint rules) so tests can
-assert on the *class* of a rejection and CI baselines can match
-findings across line-number churn.
+Every finding carries a stable rule id (``P1xx`` for plan rules,
+``D2xx`` for determinism-lint rules, ``Q3xx`` for queue-protocol rules)
+so tests can assert on the *class* of a rejection and CI baselines can
+match findings across line-number churn.
 """
 
 from __future__ import annotations
@@ -39,6 +39,44 @@ PLAN_RULES: dict[str, str] = {
     "P123": "no absorption row for this op: the vectorized certifier "
     "cannot bound fault propagation through it, so rows reaching it "
     "never certify (exact fallback, correct but no speedup)",
+}
+
+#: Queue-protocol rules (see :mod:`repro.check.protocol`).  Q301–Q306
+#: come from the static filesystem-effect pass over the real
+#: ``repro.dist`` source; Q310–Q314 from the crash-interleaving model
+#: checker's safety invariants.
+PROTOCOL_RULES: dict[str, str] = {
+    "Q301": "declared protocol method missing from the source (the "
+    "effect spec in repro.dist.effects no longer matches the code)",
+    "Q302": "undeclared filesystem effect: a protocol method performs a "
+    "write/rename/unlink the declared effect sequence does not allow "
+    "(includes any direct effect in repro.dist.rebalance, which must "
+    "act only through the ShardQueue API)",
+    "Q303": "declared effect missing: a non-optional step of the "
+    "protocol (e.g. the cleanup unlink after a commit) was dropped",
+    "Q304": "effect order violation: an effect moved past its declared "
+    "position (e.g. a rename or result write reordered across the "
+    "campaign.json commit point)",
+    "Q305": "non-atomic write primitive in a protocol module (open('w'), "
+    "write_text, ...) — crash safety requires repro.store atomic "
+    "helpers",
+    "Q306": "unresolvable path role: a protocol method touches a path "
+    "the effect extractor cannot classify, so its crash safety cannot "
+    "be checked",
+    "Q310": "shard lost: an explored schedule + crash point leaves a "
+    "campaign shard (or one of its units) unrecoverable by "
+    "recover_splits/release_expired",
+    "Q311": "duplicate consumption: two done results feed the same unit "
+    "into the merge (overlapping split partition or double-merged "
+    "shard)",
+    "Q312": "unrecoverable residue: recovery leaves a .splitting or "
+    "leased spec behind, or the recovery drain fails to quiesce",
+    "Q313": "split replay nondeterminism: the recorded split does not "
+    "re-derive the campaign's shard list (resume/recovery would "
+    "rebuild a different campaign)",
+    "Q314": "schedule-dependent merge: the canonical merged table "
+    "differs between two explored schedules (execution history leaks "
+    "into results)",
 }
 
 #: Determinism-linter rules (see :mod:`repro.check.lint`).

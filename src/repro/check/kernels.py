@@ -28,9 +28,12 @@ can be captured.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.runtime.plan import OpSpec
 
 Shape = tuple[int, ...]
 
@@ -57,7 +60,7 @@ def _want_rank(shapes: list[Shape], rank: int, kind: str) -> None:
             )
 
 
-def _conv_shape(op, shapes: list[Shape]) -> Shape:
+def _conv_shape(op: OpSpec, shapes: list[Shape]) -> Shape:
     _want_rank(shapes, 3, op.kind)
     c, h, w = shapes[0]
     m = op.module
@@ -85,7 +88,7 @@ def _conv_shape(op, shapes: list[Shape]) -> Shape:
     )
 
 
-def _bn_shape(op, shapes: list[Shape]) -> Shape:
+def _bn_shape(op: OpSpec, shapes: list[Shape]) -> Shape:
     _want_rank(shapes, 3, op.kind)
     c, h, w = shapes[0]
     m = op.module
@@ -99,7 +102,7 @@ def _bn_shape(op, shapes: list[Shape]) -> Shape:
     return (c, h, w)
 
 
-def _linear_shape(op, shapes: list[Shape]) -> Shape:
+def _linear_shape(op: OpSpec, shapes: list[Shape]) -> Shape:
     _want_rank(shapes, 1, op.kind)
     (f,) = shapes[0]
     m = op.module
@@ -113,7 +116,7 @@ def _linear_shape(op, shapes: list[Shape]) -> Shape:
     return (m.out_features,)
 
 
-def _avg_pool_shape(op, shapes: list[Shape]) -> Shape:
+def _avg_pool_shape(op: OpSpec, shapes: list[Shape]) -> Shape:
     _want_rank(shapes, 3, op.kind)
     c, h, w = shapes[0]
     k = op.module.kernel
@@ -122,29 +125,29 @@ def _avg_pool_shape(op, shapes: list[Shape]) -> Shape:
     return (c, h // k, w // k)
 
 
-def _same_shape(op, shapes: list[Shape]) -> Shape:
+def _same_shape(op: OpSpec, shapes: list[Shape]) -> Shape:
     return shapes[0]
 
 
-def _global_pool_shape(op, shapes: list[Shape]) -> Shape:
+def _global_pool_shape(op: OpSpec, shapes: list[Shape]) -> Shape:
     _want_rank(shapes, 3, op.kind)
     return (shapes[0][0],)
 
 
-def _flatten_shape(op, shapes: list[Shape]) -> Shape:
+def _flatten_shape(op: OpSpec, shapes: list[Shape]) -> Shape:
     total = 1
     for extent in shapes[0]:
         total *= extent
     return (total,)
 
 
-def _add_shape(op, shapes: list[Shape]) -> Shape:
+def _add_shape(op: OpSpec, shapes: list[Shape]) -> Shape:
     if len(shapes) != 2 or shapes[0] != shapes[1]:
         raise ShapeError(f"add expects two equal shapes, got {shapes}")
     return shapes[0]
 
 
-def _subsample_shape(op, shapes: list[Shape]) -> Shape:
+def _subsample_shape(op: OpSpec, shapes: list[Shape]) -> Shape:
     _want_rank(shapes, 3, op.kind)
     c, h, w = shapes[0]
     stride = op.params.get("stride")
@@ -153,7 +156,7 @@ def _subsample_shape(op, shapes: list[Shape]) -> Shape:
     return (c, -(-h // stride), -(-w // stride))
 
 
-def _pad_channels_shape(op, shapes: list[Shape]) -> Shape:
+def _pad_channels_shape(op: OpSpec, shapes: list[Shape]) -> Shape:
     _want_rank(shapes, 3, op.kind)
     c, h, w = shapes[0]
     before, after = op.params.get("before"), op.params.get("after")
@@ -166,7 +169,7 @@ def _pad_channels_shape(op, shapes: list[Shape]) -> Shape:
     return (c + before + after, h, w)
 
 
-def _conv_batch_invariant(op) -> bool:
+def _conv_batch_invariant(op: OpSpec) -> bool:
     # Mirrors the dispatch in F.conv2d: pointwise and groups==1 im2col
     # reduce to a per-sample 3-D matmul (batch-stable); depthwise and
     # grouped convs go through einsum(optimize=True), whose contraction
@@ -179,11 +182,11 @@ def _conv_batch_invariant(op) -> bool:
     return m.groups == 1
 
 
-def _never_batch_invariant(op) -> bool:
+def _never_batch_invariant(op: OpSpec) -> bool:
     return False  # 2-D GEMM: BLAS blocking depends on the batch extent
 
 
-def _always_batch_invariant(op) -> bool:
+def _always_batch_invariant(op: OpSpec) -> bool:
     return True  # elementwise / reduction over fixed axes / reshape
 
 
@@ -242,13 +245,13 @@ ABSORPTION_KINDS = frozenset(
 
 
 def absorption_spec(
-    op,
+    op: OpSpec,
     *,
     mean: bool,
     in_positions: int = 1,
     out_positions: int = 1,
     input_rank: int = 3,
-):
+) -> tuple[Any, ...] | None:
     """Sound channelwise delta-bound transfer for one op kind.
 
     This is the vectorized engine's certification calculus, kept here —
@@ -321,7 +324,7 @@ def absorption_spec(
     return None
 
 
-def param_dtype_issues(op) -> list[str]:
+def param_dtype_issues(op: OpSpec) -> list[str]:
     """Non-float32 parameter arrays reachable by *op*'s kernel (P105)."""
     issues: list[str] = []
     modules = [op.module] if op.module is not None else []

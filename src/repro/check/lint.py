@@ -364,7 +364,10 @@ class _Linter(ast.NodeVisitor):
         self._check_iter(node.iter, unordered_ok=False)
         self.generic_visit(node)
 
-    def _visit_comp(self, node, unordered_result: bool) -> None:
+    def _visit_comp(
+        self, node: ast.ListComp | ast.SetComp | ast.DictComp | ast.GeneratorExp,
+        unordered_result: bool,
+    ) -> None:
         for gen in node.generators:
             safe = unordered_result or self._in_order_safe_wrapper(node)
             self._check_iter(gen.iter, unordered_ok=safe)

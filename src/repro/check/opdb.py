@@ -29,7 +29,7 @@ new op kind cannot land without a kernel-table row, a backend kernel,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
@@ -101,7 +101,7 @@ def _tensor(
     return x
 
 
-def _op(kind: str, *, module=None, nin: int = 1, **params) -> OpSpec:
+def _op(kind: str, *, module: Any = None, nin: int = 1, **params: Any) -> OpSpec:
     """A standalone OpSpec with the table-derived invariance flag."""
     op = OpSpec(
         index=0,
@@ -165,7 +165,7 @@ def _conv_sample(
     return OpSample("conv2d", name, build)
 
 
-def _conv_bn_sample(name: str, **conv_kwargs) -> OpSample:
+def _conv_bn_sample(name: str, **conv_kwargs: Any) -> OpSample:
     def build(rng: np.random.Generator) -> BuiltSample:
         conv = Conv2d(4, 6, 3, padding=1, rng=rng, **conv_kwargs)
         bn = _randomized_bn(rng, 6)
@@ -216,11 +216,11 @@ def _unary_sample(
     kind: str,
     name: str,
     shape: tuple[int, ...],
-    module_factory=None,
+    module_factory: Callable[[], Any] | None = None,
     *,
     denormal: bool = False,
     noncontig: bool = False,
-    **params,
+    **params: Any,
 ) -> OpSample:
     def build(rng: np.random.Generator) -> BuiltSample:
         module = module_factory() if module_factory is not None else None

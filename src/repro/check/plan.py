@@ -111,7 +111,7 @@ def _params_signature(params: dict) -> list:
 
 
 def plan_fingerprint(
-    plan: ExecutionPlan, *, mode: str = "exact", backend=None
+    plan: ExecutionPlan, *, mode: str = "exact", backend: str | None = None
 ) -> str:
     """Structural sha256 of *plan* (ops, slots, flags — not weight values).
 

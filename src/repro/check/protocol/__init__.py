@@ -1,0 +1,62 @@
+"""Model checking and effect linting for the distributed queue protocol.
+
+The :mod:`repro.dist` shard queue moves campaign state exclusively
+through POSIX-atomic filesystem effects (rename, temp+fsync+rename
+writes, O_APPEND appends, unlink).  Its safety story — no shard lost, no
+result merged twice, every crash recoverable — was previously backed by
+example-based chaos tests; this package proves it the way
+:mod:`repro.check.plan` proves execution plans:
+
+- :func:`check_protocol` — an explicit-state model checker that
+  exhaustively explores interleavings of concurrent queue operations
+  (submit / claim / complete / fail / release_expired /
+  begin–commit–abort_split / recover_splits) over an abstract
+  filesystem (:class:`ModelFS`), injecting a crash at every
+  filesystem-effect boundary and checking the protocol's safety
+  invariants (diagnostics Q310–Q314).  Violations carry replayable
+  operation schedules (:func:`render_trace`).
+- :func:`check_effects` — a static AST pass that derives each queue
+  method's ordered filesystem-effect sequence from the real source and
+  checks it against the declared spec in :mod:`repro.dist.effects`
+  (diagnostics Q301–Q306), so a rename reordered past a commit point
+  fails CI with a named rule rather than a flaky chaos test.
+
+``repro-check protocol`` (:mod:`repro.cli.check`) is the CLI front end.
+"""
+
+from repro.check.protocol.fs import ModelFS
+from repro.check.protocol.model import (
+    MUTANT_MODELS,
+    ProtocolModel,
+    Scenario,
+    model_split,
+)
+from repro.check.protocol.checker import (
+    ProtocolCheckResult,
+    Violation,
+    check_protocol,
+)
+from repro.check.protocol.trace import Step, render_trace
+from repro.check.protocol.effects import (
+    EffectRecord,
+    ProtocolFinding,
+    check_effects,
+    extract_effects,
+)
+
+__all__ = [
+    "ModelFS",
+    "MUTANT_MODELS",
+    "ProtocolModel",
+    "Scenario",
+    "model_split",
+    "ProtocolCheckResult",
+    "Violation",
+    "check_protocol",
+    "Step",
+    "render_trace",
+    "EffectRecord",
+    "ProtocolFinding",
+    "check_effects",
+    "extract_effects",
+]

@@ -1,0 +1,569 @@
+"""Explicit-state exploration of the queue protocol model.
+
+The checker runs a depth-first search over every interleaving of the
+operation machines in :mod:`repro.check.protocol.model`, bounded by the
+number of operations *started* (``depth``).  Starting an operation
+applies its first atomic effect in the same instant its preconditions
+are read, so enabledness is never stale; advancing an in-flight
+operation is free, so a schedule of N started ops explores all of its
+effect-level interleavings.
+
+Crash injection: with ``crash=True`` every distinct reachable
+filesystem state is treated as a potential crash point — all in-memory
+actor state is dropped and the deterministic *recovery drain* runs:
+
+1. ``recover_splits`` until no ``.splitting`` residue has a plan,
+2. expire every outstanding lease, then ``release_expired``,
+3. (submit phase only) resubmit the campaign — the documented resume
+   path for a crash *during* submission,
+4. a single drain worker claims and completes pending shards to
+   quiescence.
+
+The drained state must satisfy the protocol's safety invariants:
+
+- **Q310** — no shard lost: every campaign shard reaches ``done/``.
+- **Q311** — no double consumption: each unit's result is merged once.
+- **Q312** — no unrecoverable residue: recovery leaves no ``.splitting``
+  or leased spec behind and always quiesces.
+- **Q313** — split replay determinism: recorded splits re-derive the
+  exact shard list a merge would consume.
+- **Q314** — schedule independence: the canonical merged table is
+  identical across every explored schedule and crash point.
+
+States are memoised on ``(filesystem, actor states, remaining
+budget)``; crash outcomes are memoised per distinct filesystem, so the
+drain runs once per reachable disk state.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.check.protocol.fs import FrozenFS, ModelFS
+from repro.check.protocol.model import (
+    Held,
+    OpState,
+    ProtocolModel,
+    Scenario,
+)
+from repro.check.protocol.trace import Cons, Step, cons_to_steps
+
+#: Iteration guard for the recovery drain; generous for model-sized
+#: campaigns — exhausting it means recovery does not quiesce (Q312).
+DRAIN_BOUND = 200
+
+_WorkerState = tuple[OpState | None, Held | None]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation with its replayable schedule."""
+
+    code: str
+    message: str
+    phase: str
+    trace: tuple[Step, ...]
+    recovery: tuple[str, ...] = ()
+
+
+@dataclass
+class ProtocolCheckResult:
+    """Outcome and exploration statistics of one protocol check."""
+
+    model: str
+    depth: int
+    workers: int
+    crash: bool
+    states: int = 0
+    transitions: int = 0
+    outcomes: int = 0
+    merged_variants: int = 0
+    wall_seconds: float = 0.0
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def codes(self) -> tuple[str, ...]:
+        return tuple(sorted({v.code for v in self.violations}))
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "model": self.model,
+            "depth": self.depth,
+            "workers": self.workers,
+            "crash": self.crash,
+            "states": self.states,
+            "transitions": self.transitions,
+            "outcomes": self.outcomes,
+            "merged_variants": self.merged_variants,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "ok": self.ok,
+            "violation_codes": list(self.codes()),
+        }
+
+
+class _Explorer:
+    def __init__(
+        self,
+        model: ProtocolModel,
+        *,
+        depth: int,
+        workers: int,
+        crash: bool,
+        max_states: int | None,
+    ) -> None:
+        self.model = model
+        self.scenario = model.scenario
+        self.depth = depth
+        self.workers = workers
+        self.crash = crash
+        self.max_states = max_states
+        self.result = ProtocolCheckResult(
+            model=model.name, depth=depth, workers=workers, crash=crash
+        )
+        self._violations: dict[str, Violation] = {}
+        self._outcome_seen: set[tuple[str, FrozenFS]] = set()
+        self._merged: dict[tuple, tuple[str, tuple[Step, ...]]] = {}
+        self.truncated = False
+
+    # -- public ------------------------------------------------------------
+
+    def run(self, include_submit: bool = True) -> ProtocolCheckResult:
+        started = time.perf_counter()
+        self._explore("run")
+        if include_submit:
+            self._explore("submit")
+        self._finalize_determinism()
+        self.result.violations = [
+            self._violations[c] for c in sorted(self._violations)
+        ]
+        self.result.merged_variants = len(self._merged)
+        self.result.wall_seconds = time.perf_counter() - started
+        return self.result
+
+    # -- search ------------------------------------------------------------
+
+    def _initial_fs(self, phase: str) -> ModelFS:
+        fs = ModelFS()
+        if phase == "run":
+            self._run_op(fs, "sub", "submit", ())
+        return fs
+
+    def _explore(self, phase: str) -> None:
+        model = self.model
+        idle: _WorkerState = (None, None)
+        init_state = (
+            self._initial_fs(phase).freeze(),
+            tuple(idle for _ in range(self.workers)),
+            idle,
+            "ready" if phase == "submit" else None,
+        )
+        memo: dict[tuple, int] = {}
+        stack: list[tuple[tuple, int, Cons]] = [(init_state, self.depth, None)]
+        while stack:
+            state, remaining, trace = stack.pop()
+            best = memo.get(state)
+            if best is not None and best >= remaining:
+                continue
+            memo[state] = remaining
+            if self.max_states and len(memo) > self.max_states:
+                self.truncated = True
+                break
+            fsf, wstates, rstate, sstate = state
+            if self.crash:
+                self._evaluate(phase, fsf, trace)
+            successors = self._successors(
+                phase, fsf, wstates, rstate, sstate, remaining, trace
+            )
+            if not successors:
+                if not self.crash:
+                    self._evaluate(phase, fsf, trace)
+                continue
+            self.result.transitions += len(successors)
+            stack.extend(successors)
+        self.result.states += len(memo)
+
+    def _successors(
+        self,
+        phase: str,
+        fsf: FrozenFS,
+        wstates: tuple[_WorkerState, ...],
+        rstate: _WorkerState,
+        sstate: object,
+        remaining: int,
+        trace: Cons,
+    ) -> list[tuple[tuple, int, Cons]]:
+        model = self.model
+        succs: list[tuple[tuple, int, Cons]] = []
+
+        def push(
+            actor: str,
+            opstate: OpState,
+            held: Held | None,
+            slot: tuple[str, int],
+            cost: int,
+        ) -> None:
+            fs = ModelFS.thaw(fsf)
+            res = model.step(fs, actor, opstate)
+            if res.held is None:
+                new_held = held
+            elif res.held[0] == "set":
+                new_held = res.held[1]
+            else:
+                new_held = None
+            new_w = list(wstates)
+            new_r = rstate
+            new_s = sstate
+            kind, idx = slot
+            if kind == "w":
+                new_w[idx] = (res.next, new_held)
+            elif kind == "r":
+                new_r = (res.next, new_held)
+            elif kind == "s":
+                new_s = res.next
+            succs.append(
+                (
+                    (fs.freeze(), tuple(new_w), new_r, new_s),
+                    remaining - cost,
+                    (Step(actor, res.label), trace),
+                )
+            )
+
+        # Advance in-flight operations (free: steps within an op don't
+        # count against the start budget).
+        for i, (op, held) in enumerate(wstates):
+            if op is not None:
+                push(f"w{i}", op, held, ("w", i), 0)
+        if rstate[0] is not None:
+            push("rb", rstate[0], rstate[1], ("r", 0), 0)
+        if isinstance(sstate, OpState):
+            push("sub", sstate, None, ("s", 0), 0)
+
+        if remaining <= 0:
+            return succs
+
+        fs0 = ModelFS.thaw(fsf)
+        pending = [
+            (p.split("/", 1)[1], fs0.read(p))
+            for p in fs0.sorted_under("pending/")
+            if not p.endswith(".splitting")
+        ]
+        release_plan = model.release_plan(fs0)
+
+        # Idle workers are interchangeable: only the lowest-indexed one
+        # may start an operation (symmetry reduction).
+        idle_workers = [
+            i for i, (op, held) in enumerate(wstates)
+            if op is None and held is None
+        ]
+        if idle_workers:
+            i = idle_workers[0]
+            for sid, _spec in pending:
+                push(f"w{i}", OpState("claim", 0, (sid,)), None, ("w", i), 1)
+            if release_plan:
+                push(
+                    f"w{i}",
+                    OpState("release_expired", 0, release_plan),
+                    None,
+                    ("w", i),
+                    1,
+                )
+        for i, (op, held) in enumerate(wstates):
+            if op is None and held is not None:
+                push(f"w{i}", OpState("complete", 0, held), held, ("w", i), 1)
+                push(f"w{i}", OpState("fail", 0, held), held, ("w", i), 1)
+
+        r_op, r_held = rstate
+        if r_op is None and r_held is None:
+            for sid, spec in pending:
+                if spec is not None and len(spec[2]) >= 2:
+                    push("rb", OpState("begin_split", 0, (sid,)), None, ("r", 0), 1)
+            if release_plan:
+                push(
+                    "rb",
+                    OpState("release_expired", 0, release_plan),
+                    None,
+                    ("r", 0),
+                    1,
+                )
+            recover_plan = model.recover_plan(fs0)
+            if recover_plan:
+                push(
+                    "rb",
+                    OpState("recover_splits", 0, recover_plan),
+                    None,
+                    ("r", 0),
+                    1,
+                )
+        elif r_op is None and r_held is not None:
+            sid, units, attempts = r_held
+            push(
+                "rb",
+                OpState(
+                    "commit_split",
+                    0,
+                    (sid, units, attempts, self.scenario.split_parts),
+                ),
+                r_held,
+                ("r", 0),
+                1,
+            )
+            push("rb", OpState("abort_split", 0, (sid,)), r_held, ("r", 0), 1)
+
+        if sstate == "ready":
+            fs = ModelFS.thaw(fsf)
+            res = model.step(fs, "sub", OpState("submit", 0, ()))
+            succs.append(
+                (
+                    (fs.freeze(), wstates, rstate, res.next),
+                    remaining - 1,
+                    (Step("sub", res.label), trace),
+                )
+            )
+
+        # The adversarial clock: any live lease may time out.
+        for path in fs0.sorted_under("leased/"):
+            if path.endswith(".lease"):
+                record = fs0.read(path)
+                if record is not None and not record[2]:
+                    sid = path.split("/", 1)[1][: -len(".lease")]
+                    fs = ModelFS.thaw(fsf)
+                    res = self.model.step(
+                        fs, "clock", OpState("expire", 0, (sid,))
+                    )
+                    succs.append(
+                        (
+                            (fs.freeze(), wstates, rstate, sstate),
+                            remaining - 1,
+                            (Step("clock", res.label), trace),
+                        )
+                    )
+        return succs
+
+    # -- crash recovery drain ---------------------------------------------
+
+    def _run_op(
+        self, fs: ModelFS, actor: str, op: str, data: tuple
+    ) -> tuple[Held | None, list[str]]:
+        state: OpState | None = OpState(op, 0, data)
+        held: Held | None = None
+        labels: list[str] = []
+        while state is not None:
+            res = self.model.step(fs, actor, state)
+            labels.append(res.label)
+            if res.held is not None:
+                held = res.held[1] if res.held[0] == "set" else None
+            state = res.next
+        return held, labels
+
+    def _drain(self, fs: ModelFS, resubmit: bool) -> tuple[list[str], bool]:
+        model = self.model
+        labels: list[str] = []
+        resubmitted = not resubmit
+        for _ in range(DRAIN_BOUND):
+            plan = model.recover_plan(fs)
+            if plan:
+                labels.append("drain: recover_splits")
+                labels.extend(self._run_op(fs, "rb", "recover_splits", plan)[1])
+                continue
+            expired_any = False
+            for path in fs.sorted_under("leased/"):
+                if path.endswith(".lease"):
+                    record = fs.read(path)
+                    if record is not None and not record[2]:
+                        fs.write(path, ("lease", record[1], True))
+                        expired_any = True
+            if expired_any:
+                labels.append("drain: expire outstanding leases")
+            release_plan = model.release_plan(fs)
+            if release_plan:
+                labels.append("drain: release_expired")
+                labels.extend(
+                    self._run_op(fs, "rb", "release_expired", release_plan)[1]
+                )
+                continue
+            if not resubmitted:
+                resubmitted = True
+                labels.append("drain: resubmit campaign (resume path)")
+                labels.extend(self._run_op(fs, "sub", "submit", ())[1])
+                continue
+            pending = [
+                p for p in fs.sorted_under("pending/")
+                if not p.endswith(".splitting")
+            ]
+            if pending:
+                sid = pending[0].split("/", 1)[1]
+                held, claim_labels = self._run_op(
+                    fs, "drain", "claim", (sid,)
+                )
+                labels.extend(claim_labels)
+                if held is not None:
+                    labels.extend(
+                        self._run_op(fs, "drain", "complete", held)[1]
+                    )
+                continue
+            return labels, True
+        return labels, False
+
+    # -- invariants --------------------------------------------------------
+
+    def _evaluate(self, phase: str, fsf: FrozenFS, trace: Cons) -> None:
+        key = (phase, fsf)
+        if key in self._outcome_seen:
+            return
+        self._outcome_seen.add(key)
+        self.result.outcomes += 1
+
+        model = self.model
+        fs = ModelFS.thaw(fsf)
+        steps = cons_to_steps(trace)
+        drain_labels, quiesced = self._drain(fs, resubmit=(phase == "submit"))
+        recovery = tuple(drain_labels)
+
+        def record(code: str, message: str) -> None:
+            if code not in self._violations:
+                self._violations[code] = Violation(
+                    code=code,
+                    message=message,
+                    phase=phase,
+                    trace=steps,
+                    recovery=recovery,
+                )
+
+        if not quiesced:
+            record("Q312", "recovery drain did not quiesce (livelock/stall)")
+            return
+
+        shards, splits = model.read_campaign(fs)
+        if not shards:
+            record("Q310", "no campaign record survives recovery")
+            return
+
+        residue = [
+            p
+            for p in fs.sorted_under("pending/")
+            if p.endswith(".splitting")
+        ] + [
+            p
+            for p in fs.sorted_under("leased/")
+            if not p.endswith(".lease")
+        ]
+        if residue:
+            record(
+                "Q312",
+                "unrecoverable residue after drain: " + ", ".join(residue),
+            )
+
+        poisoned = {
+            sid for sid in shards if fs.exists(model.poison(sid))
+        }
+        missing = [
+            sid
+            for sid in shards
+            if sid not in poisoned and not fs.exists(model.done(sid))
+        ]
+        if missing:
+            record(
+                "Q310",
+                "shard(s) lost — in campaign but never done: "
+                + ", ".join(missing),
+            )
+
+        expanded = model.expand(self.scenario.shards, splits)
+        if expanded is None:
+            record(
+                "Q313",
+                "recorded split does not replay deterministically "
+                "(re-derived children differ from the split record)",
+            )
+        elif tuple(sid for sid, _u in expanded) != tuple(shards):
+            record(
+                "Q313",
+                "campaign shard list diverges from deterministic split "
+                f"replay: {list(shards)} vs {[s for s, _ in expanded]}",
+            )
+
+        if missing or poisoned:
+            return
+
+        counts: dict[str, int] = {}
+        merged: list[tuple[str, tuple]] = []
+        for sid in shards:
+            result = fs.read(model.done(sid))
+            if result is None:
+                continue
+            _tag, _sid, _units, payload = result
+            for unit, value in payload:
+                counts[unit] = counts.get(unit, 0) + 1
+                merged.append((unit, value))
+        duplicated = sorted(u for u, n in counts.items() if n > 1)
+        if duplicated:
+            record(
+                "Q311",
+                "unit(s) consumed more than once by the merge: "
+                + ", ".join(duplicated),
+            )
+        absent = sorted(set(self.scenario.all_units) - set(counts))
+        if absent:
+            record(
+                "Q310",
+                "unit(s) missing from the merged table: " + ", ".join(absent),
+            )
+        if not duplicated and not absent:
+            merged_key = tuple(sorted(merged))
+            self._merged.setdefault(merged_key, (phase, steps))
+
+    def _finalize_determinism(self) -> None:
+        if len(self._merged) <= 1 or "Q314" in self._violations:
+            return
+        (key_a, (phase_a, trace_a)), (key_b, (_phase_b, trace_b)) = sorted(
+            self._merged.items()
+        )[:2]
+        diff = sorted(set(key_a) ^ set(key_b))
+        self._violations["Q314"] = Violation(
+            code="Q314",
+            message=(
+                "merged table depends on the schedule: "
+                f"{len(self._merged)} distinct outcomes; first differing "
+                f"cells: {diff[:4]} (second schedule: "
+                + "; ".join(s.label for s in trace_b[-4:])
+                + ")"
+            ),
+            phase=phase_a,
+            trace=trace_a,
+            recovery=(),
+        )
+
+
+def check_protocol(
+    model: ProtocolModel | None = None,
+    *,
+    scenario: Scenario | None = None,
+    depth: int = 5,
+    workers: int = 2,
+    crash: bool = True,
+    include_submit: bool = True,
+    max_states: int | None = None,
+) -> ProtocolCheckResult:
+    """Exhaustively check the queue protocol model.
+
+    Explores every interleaving of up to ``depth`` started operations
+    across ``workers`` concurrent workers plus a rebalancer, a
+    submitter (in the submit phase) and an adversarial lease clock,
+    with a crash injected at every reachable filesystem state when
+    ``crash`` is set.  Returns a :class:`ProtocolCheckResult` whose
+    ``violations`` is empty exactly when all safety invariants hold.
+    """
+    if model is None:
+        model = ProtocolModel(scenario)
+    explorer = _Explorer(
+        model,
+        depth=depth,
+        workers=workers,
+        crash=crash,
+        max_states=max_states,
+    )
+    return explorer.run(include_submit=include_submit)

@@ -1,0 +1,570 @@
+"""Static filesystem-effect extraction for the queue protocol.
+
+Walks the AST of the :mod:`repro.dist` protocol modules and derives,
+for each function, the ordered sequence of atomic filesystem effects it
+performs — renames, :mod:`repro.store` atomic writes, O_APPEND appends
+and unlinks — with each touched path resolved to a protocol *role*
+(``pending``, ``leased``, ``lease``, ``done``, ``poison``,
+``splitting``, ``campaign``).  The derived sequences are matched
+against the declared spec in :mod:`repro.dist.effects`, yielding stable
+diagnostics:
+
+- **Q301** — a declared protocol method is missing from the source.
+- **Q302** — an effect the spec does not declare (including *any*
+  direct effect in ``repro.dist.rebalance``, which must act only
+  through the queue API).
+- **Q303** — a declared, non-optional effect is missing.
+- **Q304** — effects out of declared order (e.g. a rename moved past a
+  commit point).
+- **Q305** — a non-atomic write primitive (``open(.., "w")``,
+  ``write_text``, ...) in a protocol module.
+- **Q306** — an effect on a path whose role cannot be resolved.
+
+Role resolution is a tiny abstract interpreter over each function body:
+assignments propagate role sets, branches union them (``fail``'s
+pending-or-poison target), same-class helper calls are inlined
+(``commit_split`` absorbs ``_enqueue_children``), and ``Lease``
+method calls collapse to their declared lease-file effects.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+from dataclasses import dataclass
+
+from repro.dist.effects import PROTOCOL_SPEC, DeclaredEffect
+
+#: repro.store primitives → effect kind.
+_WRITE_FUNCS = {
+    "atomic_write",
+    "atomic_write_bytes",
+    "atomic_savez",
+    "save_verified_npz",
+}
+_APPEND_FUNCS = {"atomic_append_line"}
+#: ``Lease`` methods and their summarized effect on the lease file.
+_LEASE_SUMMARY = {
+    "acquire": "write",
+    "_write": "write",
+    "renew": "write",
+    "maybe_renew": "write",
+    "release": "unlink",
+}
+_RAW_WRITE_ATTRS = {"write_text", "write_bytes"}
+
+
+@dataclass(frozen=True)
+class EffectRecord:
+    """One extracted effect: kind, resolved roles, source line."""
+
+    kind: str  # "write" | "append" | "unlink" | "rename" | "raw_write"
+    roles: frozenset[str]
+    line: int
+
+    def __str__(self) -> str:
+        roles = "|".join(sorted(self.roles)) or "?"
+        return f"{self.kind}[{roles}]@{self.line}"
+
+
+@dataclass(frozen=True)
+class ProtocolFinding:
+    """One static protocol-spec violation."""
+
+    code: str
+    qualname: str
+    message: str
+    path: str
+    line: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.code} [{self.qualname}] "
+            f"{self.message}"
+        )
+
+
+# -- role resolution -------------------------------------------------------
+
+_DIR_ROLES = {
+    "pending_dir": "pending",
+    "leased_dir": "leased",
+    "done_dir": "done",
+    "poison_dir": "poison",
+    "campaign_path": "campaign",
+    "root": "root",
+}
+_CALL_ROLES = {
+    "splitting_path": "splitting",
+    "result_path": "done",
+}
+
+
+def _literal_text(node: ast.AST) -> str:
+    """Concatenated literal fragments and referenced constant names."""
+    parts: list[str] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            parts.append(sub.value)
+        elif isinstance(sub, ast.Name):
+            parts.append(sub.id)
+    return "".join(parts)
+
+
+class _RoleResolver:
+    def __init__(
+        self, cls_name: str | None, env: dict[str, frozenset[str]]
+    ) -> None:
+        self.cls_name = cls_name
+        self.env = env
+
+    def roles(self, node: ast.AST) -> frozenset[str]:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, frozenset())
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                role = _DIR_ROLES.get(node.attr)
+                if role:
+                    return frozenset({role})
+                if node.attr == "path" and self.cls_name == "Lease":
+                    return frozenset({"lease"})
+                return frozenset()
+            # ``path.name`` / ``path.stem``: same file, same role.
+            if node.attr in {"name", "stem"}:
+                return self.roles(node.value)
+            return frozenset()
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                    and func.attr in _CALL_ROLES
+                ):
+                    return frozenset({_CALL_ROLES[func.attr]})
+                if func.attr == "glob" and node.args:
+                    base = self.roles(func.value)
+                    pattern = _literal_text(node.args[0])
+                    if "SPLITTING_SUFFIX" in pattern or ".splitting" in pattern:
+                        return frozenset({"splitting"})
+                    return base
+            if isinstance(func, ast.Name):
+                if func.id in {"Path", "sorted"} and node.args:
+                    return self.roles(node.args[0])
+            return frozenset()
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            left = self.roles(node.left)
+            text = _literal_text(node.right)
+            if "SPLITTING_SUFFIX" in text or ".splitting" in text:
+                return frozenset({"splitting"})
+            if ".lease" in text:
+                return frozenset({"lease"})
+            if "CAMPAIGN_NAME" in text or "campaign.json" in text:
+                return frozenset({"campaign"})
+            return left - {"root"}
+        if isinstance(node, ast.Tuple):
+            out: frozenset[str] = frozenset()
+            for element in node.elts:
+                out = out | self.roles(element)
+            return out
+        return frozenset()
+
+
+# -- extraction ------------------------------------------------------------
+
+
+class _FunctionExtractor:
+    """Extract one function's ordered effect sequence (helpers inlined)."""
+
+    def __init__(
+        self,
+        cls_name: str | None,
+        class_methods: dict[str, ast.FunctionDef],
+        visiting: frozenset[str],
+    ) -> None:
+        self.cls_name = cls_name
+        self.class_methods = class_methods
+        self.visiting = visiting
+        self.env: dict[str, frozenset[str]] = {}
+        self.resolver = _RoleResolver(cls_name, self.env)
+        self.effects: list[EffectRecord] = []
+
+    def run(self, node: ast.FunctionDef) -> list[EffectRecord]:
+        for statement in node.body:
+            self._visit(statement)
+        return self.effects
+
+    # statements ----------------------------------------------------------
+
+    def _visit(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            self._scan_expr(node.value)
+            if len(node.targets) == 1 and isinstance(
+                node.targets[0], ast.Name
+            ):
+                self.env[node.targets[0].id] = self.resolver.roles(node.value)
+            return
+        if isinstance(node, ast.AnnAssign) and node.value is not None:
+            self._scan_expr(node.value)
+            if isinstance(node.target, ast.Name):
+                self.env[node.target.id] = self.resolver.roles(node.value)
+            return
+        if isinstance(node, ast.Expr):
+            self._scan_expr(node.value)
+            return
+        if isinstance(node, ast.For):
+            iter_roles = self.resolver.roles(node.iter)
+            if isinstance(node.target, ast.Name):
+                self.env[node.target.id] = iter_roles
+            for statement in node.body:
+                self._visit(statement)
+            for statement in node.orelse:
+                self._visit(statement)
+            return
+        if isinstance(node, ast.If):
+            before = dict(self.env)
+            for statement in node.body:
+                self._visit(statement)
+            body_env = self.env
+            self.env = dict(before)
+            self.resolver.env = self.env
+            for statement in node.orelse:
+                self._visit(statement)
+            # Branch envs merge by union: a variable assigned a
+            # different role per branch carries both (fail's target).
+            for name, roles in body_env.items():
+                self.env[name] = self.env.get(name, frozenset()) | roles
+            self.resolver.env = self.env
+            return
+        if isinstance(node, ast.Try):
+            for statement in node.body:
+                self._visit(statement)
+            for handler in node.handlers:
+                for statement in handler.body:
+                    self._visit(statement)
+            for statement in node.orelse + node.finalbody:
+                self._visit(statement)
+            return
+        if isinstance(node, (ast.While, ast.With)):
+            body = node.body
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    self._scan_expr(item.context_expr)
+            for statement in body:
+                self._visit(statement)
+            return
+        if isinstance(node, ast.Return) and node.value is not None:
+            self._scan_expr(node.value)
+            return
+        # Remaining statement kinds carry no filesystem effects.
+
+    # expressions ----------------------------------------------------------
+
+    def _scan_expr(self, node: ast.expr) -> None:
+        for call in [
+            sub for sub in ast.walk(node) if isinstance(sub, ast.Call)
+        ]:
+            self._scan_call(call)
+
+    def _emit(self, kind: str, roles: frozenset[str], line: int) -> None:
+        self.effects.append(EffectRecord(kind=kind, roles=roles, line=line))
+
+    def _scan_call(self, node: ast.Call) -> None:
+        func = node.func
+        # repro.store atomic writes / appends.
+        if isinstance(func, ast.Name):
+            if func.id in _WRITE_FUNCS and node.args:
+                self._emit(
+                    "write", self.resolver.roles(node.args[0]), node.lineno
+                )
+                return
+            if func.id in _APPEND_FUNCS and node.args:
+                self._emit(
+                    "append", self.resolver.roles(node.args[0]), node.lineno
+                )
+                return
+            if func.id == "open" and len(node.args) >= 2:
+                mode = node.args[1]
+                if isinstance(mode, ast.Constant) and any(
+                    ch in str(mode.value) for ch in "wax+"
+                ):
+                    self._emit("raw_write", frozenset(), node.lineno)
+                return
+        if not isinstance(func, ast.Attribute):
+            return
+        # os.rename / os.replace.
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "os"
+            and func.attr in {"rename", "replace"}
+            and len(node.args) == 2
+        ):
+            src = self.resolver.roles(node.args[0])
+            dst = self.resolver.roles(node.args[1])
+            pairs = frozenset(
+                f"{s}->{d}" for s in sorted(src) for d in sorted(dst)
+            )
+            self._emit("rename", pairs, node.lineno)
+            return
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id == "os"
+            and func.attr in {"write", "truncate"}
+        ):
+            self._emit("raw_write", frozenset(), node.lineno)
+            return
+        # path.unlink()
+        if func.attr == "unlink":
+            self._emit(
+                "unlink", self.resolver.roles(func.value), node.lineno
+            )
+            return
+        if func.attr in _RAW_WRITE_ATTRS:
+            self._emit("raw_write", frozenset(), node.lineno)
+            return
+        # Lease.acquire(...) / lease.release() / self.lease.maybe_renew():
+        # collapse to the summarized lease-file effect, except when the
+        # receiver is a same-class method (inlined below instead).
+        receiver = func.value
+        same_class = (
+            isinstance(receiver, ast.Name) and receiver.id == "self"
+        ) and func.attr in self.class_methods
+        if func.attr in _LEASE_SUMMARY and not same_class:
+            is_lease_receiver = (
+                (isinstance(receiver, ast.Name) and "lease" in receiver.id.lower())
+                or (isinstance(receiver, ast.Name) and receiver.id == "Lease")
+                or (
+                    isinstance(receiver, ast.Attribute)
+                    and "lease" in receiver.attr.lower()
+                )
+                or self.cls_name == "Lease"
+            )
+            if is_lease_receiver:
+                self._emit(
+                    "write" if _LEASE_SUMMARY[func.attr] == "write" else "unlink",
+                    frozenset({"lease"}),
+                    node.lineno,
+                )
+                return
+        # Same-class helper call: inline its effects in place.
+        if same_class and func.attr not in self.visiting:
+            inner = _FunctionExtractor(
+                self.cls_name,
+                self.class_methods,
+                self.visiting | {func.attr},
+            )
+            self.effects.extend(inner.run(self.class_methods[func.attr]))
+            return
+        # In-class helper called through a local instance (Lease.acquire
+        # does ``lease._write(now)``).
+        if (
+            func.attr in self.class_methods
+            and func.attr not in self.visiting
+            and not isinstance(receiver, ast.Name)
+        ):
+            return
+
+
+def _module_functions(
+    tree: ast.Module,
+) -> dict[str, tuple[str | None, ast.FunctionDef, dict[str, ast.FunctionDef]]]:
+    """``qualname -> (class name, node, same-class method map)``."""
+    out: dict[
+        str, tuple[str | None, ast.FunctionDef, dict[str, ast.FunctionDef]]
+    ] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if isinstance(node, ast.FunctionDef):
+                out[node.name] = (None, node, {})
+        elif isinstance(node, ast.ClassDef):
+            methods = {
+                item.name: item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+            }
+            for name, method in methods.items():
+                out[f"{node.name}.{name}"] = (node.name, method, methods)
+    return out
+
+
+def extract_effects(
+    source: str, module_name: str = "<string>"
+) -> dict[str, list[EffectRecord]]:
+    """Derive every function's ordered effect sequence from *source*."""
+    tree = ast.parse(source)
+    sequences: dict[str, list[EffectRecord]] = {}
+    for qualname, (cls_name, node, methods) in _module_functions(tree).items():
+        extractor = _FunctionExtractor(cls_name, methods, frozenset({node.name}))
+        effects = extractor.run(node)
+        if effects:
+            sequences[qualname] = effects
+    return sequences
+
+
+# -- matching --------------------------------------------------------------
+
+
+def match_effects(
+    qualname: str,
+    extracted: list[EffectRecord],
+    declared: tuple[DeclaredEffect, ...],
+    path: str,
+) -> list[ProtocolFinding]:
+    """Match one extracted sequence against its declared slots."""
+    findings: list[ProtocolFinding] = []
+    position = 0
+    consumed: set[int] = set()
+
+    def matches(slot: DeclaredEffect, effect: EffectRecord) -> bool:
+        return slot.kind == effect.kind and effect.roles <= slot.roles
+
+    for effect in extracted:
+        if effect.kind == "raw_write":
+            findings.append(
+                ProtocolFinding(
+                    code="Q305",
+                    qualname=qualname,
+                    message="non-atomic write primitive in a protocol "
+                    "method (use repro.store atomic helpers)",
+                    path=path,
+                    line=effect.line,
+                )
+            )
+            continue
+        if not effect.roles:
+            findings.append(
+                ProtocolFinding(
+                    code="Q306",
+                    qualname=qualname,
+                    message=f"cannot resolve the path role of {effect}",
+                    path=path,
+                    line=effect.line,
+                )
+            )
+            continue
+        slot_index = next(
+            (
+                j
+                for j in range(position, len(declared))
+                if matches(declared[j], effect)
+            ),
+            None,
+        )
+        if slot_index is None:
+            earlier = next(
+                (
+                    j
+                    for j in range(position)
+                    if matches(declared[j], effect)
+                ),
+                None,
+            )
+            if earlier is not None:
+                findings.append(
+                    ProtocolFinding(
+                        code="Q304",
+                        qualname=qualname,
+                        message=(
+                            f"effect {effect} out of declared order: it "
+                            f"belongs before slot {position} "
+                            "(a rename/write moved past a commit point?)"
+                        ),
+                        path=path,
+                        line=effect.line,
+                    )
+                )
+                consumed.add(earlier)
+            else:
+                findings.append(
+                    ProtocolFinding(
+                        code="Q302",
+                        qualname=qualname,
+                        message=f"undeclared filesystem effect {effect}",
+                        path=path,
+                        line=effect.line,
+                    )
+                )
+            continue
+        consumed.add(slot_index)
+        position = slot_index if declared[slot_index].repeat else slot_index + 1
+    for j, slot in enumerate(declared):
+        if j not in consumed and not slot.optional:
+            roles = "|".join(sorted(slot.roles))
+            findings.append(
+                ProtocolFinding(
+                    code="Q303",
+                    qualname=qualname,
+                    message=(
+                        f"declared effect {slot.kind}[{roles}] (slot {j}) "
+                        "is missing from the implementation"
+                    ),
+                    path=path,
+                    line=extracted[-1].line if extracted else 0,
+                )
+            )
+    return findings
+
+
+def check_effects(
+    spec: dict[str, dict[str, tuple[DeclaredEffect, ...]]] | None = None,
+    *,
+    sources: dict[str, tuple[str, str]] | None = None,
+) -> list[ProtocolFinding]:
+    """Check protocol modules against the declared effect spec.
+
+    *sources* maps module name to ``(source text, display path)`` and
+    defaults to the live source of each module in the spec — the
+    mutation tests pass doctored sources instead.
+    """
+    spec = PROTOCOL_SPEC if spec is None else spec
+    findings: list[ProtocolFinding] = []
+    for module_name, declared_methods in sorted(spec.items()):
+        if sources is not None and module_name in sources:
+            source, path = sources[module_name]
+        else:
+            module = importlib.import_module(module_name)
+            source = inspect.getsource(module)
+            path = getattr(module, "__file__", module_name) or module_name
+        sequences = extract_effects(source, module_name)
+        for qualname in sorted(declared_methods):
+            declared = declared_methods[qualname]
+            if qualname not in sequences:
+                if any(not slot.optional for slot in declared):
+                    findings.append(
+                        ProtocolFinding(
+                            code="Q301",
+                            qualname=qualname,
+                            message=(
+                                "declared protocol method is missing from "
+                                f"{module_name} (or performs no effects)"
+                            ),
+                            path=path,
+                            line=0,
+                        )
+                    )
+                continue
+            findings.extend(
+                match_effects(
+                    qualname, sequences[qualname], declared, path
+                )
+            )
+        for qualname in sorted(set(sequences) - set(declared_methods)):
+            for effect in sequences[qualname]:
+                findings.append(
+                    ProtocolFinding(
+                        code="Q305" if effect.kind == "raw_write" else "Q302",
+                        qualname=qualname,
+                        message=(
+                            "non-atomic write primitive in a protocol module"
+                            if effect.kind == "raw_write"
+                            else (
+                                f"undeclared filesystem effect {effect} in "
+                                "a method outside the protocol spec"
+                            )
+                        ),
+                        path=path,
+                        line=effect.line,
+                    )
+                )
+    return findings

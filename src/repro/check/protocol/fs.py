@@ -1,0 +1,92 @@
+"""Abstract filesystem model with POSIX atomic-effect semantics.
+
+The real queue (:mod:`repro.dist.queue`) only ever mutates disk state
+through four primitives, each of which is atomic on POSIX:
+
+- ``os.rename``/``os.replace`` within one directory — atomic, replaces
+  an existing target, fails (``OSError``) when the source is gone;
+- :func:`repro.store.atomic_write_bytes` and friends — temp + fsync +
+  rename, so a file either appears whole or not at all;
+- :func:`repro.store.atomic_append_line` — one ``O_APPEND`` write
+  syscall, so a completed append is never torn;
+- ``unlink`` — atomic removal, idempotent in the protocol (every call
+  site swallows ``OSError``).
+
+The model therefore needs no partial-file states: a crash between two
+effects leaves exactly the prefix of effects applied, which is what the
+checker's crash injection exploits.  Paths are plain strings relative to
+the queue root (``"pending/s0"``), contents are hashable tuples, and a
+whole filesystem freezes into a canonical key for state-space
+memoisation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+#: Model file content: any hashable tuple, by convention tagged with a
+#: leading kind string (``("spec", ...)``, ``("lease", ...)``, ...).
+Content = tuple
+#: Canonical, hashable snapshot of a whole model filesystem.
+FrozenFS = frozenset[tuple[str, Content]]
+
+
+class ModelFS:
+    """A dict-backed filesystem where every mutation is one atomic step."""
+
+    __slots__ = ("files",)
+
+    def __init__(self, files: dict[str, Content] | None = None) -> None:
+        self.files: dict[str, Content] = dict(files or {})
+
+    # -- atomic effects ----------------------------------------------------
+
+    def write(self, path: str, content: Content) -> None:
+        """Atomic create-or-replace (temp + fsync + rename collapses)."""
+        self.files[path] = content
+
+    def append(self, path: str, line: Content) -> None:
+        """O_APPEND append: the file accumulates a tuple of lines."""
+        existing = self.files.get(path, ("log",))
+        self.files[path] = existing + (line,)
+
+    def rename(self, src: str, dst: str) -> bool:
+        """Atomic rename; ``False`` mirrors the swallowed ``OSError``."""
+        if src not in self.files:
+            return False
+        self.files[dst] = self.files.pop(src)
+        return True
+
+    def unlink(self, path: str) -> bool:
+        """Atomic removal; ``False`` mirrors the swallowed ``OSError``."""
+        return self.files.pop(path, None) is not None
+
+    # -- reads (free: no effect boundary) ----------------------------------
+
+    def read(self, path: str) -> Content | None:
+        return self.files.get(path)
+
+    def exists(self, path: str) -> bool:
+        return path in self.files
+
+    def sorted_under(self, prefix: str) -> list[str]:
+        """Paths under *prefix*, sorted (the protocol always sorts globs)."""
+        return sorted(p for p in self.files if p.startswith(prefix))
+
+    def iter_items(self) -> Iterator[tuple[str, Content]]:
+        return iter(sorted(self.files.items()))
+
+    # -- snapshots ---------------------------------------------------------
+
+    def clone(self) -> "ModelFS":
+        return ModelFS(self.files)
+
+    def freeze(self) -> FrozenFS:
+        return frozenset(self.files.items())
+
+    @classmethod
+    def thaw(cls, frozen: FrozenFS) -> "ModelFS":
+        return cls(dict(frozen))
+
+    def __repr__(self) -> str:
+        return f"ModelFS({len(self.files)} files)"

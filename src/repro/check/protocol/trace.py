@@ -1,0 +1,56 @@
+"""Counterexample traces as replayable operation schedules."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, NamedTuple, Optional, TypeAlias
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.check.protocol.checker import Violation
+
+
+class Step(NamedTuple):
+    """One scheduled atomic effect: which actor did what."""
+
+    actor: str
+    label: str
+
+
+#: Shared-prefix cons list of steps: ``None`` or ``(step, parent)``.
+Cons: TypeAlias = Optional[tuple[Step, "Cons"]]
+
+
+def cons_to_steps(trace: Cons) -> tuple[Step, ...]:
+    """Unwind the checker's shared-prefix cons list into step order."""
+    steps: list[Step] = []
+    node = trace
+    while node is not None:
+        step, node = node
+        steps.append(step)
+    steps.reverse()
+    return tuple(steps)
+
+
+def render_trace(violation: "Violation") -> str:
+    """Render a violation as a numbered, replayable schedule.
+
+    The schedule section lists the atomic effects in the order the
+    checker executed them; replaying them against a real tmpdir queue
+    (and stopping at the crash marker) reproduces the violating disk
+    state, which is exactly how the counterexample regression tests in
+    ``tests/test_check_protocol_replay.py`` are built.
+    """
+    lines = [
+        f"{violation.code} [{violation.phase} phase]: {violation.message}",
+        "  schedule:",
+    ]
+    if violation.trace:
+        for i, step in enumerate(violation.trace, start=1):
+            lines.append(f"    {i:2d}. [{step.actor}] {step.label}")
+    else:
+        lines.append("     (empty — violated in the initial state)")
+    lines.append("    -- crash: all in-memory state lost --")
+    if violation.recovery:
+        lines.append("  recovery drain:")
+        for label in violation.recovery:
+            lines.append(f"    - {label}")
+    return "\n".join(lines)

@@ -16,7 +16,17 @@ Three subcommands:
   non-reference kernel backend against the exact engine; ``--ops``
   runs the op_db per-kernel suite (:func:`repro.check.run_op_conformance`)
   over every op kind on every available backend instead.
-- ``repro-check rules`` — print the rule catalogue (both passes).
+- ``repro-check protocol`` — verify the distributed queue protocol:
+  the static filesystem-effect pass (Q301–Q306) over the real
+  ``repro.dist`` source, then the crash-interleaving model checker
+  (Q310–Q314) exploring every schedule of ``--workers`` concurrent
+  workers up to ``--depth`` started operations, with a crash injected
+  at every effect boundary unless ``--no-crash``.  Counterexamples are
+  rendered as replayable operation schedules.  ``--mutants`` also runs
+  the mutation harness (each seeded protocol bug must be caught with
+  its expected Q-code).  ``--timings-out`` records state-space size
+  and wall time.
+- ``repro-check rules`` — print the rule catalogue (all passes).
 """
 
 from __future__ import annotations
@@ -27,7 +37,7 @@ import sys
 import time
 from pathlib import Path
 
-from repro.check import LINT_RULES, PLAN_RULES, verify_plan
+from repro.check import LINT_RULES, PLAN_RULES, PROTOCOL_RULES, verify_plan
 from repro.check.baseline import load_baseline, new_findings, save_baseline
 from repro.check.lint import lint_paths
 from repro.models import MODELS, create_model
@@ -139,6 +149,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the op_db per-kernel conformance suite instead of the "
         "model-level engine suite (covers every op kind on every "
         "available backend, or just --backend when given)",
+    )
+
+    protocol = sub.add_parser(
+        "protocol",
+        help="model-check the distributed queue protocol and lint its "
+        "filesystem effects",
+    )
+    protocol.add_argument(
+        "--depth",
+        type=int,
+        default=5,
+        help="operations started per explored schedule (default: 5)",
+    )
+    protocol.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent model workers (default: 2)",
+    )
+    protocol.add_argument(
+        "--crash",
+        dest="crash",
+        action="store_true",
+        default=True,
+        help="inject a crash at every effect boundary (default: on)",
+    )
+    protocol.add_argument(
+        "--no-crash",
+        dest="crash",
+        action="store_false",
+        help="disable crash injection (interleavings only)",
+    )
+    protocol.add_argument(
+        "--mutants",
+        action="store_true",
+        help="also run the mutation harness: each seeded protocol bug "
+        "must produce its expected Q-code",
+    )
+    protocol.add_argument(
+        "--timings-out",
+        metavar="JSON",
+        default=None,
+        help="write explored-state counts and wall time to this file",
     )
 
     sub.add_parser("rules", help="print the rule catalogue")
@@ -296,6 +349,75 @@ def _cmd_conform_ops(args) -> int:
     return 0
 
 
+def _cmd_protocol(args) -> int:
+    from repro.check.protocol import (
+        MUTANT_MODELS,
+        check_effects,
+        check_protocol,
+        render_trace,
+    )
+
+    failed = False
+    findings = check_effects()
+    for finding in findings:
+        print(finding)
+    verdict = "FAIL" if findings else "ok"
+    failed = failed or bool(findings)
+    print(
+        f"{verdict:4s} effect lint: {len(findings)} finding(s) over "
+        "repro.dist.queue/lease/rebalance"
+    )
+
+    result = check_protocol(
+        depth=args.depth, workers=args.workers, crash=args.crash
+    )
+    verdict = "ok" if result.ok else "FAIL"
+    failed = failed or not result.ok
+    print(
+        f"{verdict:4s} model check: depth={result.depth} "
+        f"workers={result.workers} crash={result.crash} "
+        f"states={result.states} outcomes={result.outcomes} "
+        f"wall={result.wall_seconds:.2f}s"
+    )
+    for violation in result.violations:
+        print(render_trace(violation))
+
+    mutant_rows = []
+    if args.mutants:
+        for name in sorted(MUTANT_MODELS):
+            cls, expected = MUTANT_MODELS[name]
+            mutant = check_protocol(
+                cls(), depth=args.depth, workers=args.workers, crash=args.crash
+            )
+            caught = expected in mutant.codes()
+            verdict = "ok" if caught else "FAIL"
+            failed = failed or not caught
+            print(
+                f"{verdict:4s} mutant {name}: expected {expected}, "
+                f"got {list(mutant.codes())} "
+                f"(states={mutant.states}, wall={mutant.wall_seconds:.2f}s)"
+            )
+            mutant_rows.append(
+                {
+                    "mutant": name,
+                    "expected": expected,
+                    "caught": caught,
+                    **mutant.to_json(),
+                }
+            )
+
+    if args.timings_out:
+        payload: dict = {
+            "effect_findings": len(findings),
+            "protocol": result.to_json(),
+        }
+        if mutant_rows:
+            payload["mutants"] = mutant_rows
+        serialized = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        atomic_write_bytes(Path(args.timings_out), serialized.encode("utf-8"))
+    return 1 if failed else 0
+
+
 def _cmd_rules(args) -> int:
     print("Plan verifier (repro-check plan):")
     for rule in sorted(PLAN_RULES):
@@ -303,6 +425,9 @@ def _cmd_rules(args) -> int:
     print("\nDeterminism linter (repro-check lint):")
     for rule in sorted(LINT_RULES):
         print(f"  {rule}  {LINT_RULES[rule]}")
+    print("\nQueue-protocol checker (repro-check protocol):")
+    for rule in sorted(PROTOCOL_RULES):
+        print(f"  {rule}  {PROTOCOL_RULES[rule]}")
     return 0
 
 
@@ -310,6 +435,7 @@ _COMMANDS = {
     "plan": _cmd_plan,
     "lint": _cmd_lint,
     "conform": _cmd_conform,
+    "protocol": _cmd_protocol,
     "rules": _cmd_rules,
 }
 

@@ -19,6 +19,7 @@ import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from repro.store import atomic_write_bytes
 from repro.telemetry.events import Event
@@ -125,9 +126,11 @@ class LeaseKeeper:
 
     def __init__(self) -> None:
         self.lease: Lease | None = None
-        self._next = None
+        self._next: Callable[[Event], None] | None = None
 
-    def chain(self, next_hook):
+    def chain(
+        self, next_hook: Callable[[Event], None]
+    ) -> Callable[[Event], None]:
         # Idempotent: re-chaining the keeper onto itself (bound-method
         # equality, not identity — every attribute access builds a fresh
         # bound method) must not create a cycle.

@@ -12,6 +12,7 @@ shard was re-dispatched after a kill.
 from __future__ import annotations
 
 import os
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -32,7 +33,10 @@ class MergeError(DistError):
 
 
 def _ready_campaign(
-    queue_or_root, *, kind: str, allow_partial: bool
+    queue_or_root: ShardQueue | str | os.PathLike,
+    *,
+    kind: str,
+    allow_partial: bool,
 ) -> tuple[ShardQueue, dict]:
     queue = (
         queue_or_root
@@ -78,7 +82,9 @@ def _expected_plan_attestation(campaign: dict) -> str | None:
     return None
 
 
-def _shard_results(queue: ShardQueue, campaign: dict):
+def _shard_results(
+    queue: ShardQueue, campaign: dict
+) -> Iterator[tuple[str, dict, dict[str, np.ndarray]]]:
     """Yield each done shard's (meta, arrays), refusing foreign results."""
     expected_plan = _expected_plan_attestation(campaign)
     for shard_id in campaign["shards"]:
@@ -131,7 +137,7 @@ def _shard_results(queue: ShardQueue, campaign: dict):
 
 
 def merge_exhaustive(
-    queue_or_root,
+    queue_or_root: ShardQueue | str | os.PathLike,
     *,
     telemetry: Telemetry | None = None,
 ) -> OutcomeTable:
@@ -220,7 +226,7 @@ def merge_exhaustive(
 
 
 def merge_sampled(
-    queue_or_root,
+    queue_or_root: ShardQueue | str | os.PathLike,
     space: FaultSpace,
     *,
     telemetry: Telemetry | None = None,
@@ -270,7 +276,9 @@ def merge_sampled(
 
 
 def save_merged_table(
-    queue_or_root, path: str | os.PathLike, **kwargs
+    queue_or_root: ShardQueue | str | os.PathLike,
+    path: str | os.PathLike,
+    **kwargs: Any,
 ) -> OutcomeTable:
     """Merge an exhaustive campaign and persist the table (verified .npz)."""
     table = merge_exhaustive(queue_or_root, **kwargs)

@@ -490,6 +490,17 @@ class ShardQueue:
         Returns ``"requeued"`` or ``"poisoned"``.  The backoff doubles
         per attempt (capped), written into the spec's ``not_before`` so
         every worker observes it.
+
+        The requeue is a single atomic rename of the *leased* copy
+        (rewritten in place with the bumped attempt count first).  The
+        earlier write-pending-then-unlink-leased ordering had a lost
+        shard race, found by ``repro-check protocol``: a peer could
+        claim the freshly requeued pending copy — renaming it back to
+        ``leased/<id>.json`` — before the failing process unlinked that
+        very path, destroying the new claimer's spec file.  A rename
+        moves exactly one inode, so it can never clobber a concurrent
+        claim, and every crash point leaves the spec in ``leased/``
+        (re-dispatched by :meth:`release_expired`) or in its target.
         """
         # The backoff deadline is wall-clock by design: every worker must
         # observe the same real-time gate.  It lands in the spec's
@@ -505,10 +516,10 @@ class ShardQueue:
             outcome = "requeued"
             target = self.pending_dir / f"{spec.shard_id}.json"
         target.parent.mkdir(parents=True, exist_ok=True)
-        atomic_write_bytes(target, (updated.to_json() + "\n").encode("utf-8"))
         leased = self.leased_dir / f"{spec.shard_id}.json"
+        atomic_write_bytes(leased, (updated.to_json() + "\n").encode("utf-8"))
         try:
-            leased.unlink()
+            os.rename(leased, target)
         except OSError:
             pass
         if lease is not None:

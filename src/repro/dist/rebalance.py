@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.dist.lease import read_lease
 from repro.dist.queue import ShardQueue
-from repro.dist.spec import split_shard
+from repro.dist.spec import ShardSpec, split_shard
 from repro.telemetry import Telemetry, resolve_telemetry
 
 #: Ignore a lease's implied rate until it has been observed this long —
@@ -194,7 +194,7 @@ class Rebalancer:
         return report
 
     def _maybe_split(
-        self, spec, seconds_per_unit: float
+        self, spec: ShardSpec, seconds_per_unit: float
     ) -> tuple[str, list[str]] | None:
         units = len(spec.units)
         predicted = units * seconds_per_unit

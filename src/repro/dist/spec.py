@@ -15,6 +15,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 from repro.faults.engine import FaultInjectionEngine
 from repro.faults.space import FaultSpace
@@ -183,7 +184,12 @@ class ShardSpec:
 
 
 def _shard_id(
-    cfg_hash: str, kind: str, index: int, total: int, units, seed
+    cfg_hash: str,
+    kind: str,
+    index: int,
+    total: int,
+    units: Sequence[object],
+    seed: int | None,
 ) -> str:
     payload = json.dumps(
         [cfg_hash, kind, index, total, [list(u) if isinstance(u, tuple) else u for u in units], seed],

@@ -14,6 +14,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+from typing import Any, Callable
 from dataclasses import dataclass
 
 from repro.dist.merge import merge_exhaustive, merge_sampled
@@ -100,7 +101,7 @@ class Supervisor:
         *,
         poll_seconds: float = 0.1,
         timeout: float | None = None,
-        should_stop=None,
+        should_stop: Callable[[], bool] | None = None,
     ) -> bool:
         """Tick until the campaign completes; ``False`` on timeout/stop."""
         start = time.monotonic()
@@ -135,7 +136,7 @@ def _raise_on_poison(queue: ShardQueue) -> None:
 
 def _drain_with_local_fleet(
     queue: ShardQueue,
-    context,
+    context: ExhaustiveContext | SampledContext,
     *,
     workers: int,
     policy: RetryPolicy,
@@ -273,7 +274,7 @@ def run_sharded_exhaustive(
 
 
 def run_sharded_campaign(
-    oracle,
+    oracle: Any,
     space: FaultSpace,
     plan: CampaignPlan,
     root: str | os.PathLike,

@@ -18,6 +18,8 @@ import traceback
 
 import numpy as np
 
+from typing import Any, Callable
+
 from repro.dist.lease import Lease, LeaseKeeper
 from repro.dist.queue import ShardQueue
 from repro.dist.spec import EXHAUSTIVE, SAMPLED, DistError, ShardSpec
@@ -88,7 +90,7 @@ def resolve_heartbeat_interval(interval: float | None = None) -> float:
     return max(0.0, float(interval))
 
 
-def _plan_attestation(fingerprint: str, backend=None) -> dict:
+def _plan_attestation(fingerprint: str, backend: Any = None) -> dict:
     """Worker-side plan stamp embedded in every completed shard result.
 
     Beside the fingerprint and its verification bit, the stamp carries
@@ -117,7 +119,7 @@ def _plan_attestation(fingerprint: str, backend=None) -> dict:
     return meta
 
 
-def plan_attestation_runtime(engine) -> dict:
+def plan_attestation_runtime(engine: Any) -> dict:
     """Submit-side runtime entries pinning the verified plan's identity.
 
     Recorded alongside the campaign so that the merge can demand every
@@ -157,7 +159,10 @@ class ExhaustiveContext:
         )
 
     def run_shard(
-        self, spec: ShardSpec, telemetry: Telemetry, heartbeat
+        self,
+        spec: ShardSpec,
+        telemetry: Telemetry,
+        heartbeat: Callable[[], None],
     ) -> dict[str, np.ndarray]:
         arrays: dict[str, np.ndarray] = {}
         for unit in spec.units:
@@ -181,7 +186,9 @@ class SampledContext:
 
     kind = SAMPLED
 
-    def __init__(self, oracle, space: FaultSpace, plan: CampaignPlan) -> None:
+    def __init__(
+        self, oracle: Any, space: FaultSpace, plan: CampaignPlan
+    ) -> None:
         self.oracle = oracle
         self.space = space
         self.plan = plan
@@ -196,7 +203,10 @@ class SampledContext:
         )
 
     def run_shard(
-        self, spec: ShardSpec, telemetry: Telemetry, heartbeat
+        self,
+        spec: ShardSpec,
+        telemetry: Telemetry,
+        heartbeat: Callable[[], None],
     ) -> dict[str, np.ndarray]:
         if spec.seed is None:
             raise DistError(f"sampled shard {spec.shard_id} carries no seed")
@@ -252,7 +262,7 @@ class ShardWorker:
     def __init__(
         self,
         queue: ShardQueue,
-        context,
+        context: ExhaustiveContext | SampledContext,
         *,
         worker_id: str | None = None,
         lease_seconds: float = 30.0,
@@ -262,7 +272,7 @@ class ShardWorker:
         poll_seconds: float = 0.05,
         heartbeat_interval: float | None = None,
         telemetry: Telemetry | None = None,
-        on_unit=None,
+        on_unit: Callable[[], None] | None = None,
     ) -> None:
         self.queue = queue
         self.context = context
@@ -426,7 +436,9 @@ class ShardWorker:
         return completed
 
 
-def verify_context_config(context, config: dict) -> None:
+def verify_context_config(
+    context: ExhaustiveContext | SampledContext, config: dict
+) -> None:
     """Refuse to run shards against a mismatched campaign configuration.
 
     An exhaustive context must reproduce the submitted engine

@@ -1,0 +1,157 @@
+"""The crash-interleaving model checker over the queue protocol model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.protocol import (
+    MUTANT_MODELS,
+    ModelFS,
+    ProtocolModel,
+    Scenario,
+    check_protocol,
+    model_split,
+    render_trace,
+)
+
+#: Exploration bound the unit tests run at: deep enough to reach every
+#: mutation's characteristic violation, shallow enough to stay fast.
+#: CI additionally gates the correct protocol at a deeper bound via
+#: ``repro-check protocol`` (see .github/workflows/ci.yml).
+TEST_DEPTH = 4
+
+
+class TestModelFS:
+    def test_effects_are_atomic_and_idempotent(self):
+        fs = ModelFS()
+        fs.write("pending/a", ("spec", "a", ("u0",), 0))
+        assert fs.rename("pending/a", "leased/a")
+        assert not fs.rename("pending/a", "leased/a")  # source gone
+        assert fs.unlink("leased/a")
+        assert not fs.unlink("leased/a")
+
+    def test_freeze_thaw_roundtrip_is_canonical(self):
+        fs = ModelFS()
+        fs.write("b", ("x",))
+        fs.write("a", ("y",))
+        other = ModelFS()
+        other.write("a", ("y",))
+        other.write("b", ("x",))
+        assert fs.freeze() == other.freeze()
+        assert ModelFS.thaw(fs.freeze()).freeze() == fs.freeze()
+
+
+class TestModelSplit:
+    def test_children_partition_units(self):
+        units = ("u0", "u1", "u2", "u3", "u4")
+        children = model_split("s", units, 2)
+        got = [u for _cid, cunits in children for u in cunits]
+        assert sorted(got) == sorted(units)
+        assert len({cid for cid, _ in children}) == len(children)
+
+    def test_split_is_deterministic(self):
+        assert model_split("s", ("a", "b", "c"), 2) == model_split(
+            "s", ("a", "b", "c"), 2
+        )
+
+    def test_single_unit_shard_cannot_split(self):
+        with pytest.raises(ValueError):
+            model_split("s", ("a",), 2)
+
+
+class TestCorrectProtocol:
+    def test_no_violations_with_crashes(self):
+        result = check_protocol(depth=TEST_DEPTH, workers=2, crash=True)
+        assert result.ok, [str(v.code) for v in result.violations]
+        assert result.states > 1000
+        assert result.outcomes > 100
+        assert result.merged_variants == 1
+
+    def test_no_violations_without_crashes(self):
+        result = check_protocol(depth=TEST_DEPTH, workers=2, crash=False)
+        assert result.ok
+        # Without crash injection only quiescent terminals are drained.
+        assert result.outcomes < 1000
+
+    def test_submit_phase_explored(self):
+        solo = check_protocol(
+            depth=3, workers=1, crash=True, include_submit=False
+        )
+        both = check_protocol(
+            depth=3, workers=1, crash=True, include_submit=True
+        )
+        assert both.ok and solo.ok
+        assert both.states > solo.states
+
+    def test_result_json_shape(self):
+        result = check_protocol(depth=2, workers=1, crash=True)
+        payload = result.to_json()
+        assert payload["ok"] is True
+        assert payload["depth"] == 2
+        assert payload["states"] == result.states
+        assert payload["violation_codes"] == []
+
+    def test_max_states_truncation_is_safe(self):
+        result = check_protocol(depth=6, workers=2, max_states=500)
+        # A truncated run must never fabricate violations.
+        assert result.ok
+
+
+class TestMutationHarness:
+    """Each seeded corruption must be caught with its distinct Q-code."""
+
+    def test_registry_has_at_least_four_distinct_classes(self):
+        expected = [code for _cls, code in MUTANT_MODELS.values()]
+        assert len(MUTANT_MODELS) >= 4
+        assert len(set(expected)) == len(expected)
+
+    @pytest.mark.parametrize("name", sorted(MUTANT_MODELS))
+    def test_mutant_is_caught_with_expected_code(self, name):
+        cls, expected = MUTANT_MODELS[name]
+        result = check_protocol(
+            cls(), depth=TEST_DEPTH, workers=2, crash=True
+        )
+        assert expected in result.codes(), (
+            f"mutant {name} escaped: expected {expected}, "
+            f"got {result.codes()}"
+        )
+
+    def test_reordered_complete_needs_crash_injection(self):
+        # The unlink-before-result mutant is only unsafe across a crash:
+        # without crash injection every schedule still completes.
+        cls, _expected = MUTANT_MODELS["complete-unlink-before-result"]
+        result = check_protocol(cls(), depth=TEST_DEPTH, workers=2, crash=False)
+        assert "Q310" not in result.codes()
+
+    def test_counterexample_trace_is_replayable_schedule(self):
+        cls, expected = MUTANT_MODELS["complete-unlink-before-result"]
+        result = check_protocol(cls(), depth=TEST_DEPTH, workers=2, crash=True)
+        violation = next(v for v in result.violations if v.code == expected)
+        rendered = render_trace(violation)
+        assert expected in rendered
+        assert "schedule:" in rendered
+        assert "-- crash" in rendered
+        # The schedule names concrete actors and atomic effects.
+        assert any(step.actor.startswith("w") for step in violation.trace)
+
+    def test_tainted_result_caught_without_crash_via_fail_schedules(self):
+        # Q314 only needs two schedules with different attempt counts;
+        # a worker-initiated fail provides that even without crashes.
+        cls, _expected = MUTANT_MODELS["history-tainted-result"]
+        result = check_protocol(cls(), depth=5, workers=2, crash=False)
+        assert "Q314" in result.codes()
+
+
+class TestScenarioKnobs:
+    def test_custom_scenario_units_flow_into_merge_check(self):
+        scenario = Scenario(shards=(("only", ("x0", "x1")),))
+        result = check_protocol(
+            scenario=scenario, depth=3, workers=1, crash=True
+        )
+        assert result.ok
+
+    def test_model_name_round_trips_into_result(self):
+        result = check_protocol(
+            ProtocolModel(Scenario()), depth=2, workers=1
+        )
+        assert result.model == "correct"

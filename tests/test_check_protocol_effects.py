@@ -1,0 +1,218 @@
+"""The static filesystem-effect pass over the real queue source."""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.check.protocol import check_effects, extract_effects
+from repro.dist.effects import PROTOCOL_SPEC, DeclaredEffect
+
+
+def _codes(findings):
+    return sorted({f.code for f in findings})
+
+
+class TestRealSource:
+    def test_protocol_modules_match_declared_spec(self):
+        findings = check_effects()
+        assert findings == [], [str(f) for f in findings]
+
+    def test_extraction_derives_claim_sequence(self):
+        import repro.dist.queue as queue_module
+
+        sequences = extract_effects(inspect.getsource(queue_module))
+        claim = [(e.kind, sorted(e.roles)) for e in sequences["ShardQueue.claim"]]
+        assert claim == [
+            ("unlink", ["pending"]),
+            ("rename", ["pending->leased"]),
+            ("write", ["lease"]),
+        ]
+
+    def test_extraction_sees_commit_point_ordering(self):
+        import repro.dist.queue as queue_module
+
+        sequences = extract_effects(inspect.getsource(queue_module))
+        commit = [e.kind for e in sequences["ShardQueue.commit_split"]]
+        # campaign rewrite (the commit point) strictly precedes both the
+        # child enqueues and the .splitting unlink.
+        assert commit[0] == "write"
+        assert commit[-1] == "unlink"
+
+    def test_fail_requeues_via_atomic_rename(self):
+        import repro.dist.queue as queue_module
+
+        sequences = extract_effects(inspect.getsource(queue_module))
+        fail = [(e.kind, sorted(e.roles)) for e in sequences["ShardQueue.fail"]]
+        assert fail[0] == ("write", ["leased"])
+        assert fail[1][0] == "rename"
+        assert set(fail[1][1]) <= {"leased->pending", "leased->poison"}
+
+    def test_rebalancer_performs_no_direct_effects(self):
+        import repro.dist.rebalance as rebalance_module
+
+        assert extract_effects(inspect.getsource(rebalance_module)) == {}
+
+
+# A sandboxed miniature of the protocol source, small enough to mutate
+# precisely.  The spec below declares the correct sequence; each test
+# corrupts one aspect and asserts the distinct Q-code.
+
+_GOOD_SOURCE = '''
+import os
+from repro.store import atomic_write_bytes, save_verified_npz
+
+class MiniQueue:
+    def complete(self, spec, arrays):
+        path = self.result_path(spec.shard_id)
+        save_verified_npz(path, arrays)
+        for stale in (
+            self.leased_dir / f"{spec.shard_id}.json",
+            self.pending_dir / f"{spec.shard_id}.json",
+        ):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    def commit_split(self, spec, children):
+        atomic_write_bytes(self.campaign_path, b"{}")
+        for child in children:
+            atomic_write_bytes(
+                self.pending_dir / f"{child.shard_id}.json", b"{}"
+            )
+        self.splitting_path(spec.shard_id).unlink()
+'''
+
+_MINI_SPEC = {
+    "mini.queue": {
+        "MiniQueue.complete": (
+            DeclaredEffect("write", frozenset({"done"})),
+            DeclaredEffect(
+                "unlink", frozenset({"leased", "pending"}), repeat=True
+            ),
+        ),
+        "MiniQueue.commit_split": (
+            DeclaredEffect("write", frozenset({"campaign"})),
+            DeclaredEffect(
+                "write", frozenset({"pending"}), repeat=True, optional=True
+            ),
+            DeclaredEffect("unlink", frozenset({"splitting"})),
+        ),
+    }
+}
+
+
+def _check(source: str):
+    return check_effects(
+        _MINI_SPEC, sources={"mini.queue": (source, "mini/queue.py")}
+    )
+
+
+class TestSourceMutations:
+    def test_clean_miniature_passes(self):
+        assert _check(_GOOD_SOURCE) == []
+
+    def test_q301_missing_method(self):
+        mutated = _GOOD_SOURCE.replace("def complete", "def completed")
+        assert "Q301" in _codes(_check(mutated))
+
+    def test_q302_undeclared_effect(self):
+        mutated = _GOOD_SOURCE.replace(
+            "self.splitting_path(spec.shard_id).unlink()",
+            "self.splitting_path(spec.shard_id).unlink()\n"
+            "        (self.done_dir / 'x.npz').unlink()",
+        )
+        assert "Q302" in _codes(_check(mutated))
+
+    def test_q303_dropped_cleanup_unlink(self):
+        mutated = _GOOD_SOURCE.replace(
+            "        self.splitting_path(spec.shard_id).unlink()\n", ""
+        )
+        assert "Q303" in _codes(_check(mutated))
+
+    def test_q304_result_write_reordered_past_retirement(self):
+        # Move the result write below the spec unlinks — exactly the
+        # corruption the model checker's complete-unlink-before-result
+        # mutant exercises dynamically.
+        mutated = _GOOD_SOURCE.replace(
+            """        path = self.result_path(spec.shard_id)
+        save_verified_npz(path, arrays)
+        for stale in (""",
+            """        path = self.result_path(spec.shard_id)
+        for stale in (""",
+        ).replace(
+            """            except OSError:
+                pass
+""",
+            """            except OSError:
+                pass
+        save_verified_npz(path, arrays)
+""",
+        )
+        assert "Q304" in _codes(_check(mutated))
+
+    def test_q304_rename_past_commit_point(self):
+        mutated = _GOOD_SOURCE.replace(
+            """        atomic_write_bytes(self.campaign_path, b"{}")
+        for child in children:
+            atomic_write_bytes(
+                self.pending_dir / f"{child.shard_id}.json", b"{}"
+            )
+        self.splitting_path(spec.shard_id).unlink()""",
+            """        for child in children:
+            atomic_write_bytes(
+                self.pending_dir / f"{child.shard_id}.json", b"{}"
+            )
+        self.splitting_path(spec.shard_id).unlink()
+        atomic_write_bytes(self.campaign_path, b"{}")""",
+        )
+        assert "Q304" in _codes(_check(mutated))
+
+    def test_q305_non_atomic_write(self):
+        mutated = _GOOD_SOURCE.replace(
+            'atomic_write_bytes(self.campaign_path, b"{}")',
+            'self.campaign_path.write_text("{}")',
+        )
+        codes = _codes(_check(mutated))
+        assert "Q305" in codes
+
+    def test_q306_unresolvable_path(self):
+        mutated = _GOOD_SOURCE.replace(
+            "save_verified_npz(path, arrays)",
+            "save_verified_npz(some_global_path, arrays)",
+        )
+        assert "Q306" in _codes(_check(mutated))
+
+    def test_effects_in_undeclared_module_functions_are_flagged(self):
+        rogue = (
+            _GOOD_SOURCE
+            + """
+    def sneaky(self):
+        os.rename(
+            self.pending_dir / "a.json", self.leased_dir / "a.json"
+        )
+"""
+        )
+        findings = _check(rogue)
+        assert "Q302" in _codes(findings)
+        assert any("sneaky" in f.qualname for f in findings)
+
+
+class TestSpecHygiene:
+    def test_spec_covers_every_mutating_queue_method(self):
+        declared = set(PROTOCOL_SPEC["repro.dist.queue"])
+        for name in (
+            "ShardQueue.submit",
+            "ShardQueue.claim",
+            "ShardQueue.complete",
+            "ShardQueue.fail",
+            "ShardQueue.release_expired",
+            "ShardQueue.begin_split",
+            "ShardQueue.commit_split",
+            "ShardQueue.abort_split",
+            "ShardQueue.recover_splits",
+        ):
+            assert name in declared
+
+    def test_rebalance_module_declares_zero_direct_effects(self):
+        assert PROTOCOL_SPEC["repro.dist.rebalance"] == {}

@@ -1,0 +1,75 @@
+"""Annotation-completeness gate for the strictly-typed trees.
+
+CI runs ``mypy --strict`` over ``src/repro/check`` and ``src/repro/dist``
+(see ``[tool.mypy]`` in pyproject.toml and the static-checks job).  mypy
+is a dev-extra and not part of the runtime environment, so this test
+enforces the cheap, high-value slice of the contract everywhere pytest
+runs: every function in the strict trees fully annotates its parameters
+and return type, and ``repro.dist`` carries no ``# type: ignore``
+escapes at all.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+STRICT_TREES = ("repro/check", "repro/dist")
+
+
+def _strict_files() -> list[Path]:
+    files = []
+    for tree in STRICT_TREES:
+        files.extend(sorted((SRC / tree).rglob("*.py")))
+    assert files, "strict trees missing — did the package move?"
+    return files
+
+
+def _missing_annotations(tree: ast.Module) -> list[str]:
+    gaps = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        missing = []
+        if node.returns is None:
+            missing.append("return")
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.annotation is None and arg.arg not in ("self", "cls"):
+                missing.append(arg.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append(f"*{args.vararg.arg}")
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append(f"**{args.kwarg.arg}")
+        if missing:
+            gaps.append(f"{node.name}:{node.lineno} ({', '.join(missing)})")
+    return gaps
+
+
+@pytest.mark.parametrize(
+    "path", _strict_files(), ids=lambda p: str(p.relative_to(SRC))
+)
+def test_every_function_is_fully_annotated(path: Path) -> None:
+    gaps = _missing_annotations(ast.parse(path.read_text()))
+    assert gaps == [], f"unannotated functions in {path.name}: {gaps}"
+
+
+def test_dist_has_no_type_ignores() -> None:
+    offenders = [
+        f"{path.relative_to(SRC)}:{lineno}"
+        for path in sorted((SRC / "repro/dist").rglob("*.py"))
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1)
+        if "type: ignore" in line
+    ]
+    assert offenders == []
+
+
+def test_mypy_strict_config_covers_the_trees() -> None:
+    pyproject = (SRC.parent / "pyproject.toml").read_text()
+    assert "[tool.mypy]" in pyproject
+    assert "strict = true" in pyproject
+    for tree in STRICT_TREES:
+        assert f"src/{tree}" in pyproject
